@@ -1,0 +1,139 @@
+// Command cdsim runs one lifetime simulation of the paper's procedure and
+// prints per-interval or summary output.
+//
+// Usage:
+//
+//	cdsim -n 50 -policy EL1 -drain linear -seed 1 [-trace] [-trials 20]
+//
+// With -trials > 1 it aggregates lifetimes across independent runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/sim"
+	"pacds/internal/stats"
+	"pacds/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdsim", flag.ContinueOnError)
+	n := fs.Int("n", 50, "number of hosts")
+	policyName := fs.String("policy", "EL1", "pruning policy: NR, ID, ND, EL1, or EL2")
+	drainName := fs.String("drain", "linear", "gateway drain model: const, linear, quadratic, or a -pergw variant")
+	seed := fs.Uint64("seed", 1, "random seed")
+	trials := fs.Int("trials", 1, "independent runs to aggregate")
+	traceFlag := fs.Bool("trace", false, "print per-interval gateway counts (single trial only)")
+	verify := fs.Bool("verify", false, "check CDS invariants every interval")
+	static := fs.Bool("static", false, "disable mobility")
+	timeseries := fs.String("timeseries", "", "write per-interval CSV time series to this file (single trial only)")
+	extended := fs.Bool("extended", false, "continue past the first death until half the hosts die; report the death timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy, err := cds.ByName(*policyName)
+	if err != nil {
+		return err
+	}
+	drain, err := energy.ByName(*drainName)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.PaperConfig(*n, policy, drain, *seed)
+	cfg.Verify = *verify
+	if *static {
+		cfg.Mobility = nil
+	}
+
+	if *extended {
+		m, err := sim.RunExtended(cfg, 0.5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "policy=%v drain=%s n=%d seed=%d (extended)\n", policy, drain.Name(), *n, *seed)
+		fmt.Fprintf(stdout, "first death: interval %d\n", m.FirstDeath)
+		fmt.Fprintf(stdout, "half dead:   interval %d\n", m.HalfDeath)
+		fmt.Fprintf(stdout, "mean gateways: %.2f over %d intervals (truncated=%v)\n",
+			m.MeanGateways, m.Intervals, m.Truncated)
+		fmt.Fprintf(stdout, "death timeline (first 20): %v\n", firstK(m.DeathIntervals, 20))
+		return nil
+	}
+
+	if *trials <= 1 {
+		var rec trace.Recorder
+		if *timeseries != "" {
+			cfg.Observer = rec.Observe
+		}
+		m, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if *timeseries != "" {
+			f, err := os.Create(*timeseries)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s (%d intervals)\n", *timeseries, rec.Len())
+		}
+		fmt.Fprintf(stdout, "policy=%v drain=%s n=%d seed=%d\n", policy, drain.Name(), *n, *seed)
+		fmt.Fprintf(stdout, "lifetime: %d update intervals (truncated=%v)\n", m.Intervals, m.Truncated)
+		fmt.Fprintf(stdout, "mean gateways: %.2f\n", m.MeanGateways)
+		if m.FirstDead >= 0 {
+			fmt.Fprintf(stdout, "first death: host %d\n", m.FirstDead)
+		}
+		fmt.Fprintf(stdout, "residual energy: total=%.1f variance=%.1f\n", m.ResidualEnergy, m.ResidualVariance)
+		if m.DisconnectedIntervals > 0 {
+			fmt.Fprintf(stdout, "disconnected intervals: %d\n", m.DisconnectedIntervals)
+		}
+		if *traceFlag {
+			fmt.Fprintln(stdout, "interval  gateways")
+			for i, c := range m.GatewayCounts {
+				fmt.Fprintf(stdout, "%8d  %8d\n", i+1, c)
+			}
+		}
+		return nil
+	}
+
+	ts, err := sim.RunTrialsParallel(cfg, *trials, 0)
+	if err != nil {
+		return err
+	}
+	life := stats.Summarize(ts.Lifetime)
+	gws := stats.Summarize(ts.MeanGateways)
+	fmt.Fprintf(stdout, "policy=%v drain=%s n=%d trials=%d\n", policy, drain.Name(), *n, *trials)
+	fmt.Fprintf(stdout, "lifetime:  %s\n", life)
+	fmt.Fprintf(stdout, "gateways:  %s\n", gws)
+	if ts.TruncatedRuns > 0 {
+		fmt.Fprintf(stdout, "truncated runs: %d\n", ts.TruncatedRuns)
+	}
+	return nil
+}
+
+// firstK returns at most the first k elements of xs.
+func firstK(xs []int, k int) []int {
+	if len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}

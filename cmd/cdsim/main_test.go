@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSingleRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "20", "-policy", "ID", "-drain", "linear", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lifetime:") || !strings.Contains(s, "mean gateways:") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestTrialsRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "15", "-policy", "ND", "-drain", "const-pergw", "-trials", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trials=3") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestTraceRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "15", "-drain", "linear", "-trace", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interval  gateways") {
+		t.Fatalf("trace header missing:\n%s", out.String())
+	}
+}
+
+func TestStaticAndVerify(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "12", "-drain", "linear", "-static", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	args := []string{"-n", "20", "-policy", "EL2", "-drain", "quadratic", "-seed", "77"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"-drain", "bogus"},
+		{"-n", "0"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}
+
+func TestExtendedRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "12", "-drain", "linear", "-extended", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "first death:") || !strings.Contains(s, "half dead:") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestTimeseriesOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ts.csv"
+	var out bytes.Buffer
+	err := run([]string{"-n", "12", "-drain", "linear", "-timeseries", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "interval,gateways,") {
+		t.Fatalf("csv: %.60s", data)
+	}
+}

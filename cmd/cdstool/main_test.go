@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const figure1 = "nodes 5\n0 1\n0 4\n1 2\n1 4\n2 3\n"
+
+func TestRunFigure1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "ID", "-verify"}, strings.NewReader(figure1), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "marked (2): [1 2]") {
+		t.Fatalf("marking output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "invariants: dominating + connected OK") {
+		t.Fatalf("verify output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "property 3: OK") {
+		t.Fatalf("property 3 output missing:\n%s", s)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-all"}, strings.NewReader(figure1), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"NR", "ID", "ND", "EL1", "EL2"} {
+		if !strings.Contains(out.String(), p) {
+			t.Fatalf("missing policy %s:\n%s", p, out.String())
+		}
+	}
+}
+
+func TestRunWithEnergy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-policy", "EL1", "-energy", "10,20,30,40,50"},
+		strings.NewReader(figure1), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EL1") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "XX"},                     // unknown policy
+		{"-policy", "EL1"},                    // EL1 without energy
+		{"-policy", "ID", "-energy", "1,2"},   // wrong energy count
+		{"-policy", "ID", "-energy", "1,a,3"}, // bad energy value
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(figure1), &out); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunBadGraph(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Fatal("bad graph accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"/nonexistent/file.graph"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "ND", "-analyze"}, strings.NewReader(figure1), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "redundancy=") || !strings.Contains(out.String(), "valid CDS") {
+		t.Fatalf("analyze output:\n%s", out.String())
+	}
+}
+
+func TestRunRandomNetwork(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-random", "25", "-seed", "7", "-all", "-verify"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "25 nodes") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "VIOLATION") {
+		t.Fatalf("violations on random network:\n%s", out.String())
+	}
+}

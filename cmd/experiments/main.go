@@ -1,0 +1,139 @@
+// Command experiments regenerates the data series behind every figure in
+// the paper's evaluation section (Figures 10-13) plus this repository's
+// additional analyses (baselines, locality, ablation, stretch).
+//
+// Usage:
+//
+//	experiments -figure figure12 [-pergw] [-trials 20] [-ns 10,20,...] [-csv out.csv]
+//	experiments -figure all
+//
+// Text tables go to stdout; -csv additionally writes CSV files (one per
+// figure, named <figure>.csv in the given directory when -figure all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pacds/internal/experiments"
+	"pacds/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	figure := fs.String("figure", "all", "figure id ("+strings.Join(experiments.All, ", ")+") or all")
+	trials := fs.Int("trials", 20, "trials per configuration")
+	seed := fs.Uint64("seed", 20010901, "master seed")
+	nsCSV := fs.String("ns", "", "comma-separated host counts (default 10..100 step 10)")
+	perGW := fs.Bool("pergw", false, "use premise-consistent per-gateway drain for lifetime figures")
+	csvDir := fs.String("csv", "", "directory to write per-figure CSV files into")
+	svgDir := fs.String("svg", "", "directory to write per-figure SVG line charts into")
+	list := fs.Bool("list", false, "list available experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.All {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+
+	opt := experiments.Options{Trials: *trials, Seed: *seed, PerGateway: *perGW}
+	if *nsCSV != "" {
+		for _, part := range strings.Split(*nsCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad -ns entry %q", part)
+			}
+			opt.Ns = append(opt.Ns, v)
+		}
+	}
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = experiments.All
+	}
+	for _, id := range ids {
+		fr, err := experiments.ByName(id, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== %s: %s ==\n", fr.ID, fr.Title)
+		for _, note := range fr.Notes {
+			fmt.Fprintf(stdout, "   %s\n", note)
+		}
+		if err := fr.Table().Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, fr.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fr.Table().RenderCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*svgDir, fr.ID+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := plot.SVG(f, figureSeries(fr), plot.Options{
+				Title:  fr.Title,
+				XLabel: "N",
+				YLabel: "value",
+			}); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+// figureSeries converts a FigureResult into plot series.
+func figureSeries(fr *experiments.FigureResult) []plot.Series {
+	out := make([]plot.Series, 0, len(fr.Series))
+	for _, s := range fr.Series {
+		ps := plot.Series{Label: s.Label}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, float64(p.N))
+			ps.Y = append(ps.Y, p.Mean)
+			ps.YError = append(ps.YError, p.CI)
+		}
+		out = append(out, ps)
+	}
+	return out
+}

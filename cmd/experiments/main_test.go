@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigure10Table(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "figure10", "-ns", "15", "-trials", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "figure10") || !strings.Contains(s, "EL2") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-figure", "locality", "-ns", "15", "-trials", "3", "-csv", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "locality.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "N,") {
+		t.Fatalf("csv content: %q", string(data))
+	}
+}
+
+func TestPerGatewayFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-figure", "figure11", "-ns", "12", "-trials", "2", "-pergw"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "const-pergw") {
+		t.Fatalf("per-gateway drain not reflected in notes:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-figure", "bogus"},
+		{"-ns", "10,x"},
+		{"-ns", "0"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"figure10", "maintenance", "broadcast", "quasi"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-figure", "locality", "-ns", "15", "-trials", "3", "-svg", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "locality.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg ") {
+		t.Fatalf("not svg: %.60s", data)
+	}
+}

@@ -1,0 +1,139 @@
+// Command netviz renders a random ad hoc network and its connected
+// dominating set as SVG.
+//
+// Usage:
+//
+//	netviz -n 60 -policy ND -seed 7 -o network.svg [-labels]
+//
+// Gateways are drawn red with the backbone links emphasized; non-gateway
+// hosts blue. With -energy, per-host energy rings are drawn from a
+// simulated partial lifetime run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pacds/internal/cds"
+	"pacds/internal/udg"
+	"pacds/internal/viz"
+	"pacds/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("netviz", flag.ContinueOnError)
+	n := fs.Int("n", 60, "number of hosts")
+	policyName := fs.String("policy", "ND", "pruning policy")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "network.svg", "output file (- for stdout)")
+	labels := fs.Bool("labels", false, "draw host ids")
+	size := fs.Int("size", 640, "canvas size in pixels")
+	gallery := fs.String("gallery", "", "write an HTML gallery with one SVG per policy into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gallery != "" {
+		return renderGallery(*gallery, *n, *seed, *size, stdout)
+	}
+	policy, err := cds.ByName(*policyName)
+	if err != nil {
+		return err
+	}
+	inst, err := udg.RandomConnected(udg.PaperConfig(*n), xrand.New(*seed), 5000)
+	if err != nil {
+		return err
+	}
+	energy := make([]float64, *n)
+	for i := range energy {
+		energy[i] = 100
+	}
+	res, err := cds.Compute(inst.Graph, policy, energy)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer
+	if *out == "-" {
+		w = stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := viz.Options{
+		Size:   *size,
+		Labels: *labels,
+		Title: fmt.Sprintf("N=%d policy=%v gateways=%d seed=%d",
+			*n, policy, res.NumGateways(), *seed),
+	}
+	if err := viz.SVG(w, inst.Graph, inst.Positions, inst.Config.Field, res.Gateway, nil, opt); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "wrote %s (%d hosts, %d gateways)\n", *out, *n, res.NumGateways())
+	}
+	return nil
+}
+
+// renderGallery writes one SVG per policy for the same topology plus an
+// index.html that shows them side by side.
+func renderGallery(dir string, n int, seed uint64, size int, stdout io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
+	if err != nil {
+		return err
+	}
+	energy := make([]float64, n)
+	for i := range energy {
+		energy[i] = 100
+	}
+	var index strings.Builder
+	index.WriteString("<!DOCTYPE html>\n<html><head><title>pacds backbone gallery</title></head><body>\n")
+	fmt.Fprintf(&index, "<h1>Connected dominating sets, N=%d, seed=%d</h1>\n", n, seed)
+	for _, p := range cds.Policies {
+		res, err := cds.Compute(inst.Graph, p, energy)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("backbone-%s.svg", p)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		opt := viz.Options{
+			Size:  size,
+			Title: fmt.Sprintf("policy=%v gateways=%d", p, res.NumGateways()),
+		}
+		if err := viz.SVG(f, inst.Graph, inst.Positions, inst.Config.Field, res.Gateway, nil, opt); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(&index, "<h2>%v — %d gateways</h2><img src=%q width=%d>\n",
+			p, res.NumGateways(), name, size)
+	}
+	index.WriteString("</body></html>\n")
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte(index.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote gallery to %s (%d policies)\n", dir, len(cds.Policies))
+	return nil
+}

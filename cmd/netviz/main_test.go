@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "net.svg")
+	var stdout bytes.Buffer
+	if err := run([]string{"-n", "25", "-seed", "3", "-o", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg ") {
+		t.Fatalf("not svg: %.60s", data)
+	}
+	if !strings.Contains(stdout.String(), "wrote ") {
+		t.Fatalf("stdout: %q", stdout.String())
+	}
+}
+
+func TestRenderToStdout(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-n", "15", "-o", "-", "-labels"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "</svg>") {
+		t.Fatal("no svg on stdout")
+	}
+}
+
+func TestBadPolicy(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-policy", "XX"}, &stdout); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestGallery(t *testing.T) {
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	if err := run([]string{"-gallery", dir, "-n", "20", "-seed", "3"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"NR", "ID", "ND", "EL1", "EL2"} {
+		if !strings.Contains(string(idx), "backbone-"+p+".svg") {
+			t.Fatalf("gallery missing policy %s", p)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "backbone-"+p+".svg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg ") {
+			t.Fatalf("policy %s svg malformed", p)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Distributed example: run the marking process and the pruning rules as an
+// actual message-passing protocol — HELLO beacons, neighbor-list
+// exchanges, and gateway-status broadcasts — and confirm the hosts
+// converge to exactly the centralized result, as the paper's locality
+// argument promises.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacds"
+)
+
+func main() {
+	net, err := pacds.RandomConnectedNetwork(pacds.PaperNetworkConfig(60), pacds.NewRNG(11), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph
+	fmt.Printf("network: %d hosts, %d links\n\n", g.NumNodes(), g.NumEdges())
+
+	energy := make([]float64, g.NumNodes())
+	rng := pacds.NewRNG(12)
+	for i := range energy {
+		energy[i] = float64(rng.IntRange(1, 10)) * 10
+	}
+
+	fmt.Println("policy  gateways  rounds  messages  deliveries  unmark-events  matches-centralized")
+	for _, p := range pacds.Policies {
+		gw, stats, err := pacds.RunDistributed(g, p, energy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := pacds.Compute(g, p, energy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := true
+		count := 0
+		for v := range gw {
+			if gw[v] {
+				count++
+			}
+			if gw[v] != want.Gateway[v] {
+				match = false
+			}
+		}
+		fmt.Printf("%-6v  %8d  %6d  %8d  %10d  %13d  %v\n",
+			p, count, stats.Rounds, stats.Messages, stats.Deliveries, stats.StatusChanges, match)
+	}
+
+	fmt.Println("\nEvery host decided from 2-hop knowledge it received over the radio;")
+	fmt.Println("no global state was consulted. Unmark events are serialized by ID slots.")
+}

@@ -1,0 +1,47 @@
+// Lifetime example: the paper's headline experiment in miniature. Run the
+// lifetime simulation for each pruning policy under a premise-consistent
+// gateway drain and show how energy-aware gateway selection (EL1/EL2)
+// extends the time until the first host exhausts its battery.
+//
+//	go run ./examples/lifetime
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacds"
+)
+
+func main() {
+	const (
+		hosts  = 40
+		trials = 10
+		seed   = 2001
+	)
+	fmt.Printf("lifetime comparison: %d hosts, %d trials, constant per-gateway drain d=2, d'=1\n",
+		hosts, trials)
+	fmt.Println("policy  lifetime(intervals)  mean|G'|  residual-variance")
+
+	for _, p := range pacds.Policies {
+		cfg := pacds.PaperSimConfig(hosts, p, pacds.ConstantPerGWDrain{}, seed)
+		var lifeSum, gwSum, varSum float64
+		rng := pacds.NewRNG(seed)
+		for t := 0; t < trials; t++ {
+			c := cfg
+			c.Seed = rng.Uint64()
+			m, err := pacds.RunSim(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lifeSum += float64(m.Intervals)
+			gwSum += m.MeanGateways
+			varSum += m.ResidualVariance
+		}
+		fmt.Printf("%-6v  %19.1f  %8.1f  %17.1f\n",
+			p, lifeSum/trials, gwSum/trials, varSum/trials)
+	}
+
+	fmt.Println("\nEL1/EL2 rotate gateway duty toward high-energy hosts, so consumption")
+	fmt.Println("stays balanced (low residual variance) and the first death comes later.")
+}

@@ -1,0 +1,70 @@
+// Routing example: reproduce the structure of the paper's Figure 2 — a
+// gateway host's domain membership list and gateway routing table — and
+// route packets host-to-host through the connected dominating set.
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacds"
+)
+
+func main() {
+	// A random 40-host network at the paper's density (100x100 field,
+	// radius 25).
+	net, err := pacds.RandomConnectedNetwork(pacds.PaperNetworkConfig(40), pacds.NewRNG(7), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph
+
+	// Compute the CDS under the degree-based policy (smallest sets).
+	res, err := pacds.Compute(g, pacds.ND, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d hosts, %d links; %d gateway hosts: %v\n\n",
+		g.NumNodes(), g.NumEdges(), res.NumGateways(), res.GatewayIDs())
+
+	router, err := pacds.NewRouter(g, res.Gateway)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the first gateway's view: its domain membership list and the
+	// first rows of its routing table (the paper's Figure 2b/2c).
+	gw := res.GatewayIDs()[0]
+	fmt.Printf("gateway %d domain membership list: %v\n", gw, router.MembershipList(gw))
+	table, err := router.Table(gw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway %d routing table (%d entries, first 5 shown):\n", gw, len(table))
+	fmt.Println("  gateway  dist  next  members")
+	for i, e := range table {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %7d  %4d  %4d  %v\n", e.Gateway, e.Dist, e.NextHop, e.Members)
+	}
+
+	// Route a few packets between non-gateway hosts: source -> source
+	// gateway -> gateway subnetwork -> destination gateway -> destination.
+	fmt.Println("\nsample routes (every intermediate host is a gateway):")
+	pairs := [][2]pacds.NodeID{{0, 39}, {5, 31}, {12, 27}}
+	for _, pair := range pairs {
+		path, err := router.Route(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		stretch, err := router.Stretch(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d -> %2d: %v  (%d hops, stretch %.2f)\n",
+			pair[0], pair[1], path, len(path)-1, stretch)
+	}
+}

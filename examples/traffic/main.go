@@ -1,0 +1,49 @@
+// Traffic example: packet-level view of the paper's energy argument.
+// Constant-bit-rate flows are routed through each policy's connected
+// dominating set; forwarding energy is charged to the hosts that actually
+// relay the packets. Energy-aware gateway selection keeps the relays
+// rotating, so the first battery death comes later — with no abstract
+// drain model in sight.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacds"
+)
+
+func main() {
+	const hosts = 30
+	fmt.Printf("packet-level lifetime, %d hosts, %d CBR flows, tx .05 / rx .02 / idle .01\n\n",
+		hosts, hosts/2)
+	fmt.Println("policy  first-death  delivered  dropped  delivery%  mean-hops  gw-forwards")
+
+	for _, p := range pacds.Policies {
+		var death, delivered, dropped, forwards int
+		var hops, ratio float64
+		const trials = 5
+		rng := pacds.NewRNG(404)
+		for t := 0; t < trials; t++ {
+			cfg := pacds.PaperTrafficConfig(hosts, p, rng.Uint64())
+			m, err := pacds.RunTraffic(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			death += m.FirstDeathInterval
+			delivered += m.Delivered
+			dropped += m.Dropped
+			forwards += m.GatewayForwards
+			hops += m.MeanHops()
+			ratio += m.DeliveryRatio()
+		}
+		fmt.Printf("%-6v  %11.1f  %9d  %7d  %8.1f%%  %9.2f  %11d\n",
+			p, float64(death)/trials, delivered/trials, dropped/trials,
+			100*ratio/trials, hops/trials, forwards/trials)
+	}
+
+	fmt.Println("\nGateway forwards concentrate on the backbone; EL1/EL2 spread that burden")
+	fmt.Println("across charge-rich hosts, so the network's first death comes latest.")
+}

@@ -1,0 +1,3 @@
+module pacds
+
+go 1.24

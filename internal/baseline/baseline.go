@@ -1,0 +1,306 @@
+// Package baseline implements classical centralized connected-dominating-
+// set constructions that the dominating-set-based routing literature
+// compares against (paper Section 1 cites backbone/spine approaches; the
+// Wu-Li paper compares against Das et al.'s greedy growth, which follows
+// Guha-Khuller). They provide size context for the marking-process CDS in
+// the benchmark harness.
+//
+// All functions return a gateway membership slice indexed by node, and
+// assume a connected input graph (callers handle components).
+package baseline
+
+import (
+	"sort"
+
+	"pacds/internal/graph"
+)
+
+// GreedyDominatingSet returns a (not necessarily connected) dominating set
+// built by the classic greedy set-cover heuristic: repeatedly add the node
+// that dominates the most not-yet-dominated nodes, breaking ties by lower
+// node ID. It lower-bounds what any CDS heuristic can hope for and shows
+// the price of requiring connectivity.
+func GreedyDominatingSet(g *graph.Graph) []bool {
+	n := g.NumNodes()
+	inSet := make([]bool, n)
+	dominated := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		best, bestGain := -1, -1
+		for v := 0; v < n; v++ {
+			if inSet[v] {
+				continue
+			}
+			gain := 0
+			if !dominated[v] {
+				gain++
+			}
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if !dominated[u] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if bestGain <= 0 {
+			break // isolated leftovers (cannot happen on connected graphs)
+		}
+		inSet[best] = true
+		if !dominated[best] {
+			dominated[best] = true
+			remaining--
+		}
+		for _, u := range g.Neighbors(graph.NodeID(best)) {
+			if !dominated[u] {
+				dominated[u] = true
+				remaining--
+			}
+		}
+	}
+	return inSet
+}
+
+// GuhaKhuller returns a connected dominating set built by Guha and
+// Khuller's first algorithm (grow a tree from the maximum-degree node,
+// repeatedly "scanning" the gray node with the most white neighbors).
+// Colors: white = undominated, gray = dominated non-member, black =
+// member. The input must be connected; for a single node the set is empty
+// (it trivially needs no gateways).
+func GuhaKhuller(g *graph.Graph) []bool {
+	n := g.NumNodes()
+	inSet := make([]bool, n)
+	if n <= 1 {
+		return inSet
+	}
+	if g.IsComplete() {
+		// One node dominates everything; keep parity with the marking
+		// process convention (complete graphs route directly) by returning
+		// a single-node set — the textbook algorithm would also pick one.
+		inSet[0] = true
+		return inSet
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make([]int, n)
+	whiteCount := n
+
+	scan := func(v int) {
+		if color[v] == white {
+			whiteCount--
+		}
+		color[v] = black
+		inSet[v] = true
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if color[u] == white {
+				color[u] = gray
+				whiteCount--
+			}
+		}
+	}
+
+	// Seed: maximum-degree node, lowest ID on ties.
+	seed := 0
+	for v := 1; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) > g.Degree(graph.NodeID(seed)) {
+			seed = v
+		}
+	}
+	scan(seed)
+
+	for whiteCount > 0 {
+		best, bestGain := -1, -1
+		for v := 0; v < n; v++ {
+			if color[v] != gray {
+				continue
+			}
+			gain := 0
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if color[u] == white {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best == -1 || bestGain == 0 {
+			// No gray node has white neighbors; on a connected graph this
+			// means whiteCount == 0. Guard against infinite loops anyway.
+			break
+		}
+		scan(best)
+	}
+	return inSet
+}
+
+// SpanningTreeCDS returns the internal (non-leaf) nodes of a BFS spanning
+// tree rooted at the lowest-ID node — the simplest textbook connected
+// dominating set. For graphs with at most 2 nodes the set is empty.
+func SpanningTreeCDS(g *graph.Graph) []bool {
+	n := g.NumNodes()
+	inSet := make([]bool, n)
+	if n <= 2 {
+		return inSet
+	}
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[0] = 0
+	queue := []graph.NodeID{0}
+	hasChild := make([]bool, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -1 {
+				parent[u] = v
+				hasChild[v] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		inSet[v] = hasChild[v]
+	}
+	return inSet
+}
+
+// MaximalIndependentSet returns a maximal independent set chosen greedily
+// in ascending ID order. On a connected graph an MIS is also a dominating
+// set (any undominated node could be added, contradicting maximality).
+func MaximalIndependentSet(g *graph.Graph) []bool {
+	n := g.NumNodes()
+	inSet := make([]bool, n)
+	blocked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			blocked[u] = true
+		}
+	}
+	return inSet
+}
+
+// MISConnectedCDS returns a connected dominating set built the classic
+// two-phase way: a maximal independent set (the dominators) joined by
+// connector paths. Components of the MIS-induced... the MIS is independent,
+// so each MIS node starts as its own fragment; fragments are merged by
+// adding the interior nodes of shortest paths between them (length at most
+// 3 between nearby MIS nodes in a connected graph). The input must be
+// connected.
+func MISConnectedCDS(g *graph.Graph) []bool {
+	n := g.NumNodes()
+	inSet := MaximalIndependentSet(g)
+	if n <= 1 {
+		return make([]bool, n)
+	}
+	for {
+		comp, count := componentsWithin(g, inSet)
+		if count <= 1 {
+			return inSet
+		}
+		// BFS in G from all set-nodes of component 0 simultaneously; find
+		// the nearest set-node of a different component; add the connecting
+		// path's interior nodes to the set.
+		prev := make([]graph.NodeID, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			prev[i] = -1
+		}
+		var queue []graph.NodeID
+		for v := 0; v < n; v++ {
+			if inSet[v] && comp[v] == 0 {
+				dist[v] = 0
+				prev[v] = graph.NodeID(v)
+				queue = append(queue, graph.NodeID(v))
+			}
+		}
+		target := graph.NodeID(-1)
+	search:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] != -1 {
+					continue
+				}
+				dist[u] = dist[v] + 1
+				prev[u] = v
+				if inSet[u] && comp[u] != 0 && comp[u] != -1 {
+					target = u
+					break search
+				}
+				queue = append(queue, u)
+			}
+		}
+		if target == -1 {
+			// Disconnected input; nothing more to merge.
+			return inSet
+		}
+		for at := prev[target]; dist[at] > 0; at = prev[at] {
+			inSet[at] = true
+		}
+	}
+}
+
+// componentsWithin labels the connected components of the subgraph induced
+// by inSet. Nodes outside the set get label -1.
+func componentsWithin(g *graph.Graph, inSet []bool) (label []int, count int) {
+	n := g.NumNodes()
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if !inSet[start] || label[start] != -1 {
+			continue
+		}
+		label[start] = count
+		queue := []graph.NodeID{graph.NodeID(start)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if inSet[u] && label[u] == -1 {
+					label[u] = count
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// SetSize returns the number of members.
+func SetSize(inSet []bool) int {
+	n := 0
+	for _, b := range inSet {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns the sorted member ids.
+func Members(inSet []bool) []graph.NodeID {
+	var ids []graph.NodeID
+	for v, b := range inSet {
+		if b {
+			ids = append(ids, graph.NodeID(v))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func connectedUDG(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 2000)
+	if err != nil {
+		t.Fatalf("sampling connected UDG: %v", err)
+	}
+	return inst.Graph
+}
+
+func TestGreedyDominatingSetDominates(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := connectedUDG(t, 40, seed)
+		ds := GreedyDominatingSet(g)
+		if !g.IsDominatingSet(ds) {
+			t.Fatalf("seed %d: greedy set does not dominate", seed)
+		}
+	}
+}
+
+func TestGreedyDominatingSetSmall(t *testing.T) {
+	// On a star the greedy set is exactly the hub.
+	ds := GreedyDominatingSet(graph.Star(8))
+	if !ds[0] || SetSize(ds) != 1 {
+		t.Fatalf("star greedy DS = %v", Members(ds))
+	}
+}
+
+func TestGuhaKhullerIsCDS(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := connectedUDG(t, 50, seed+50)
+		set := GuhaKhuller(g)
+		if !g.IsDominatingSet(set) {
+			t.Fatalf("seed %d: GK set not dominating", seed)
+		}
+		if !g.InducedSubgraphConnected(set) {
+			t.Fatalf("seed %d: GK set not connected", seed)
+		}
+	}
+}
+
+func TestGuhaKhullerPath(t *testing.T) {
+	set := GuhaKhuller(graph.Path(6))
+	// Interior nodes must all be chosen on a path.
+	for v := 1; v < 5; v++ {
+		if !set[v] {
+			t.Fatalf("path GK missing interior node %d: %v", v, Members(set))
+		}
+	}
+}
+
+func TestGuhaKhullerDegenerate(t *testing.T) {
+	if SetSize(GuhaKhuller(graph.New(1))) != 0 {
+		t.Fatal("single node should need no gateways")
+	}
+	if SetSize(GuhaKhuller(graph.New(0))) != 0 {
+		t.Fatal("empty graph should need no gateways")
+	}
+	k := GuhaKhuller(graph.Complete(5))
+	if SetSize(k) != 1 {
+		t.Fatalf("complete graph GK size = %d, want 1", SetSize(k))
+	}
+}
+
+func TestSpanningTreeCDS(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := connectedUDG(t, 45, seed+100)
+		set := SpanningTreeCDS(g)
+		if !g.IsDominatingSet(set) {
+			t.Fatalf("seed %d: tree-internal set not dominating", seed)
+		}
+		if !g.InducedSubgraphConnected(set) {
+			t.Fatalf("seed %d: tree-internal set not connected", seed)
+		}
+	}
+}
+
+func TestSpanningTreeCDSTiny(t *testing.T) {
+	if SetSize(SpanningTreeCDS(graph.Path(2))) != 0 {
+		t.Fatal("K2 needs no gateways")
+	}
+	// On P3 rooted at node 0 the BFS tree is 0-1-2: the root and node 1
+	// both have children, node 2 is a leaf.
+	set := SpanningTreeCDS(graph.Path(3))
+	if !set[0] || !set[1] || set[2] {
+		t.Fatalf("P3 tree CDS = %v, want {0, 1}", Members(set))
+	}
+}
+
+func TestMaximalIndependentSet(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := connectedUDG(t, 40, seed+200)
+		mis := MaximalIndependentSet(g)
+		// Independence.
+		g.Edges(func(u, v graph.NodeID) {
+			if mis[u] && mis[v] {
+				t.Fatalf("seed %d: MIS contains edge %d-%d", seed, u, v)
+			}
+		})
+		// Maximality == domination on connected graphs.
+		if !g.IsDominatingSet(mis) {
+			t.Fatalf("seed %d: MIS not dominating (not maximal)", seed)
+		}
+	}
+}
+
+func TestMISConnectedCDS(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := connectedUDG(t, 50, seed+300)
+		set := MISConnectedCDS(g)
+		if !g.IsDominatingSet(set) {
+			t.Fatalf("seed %d: MIS-CDS not dominating", seed)
+		}
+		if !g.InducedSubgraphConnected(set) {
+			t.Fatalf("seed %d: MIS-CDS not connected", seed)
+		}
+	}
+}
+
+func TestMISConnectedCDSPath(t *testing.T) {
+	set := MISConnectedCDS(graph.Path(7))
+	if !graph.Path(7).InducedSubgraphConnected(set) {
+		t.Fatalf("P7 MIS-CDS disconnected: %v", Members(set))
+	}
+}
+
+func TestBaselinesBeatNoRules(t *testing.T) {
+	// Sanity on the size hierarchy: the centralized greedy CDS should be
+	// no larger (on average) than the raw marking-process output, which
+	// prunes nothing.
+	var gkTotal, nrTotal int
+	for seed := uint64(0); seed < 15; seed++ {
+		g := connectedUDG(t, 60, seed+400)
+		gkTotal += SetSize(GuhaKhuller(g))
+		nrTotal += cds.CountGateways(cds.Mark(g))
+	}
+	if gkTotal >= nrTotal {
+		t.Fatalf("Guha-Khuller total %d should beat marking-only total %d", gkTotal, nrTotal)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	set := []bool{true, false, true, true, false}
+	m := Members(set)
+	if len(m) != 3 || m[0] != 0 || m[1] != 2 || m[2] != 3 {
+		t.Fatalf("Members = %v", m)
+	}
+	if SetSize(set) != 3 {
+		t.Fatalf("SetSize = %d", SetSize(set))
+	}
+}

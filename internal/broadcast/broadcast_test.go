@@ -1,0 +1,135 @@
+package broadcast
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func connectedUDG(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Graph
+}
+
+func TestFloodReachesComponent(t *testing.T) {
+	g := connectedUDG(t, 40, 1)
+	m := Flood(g, 0)
+	if m.Reached != 40 {
+		t.Fatalf("flood reached %d/40", m.Reached)
+	}
+	// Every host transmits exactly once in a connected graph.
+	if m.Transmissions != 40 {
+		t.Fatalf("flood transmissions = %d, want 40", m.Transmissions)
+	}
+	// Receptions = sum of transmitters' degrees = 2E when all transmit.
+	if m.Receptions != 2*g.NumEdges() {
+		t.Fatalf("receptions = %d, want %d", m.Receptions, 2*g.NumEdges())
+	}
+}
+
+func TestFloodDisconnected(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	m := Flood(g, 0)
+	if m.Reached != 2 {
+		t.Fatalf("reached %d, want 2", m.Reached)
+	}
+}
+
+func TestViaCDSFullCoverage(t *testing.T) {
+	// On any policy's CDS, the broadcast must reach every host in the
+	// source's component, from any source.
+	for seed := uint64(0); seed < 5; seed++ {
+		g := connectedUDG(t, 35, seed+10)
+		for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
+			res := cds.MustCompute(g, p, nil)
+			for src := graph.NodeID(0); src < 35; src += 7 {
+				m, err := ViaCDS(g, src, res.Gateway)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Reached != 35 {
+					t.Fatalf("seed %d policy %v src %d: reached %d/35", seed, p, src, m.Reached)
+				}
+			}
+		}
+	}
+}
+
+func TestViaCDSSavesTransmissions(t *testing.T) {
+	g := connectedUDG(t, 60, 99)
+	res := cds.MustCompute(g, cds.ND, nil)
+	flood := Flood(g, 0)
+	viaCDS, err := ViaCDS(g, 0, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCDS.Transmissions >= flood.Transmissions {
+		t.Fatalf("CDS broadcast %d transmissions >= flooding %d",
+			viaCDS.Transmissions, flood.Transmissions)
+	}
+	// Transmissions are bounded by gateways + source.
+	gw := res.NumGateways()
+	if viaCDS.Transmissions > gw+1 {
+		t.Fatalf("CDS transmissions %d > gateways+1 = %d", viaCDS.Transmissions, gw+1)
+	}
+	if s := Saving(flood, viaCDS); s <= 0 || s >= 1 {
+		t.Fatalf("saving = %v", s)
+	}
+}
+
+func TestViaCDSGatewaySource(t *testing.T) {
+	g := connectedUDG(t, 30, 7)
+	res := cds.MustCompute(g, cds.ID, nil)
+	src := res.GatewayIDs()[0]
+	m, err := ViaCDS(g, src, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reached != 30 {
+		t.Fatalf("reached %d/30 from gateway source", m.Reached)
+	}
+}
+
+func TestViaCDSValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := ViaCDS(g, 0, []bool{true}); err == nil {
+		t.Fatal("short gateway slice accepted")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New(1)
+	m := Flood(g, 0)
+	if m.Reached != 1 || m.Transmissions != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRoundsMatchEccentricity(t *testing.T) {
+	// On a path flooded from one end, rounds = path length (each round
+	// advances the frontier one hop; the last host also transmits).
+	g := graph.Path(6)
+	m := Flood(g, 0)
+	if m.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", m.Rounds)
+	}
+}
+
+func TestSavingEdgeCases(t *testing.T) {
+	if Saving(Metrics{}, Metrics{}) != 0 {
+		t.Fatal("saving with zero flood transmissions should be 0")
+	}
+	s := Saving(Metrics{Transmissions: 10}, Metrics{Transmissions: 4})
+	if s != 0.6 {
+		t.Fatalf("saving = %v, want 0.6", s)
+	}
+}

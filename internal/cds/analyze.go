@@ -1,0 +1,85 @@
+package cds
+
+import (
+	"fmt"
+
+	"pacds/internal/graph"
+)
+
+// Report summarizes the quality of a gateway assignment — the metrics a
+// deployment engineer would look at before adopting a policy.
+type Report struct {
+	// Hosts and Gateways are the population and backbone sizes.
+	Hosts, Gateways int
+	// BackboneDiameter is the longest shortest path inside the induced
+	// backbone (0 for backbones of fewer than 2 nodes).
+	BackboneDiameter int
+	// ArticulationPoints counts backbone cut vertices — single points of
+	// failure for routing.
+	ArticulationPoints int
+	// MeanRedundancy is the average number of gateway neighbors a
+	// NON-gateway host has: how many alternatives each host has for its
+	// first hop. Higher is more robust. 0 when every host is a gateway.
+	MeanRedundancy float64
+	// MinRedundancy is the smallest such count (1 means some host depends
+	// on exactly one gateway).
+	MinRedundancy int
+	// Valid is nil when the assignment is a CDS (per VerifyCDS).
+	Valid error
+}
+
+// Analyze computes a quality report for a gateway assignment on g.
+func Analyze(g *graph.Graph, gateway []bool) (*Report, error) {
+	if len(gateway) != g.NumNodes() {
+		return nil, fmt.Errorf("cds: gateway slice has %d entries for %d nodes", len(gateway), g.NumNodes())
+	}
+	r := &Report{Hosts: g.NumNodes(), Valid: VerifyCDS(g, gateway)}
+	for _, in := range gateway {
+		if in {
+			r.Gateways++
+		}
+	}
+
+	backbone, _ := g.InducedSubgraph(gateway)
+	if backbone.NumNodes() >= 2 {
+		r.BackboneDiameter = backbone.Diameter()
+	}
+	r.ArticulationPoints = backbone.CountArticulationPoints()
+
+	total, count := 0, 0
+	r.MinRedundancy = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if gateway[v] {
+			continue
+		}
+		count++
+		reds := 0
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if gateway[u] {
+				reds++
+			}
+		}
+		total += reds
+		if r.MinRedundancy == -1 || reds < r.MinRedundancy {
+			r.MinRedundancy = reds
+		}
+	}
+	if count > 0 {
+		r.MeanRedundancy = float64(total) / float64(count)
+	}
+	if r.MinRedundancy == -1 {
+		r.MinRedundancy = 0
+	}
+	return r, nil
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Report) String() string {
+	valid := "valid CDS"
+	if r.Valid != nil {
+		valid = "INVALID: " + r.Valid.Error()
+	}
+	return fmt.Sprintf("gateways=%d/%d diameter=%d cut-vertices=%d redundancy=%.2f (min %d) [%s]",
+		r.Gateways, r.Hosts, r.BackboneDiameter, r.ArticulationPoints,
+		r.MeanRedundancy, r.MinRedundancy, valid)
+}

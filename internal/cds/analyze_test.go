@@ -1,0 +1,92 @@
+package cds
+
+import (
+	"strings"
+	"testing"
+
+	"pacds/internal/graph"
+)
+
+func TestAnalyzeDemoNetwork(t *testing.T) {
+	// Two clusters bridged by gateways 2 and 5.
+	g := graph.FromEdges(7, [][2]graph.NodeID{
+		{0, 2}, {1, 2}, {2, 5}, {3, 5}, {4, 5}, {6, 5},
+	})
+	gateway := []bool{false, false, true, false, false, true, false}
+	r, err := Analyze(g, gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hosts != 7 || r.Gateways != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.BackboneDiameter != 1 {
+		t.Fatalf("backbone diameter = %d, want 1", r.BackboneDiameter)
+	}
+	// Every non-gateway has exactly one gateway neighbor here.
+	if r.MeanRedundancy != 1 || r.MinRedundancy != 1 {
+		t.Fatalf("redundancy = %.2f / %d", r.MeanRedundancy, r.MinRedundancy)
+	}
+	if r.Valid != nil {
+		t.Fatalf("valid CDS reported invalid: %v", r.Valid)
+	}
+	if !strings.Contains(r.String(), "gateways=2/7") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestAnalyzeInvalidSet(t *testing.T) {
+	g := graph.Path(5)
+	r, err := Analyze(g, make([]bool, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Valid == nil {
+		t.Fatal("empty set on P5 reported valid")
+	}
+	if !strings.Contains(r.String(), "INVALID") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestAnalyzeAllGateways(t *testing.T) {
+	g := graph.Cycle(5)
+	r, err := Analyze(g, []bool{true, true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No non-gateways: redundancy zeroes out cleanly.
+	if r.MeanRedundancy != 0 || r.MinRedundancy != 0 {
+		t.Fatalf("redundancy = %v / %v", r.MeanRedundancy, r.MinRedundancy)
+	}
+	if r.ArticulationPoints != 0 {
+		t.Fatal("cycle backbone has no cut vertices")
+	}
+}
+
+func TestAnalyzeLengthMismatch(t *testing.T) {
+	if _, err := Analyze(graph.Path(3), []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAnalyzeOnRandomPolicies(t *testing.T) {
+	g := randomConnectedUDG(t, 50, 21)
+	for _, p := range []Policy{ID, ND} {
+		res := MustCompute(g, p, nil)
+		r, err := Analyze(g, res.Gateway)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Valid != nil {
+			t.Fatalf("policy %v: %v", p, r.Valid)
+		}
+		if r.MinRedundancy < 1 {
+			t.Fatalf("policy %v: non-gateway with %d gateway neighbors (domination broken?)",
+				p, r.MinRedundancy)
+		}
+		if r.Gateways != res.NumGateways() {
+			t.Fatalf("gateway count mismatch")
+		}
+	}
+}

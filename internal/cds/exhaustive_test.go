@@ -1,0 +1,115 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/graph"
+)
+
+// Exhaustive small-graph verification: every graph on 5 vertices (all
+// 2^10 edge subsets) is checked. This is not sampling — for this size the
+// invariants are PROVEN by enumeration:
+//
+//   - the marking process yields a dominating, connected set satisfying
+//     Property 3 on every connected non-complete graph;
+//   - every policy's rules preserve the CDS on every such graph;
+//   - rule-k and the fixpoint iteration preserve the CDS;
+//   - complete graphs yield empty markings.
+func allGraphs5(fn func(g *graph.Graph)) {
+	pairs := [][2]graph.NodeID{}
+	for u := graph.NodeID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			pairs = append(pairs, [2]graph.NodeID{u, v})
+		}
+	}
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.New(5)
+		for i, e := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddEdge(e[0], e[1])
+			}
+		}
+		fn(g)
+	}
+}
+
+func TestExhaustiveMarkingInvariants(t *testing.T) {
+	checked := 0
+	allGraphs5(func(g *graph.Graph) {
+		marked := Mark(g)
+		if g.IsComplete() {
+			for v, m := range marked {
+				if m {
+					t.Fatalf("complete graph (%d edges): node %d marked", g.NumEdges(), v)
+				}
+			}
+			return
+		}
+		if !g.IsConnected() {
+			return
+		}
+		checked++
+		if !g.IsDominatingSet(marked) {
+			t.Fatalf("marking not dominating on %d-edge graph", g.NumEdges())
+		}
+		if !g.InducedSubgraphConnected(marked) {
+			t.Fatalf("marking not connected on %d-edge graph", g.NumEdges())
+		}
+		if err := VerifyProperty3(g, marked); err != nil {
+			t.Fatalf("property 3: %v", err)
+		}
+	})
+	if checked < 500 {
+		t.Fatalf("only %d connected non-complete graphs checked", checked)
+	}
+}
+
+func TestExhaustiveRulesPreserveCDS(t *testing.T) {
+	// Two energy assignments: uniform (maximum ties) and distinct.
+	energies := [][]float64{
+		{100, 100, 100, 100, 100},
+		{10, 50, 30, 90, 70},
+	}
+	allGraphs5(func(g *graph.Graph) {
+		if !g.IsConnected() || g.IsComplete() {
+			return
+		}
+		marked := Mark(g)
+		for _, p := range []Policy{ID, ND, EL1, EL2} {
+			for _, el := range energies {
+				gw, err := ApplyRules(g, p, marked, el)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyCDS(g, gw); err != nil {
+					t.Fatalf("policy %v energies %v on %d-edge graph: %v",
+						p, el, g.NumEdges(), err)
+				}
+			}
+		}
+	})
+}
+
+func TestExhaustiveRuleKAndFixpoint(t *testing.T) {
+	el := []float64{10, 50, 30, 90, 70}
+	allGraphs5(func(g *graph.Graph) {
+		if !g.IsConnected() || g.IsComplete() {
+			return
+		}
+		marked := Mark(g)
+		rk, err := ApplyRuleK(g, ND, marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCDS(g, rk); err != nil {
+			t.Fatalf("rule-k on %d-edge graph: %v", g.NumEdges(), err)
+		}
+		fx, _, err := ApplyRulesFixpoint(g, EL2, marked, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCDS(g, fx); err != nil {
+			t.Fatalf("fixpoint on %d-edge graph: %v", g.NumEdges(), err)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/xrand"
+)
+
+func TestFixpointPreservesCDS(t *testing.T) {
+	rng := xrand.New(808)
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(60)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng)
+		marked := Mark(g)
+		for _, p := range []Policy{ID, ND, EL1, EL2} {
+			gw, passes, err := ApplyRulesFixpoint(g, p, marked, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if passes < 1 {
+				t.Fatalf("passes = %d", passes)
+			}
+			if err := VerifyCDS(g, gw); err != nil {
+				t.Fatalf("trial %d policy %v: %v", trial, p, err)
+			}
+		}
+	}
+}
+
+func TestFixpointNeverLargerThanSinglePass(t *testing.T) {
+	rng := xrand.New(909)
+	improved := 0
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(60)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		marked := Mark(g)
+		single, err := ApplyRules(g, ND, marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix, _, err := ApplyRulesFixpoint(g, ND, marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CountGateways(fix) > CountGateways(single) {
+			t.Fatalf("trial %d: fixpoint %d > single %d", trial,
+				CountGateways(fix), CountGateways(single))
+		}
+		if CountGateways(fix) < CountGateways(single) {
+			improved++
+		}
+	}
+	t.Logf("fixpoint strictly improved %d/25 instances", improved)
+}
+
+func TestFixpointIdempotent(t *testing.T) {
+	g := randomConnectedUDG(t, 50, 3)
+	marked := Mark(g)
+	fix, _, err := ApplyRulesFixpoint(g, ND, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, passes, err := ApplyRulesFixpoint(g, ND, fix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 1 && CountGateways(again) != CountGateways(fix) {
+		t.Fatalf("fixpoint not stable: %d -> %d gateways",
+			CountGateways(fix), CountGateways(again))
+	}
+}
+
+func TestFixpointNR(t *testing.T) {
+	g := randomConnectedUDG(t, 20, 5)
+	marked := Mark(g)
+	out, passes, err := ApplyRulesFixpoint(g, NR, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 { // first pass no-op, second confirms stability
+		t.Logf("NR passes = %d", passes)
+	}
+	for v := range out {
+		if out[v] != marked[v] {
+			t.Fatal("NR fixpoint changed markers")
+		}
+	}
+}
+
+func TestFixpointEnergyValidation(t *testing.T) {
+	g := randomConnectedUDG(t, 10, 7)
+	if _, _, err := ApplyRulesFixpoint(g, EL1, Mark(g), nil); err == nil {
+		t.Fatal("EL1 without energy accepted")
+	}
+}

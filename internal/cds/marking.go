@@ -1,0 +1,35 @@
+package cds
+
+import "pacds/internal/graph"
+
+// Mark runs the Wu-Li marking process (paper Section 2.2):
+//
+//  1. every vertex starts unmarked (F);
+//  2. every vertex v learns its neighbors' open neighbor sets (so v has
+//     distance-2 knowledge);
+//  3. v marks itself T iff it has two neighbors that are not connected to
+//     each other.
+//
+// The returned slice has marked[v] == true iff m(v) = T. For a connected
+// graph that is not complete, the marked set is a connected dominating set
+// (paper Properties 1 and 2), and every pairwise shortest path can be
+// routed through marked intermediate vertices only (Property 3).
+func Mark(g *graph.Graph) []bool {
+	marked := make([]bool, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		marked[v] = g.HasUnconnectedNeighbors(graph.NodeID(v))
+	}
+	return marked
+}
+
+// MarkInto is Mark writing into a caller-provided slice to avoid
+// allocation on the simulator's hot path. dst must have length
+// g.NumNodes().
+func MarkInto(g *graph.Graph, dst []bool) {
+	if len(dst) != g.NumNodes() {
+		panic("cds: MarkInto destination length mismatch")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		dst[v] = g.HasUnconnectedNeighbors(graph.NodeID(v))
+	}
+}

@@ -1,0 +1,142 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/graph"
+)
+
+// figure1Graph builds the paper's Figure 1 network:
+// edges u-v, u-y, v-w, v-y, w-x with 0=u 1=v 2=w 3=x 4=y.
+func figure1Graph() *graph.Graph {
+	return graph.FromEdges(5, [][2]graph.NodeID{
+		{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3},
+	})
+}
+
+func TestMarkFigure1(t *testing.T) {
+	g := figure1Graph()
+	marked := Mark(g)
+	want := []bool{false, true, true, false, false} // only v and w marked
+	for v := range want {
+		if marked[v] != want[v] {
+			t.Errorf("m(%d) = %v, want %v", v, marked[v], want[v])
+		}
+	}
+}
+
+func TestMarkPath(t *testing.T) {
+	// On a path, every interior node has two unconnected neighbors.
+	g := graph.Path(6)
+	marked := Mark(g)
+	for v := 0; v < 6; v++ {
+		wantMarked := v > 0 && v < 5
+		if marked[v] != wantMarked {
+			t.Errorf("path: m(%d) = %v, want %v", v, marked[v], wantMarked)
+		}
+	}
+}
+
+func TestMarkCycle(t *testing.T) {
+	// On C_n with n >= 5 every node's two neighbors are unconnected.
+	g := graph.Cycle(6)
+	for v, m := range Mark(g) {
+		if !m {
+			t.Errorf("C6: m(%d) = false, want true", v)
+		}
+	}
+	// On C_3 (a triangle = complete graph) nothing is marked.
+	for v, m := range Mark(graph.Cycle(3)) {
+		if m {
+			t.Errorf("C3: m(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestMarkComplete(t *testing.T) {
+	for v, m := range Mark(graph.Complete(8)) {
+		if m {
+			t.Errorf("K8: m(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestMarkStar(t *testing.T) {
+	// Hub has many pairwise-unconnected leaves: marked. Leaves have a
+	// single neighbor: unmarked.
+	marked := Mark(graph.Star(6))
+	if !marked[0] {
+		t.Error("star hub not marked")
+	}
+	for v := 1; v < 6; v++ {
+		if marked[v] {
+			t.Errorf("star leaf %d marked", v)
+		}
+	}
+}
+
+func TestMarkEmptyAndSingle(t *testing.T) {
+	if len(Mark(graph.New(0))) != 0 {
+		t.Fatal("empty graph marking has entries")
+	}
+	if Mark(graph.New(1))[0] {
+		t.Fatal("isolated node marked")
+	}
+	if m := Mark(graph.Path(2)); m[0] || m[1] {
+		t.Fatal("K2 nodes marked")
+	}
+}
+
+func TestMarkIsDominatingAndConnected(t *testing.T) {
+	// Properties 1 and 2 on assorted connected, non-complete graphs.
+	graphs := []*graph.Graph{
+		graph.Path(10),
+		graph.Cycle(9),
+		graph.Star(12),
+		figure1Graph(),
+	}
+	for i, g := range graphs {
+		marked := Mark(g)
+		if !g.IsDominatingSet(marked) {
+			t.Errorf("graph %d: marked set not dominating", i)
+		}
+		if !g.InducedSubgraphConnected(marked) {
+			t.Errorf("graph %d: marked set not connected", i)
+		}
+	}
+}
+
+func TestMarkProperty3(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(8),
+		graph.Cycle(7),
+		graph.Star(9),
+		figure1Graph(),
+	}
+	for i, g := range graphs {
+		if err := VerifyProperty3(g, Mark(g)); err != nil {
+			t.Errorf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestMarkInto(t *testing.T) {
+	g := figure1Graph()
+	dst := make([]bool, 5)
+	MarkInto(g, dst)
+	want := Mark(g)
+	for v := range want {
+		if dst[v] != want[v] {
+			t.Fatalf("MarkInto differs from Mark at %d", v)
+		}
+	}
+}
+
+func TestMarkIntoLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkInto with wrong length did not panic")
+		}
+	}()
+	MarkInto(graph.Path(3), make([]bool, 2))
+}

@@ -1,0 +1,109 @@
+package cds
+
+import "pacds/internal/graph"
+
+// Order-sensitivity analysis.
+//
+// The sequential rule semantics processes hosts in ascending ID order. In
+// a real distributed execution the serialization comes from broadcast
+// timing, which is arbitrary. ApplyRulesOrdered applies the rules in a
+// caller-chosen order so experiments can measure how much the final CDS
+// depends on the serialization — each removal preserves the CDS
+// regardless of order (the paper's one-at-a-time argument), so only the
+// SIZE and composition can vary, never correctness.
+
+// ApplyRulesOrdered is ApplyRules with an explicit processing order: a
+// permutation of [0, n). Rule 1 is swept in the given order, then Rule 2.
+func ApplyRulesOrdered(g *graph.Graph, p Policy, marked []bool, energy []float64,
+	order []graph.NodeID) ([]bool, error) {
+	if len(marked) != g.NumNodes() {
+		panic("cds: marked slice length mismatch")
+	}
+	if len(order) != g.NumNodes() {
+		panic("cds: order length mismatch")
+	}
+	out := append([]bool(nil), marked...)
+	if p == NR {
+		return out, nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return nil, err
+	}
+	applyRule1Ordered(g, out, less, order)
+	if p == ID {
+		applyRule2IDOrdered(g, out, order)
+	} else {
+		applyRule2PriorityOrdered(g, out, less, order)
+	}
+	return out, nil
+}
+
+func applyRule1Ordered(g *graph.Graph, gw []bool, less Less, order []graph.NodeID) {
+	for _, vid := range order {
+		if !gw[vid] {
+			continue
+		}
+		for _, u := range g.Neighbors(vid) {
+			if !gw[u] {
+				continue
+			}
+			if less(vid, u) && g.ClosedSubset(vid, u) {
+				gw[vid] = false
+				break
+			}
+		}
+	}
+}
+
+func applyRule2IDOrdered(g *graph.Graph, gw []bool, order []graph.NodeID) {
+	for _, vid := range order {
+		if !gw[vid] {
+			continue
+		}
+		nb := g.Neighbors(vid)
+	pairsID:
+		for i := 0; i < len(nb); i++ {
+			u := nb[i]
+			if !gw[u] || u < vid {
+				continue
+			}
+			for j := i + 1; j < len(nb); j++ {
+				w := nb[j]
+				if !gw[w] || w < vid {
+					continue
+				}
+				if g.OpenSubsetOfUnion(vid, u, w) {
+					gw[vid] = false
+					break pairsID
+				}
+			}
+		}
+	}
+}
+
+func applyRule2PriorityOrdered(g *graph.Graph, gw []bool, less Less, order []graph.NodeID) {
+	for _, vid := range order {
+		if !gw[vid] {
+			continue
+		}
+		nb := g.Neighbors(vid)
+	pairs:
+		for i := 0; i < len(nb); i++ {
+			u := nb[i]
+			if !gw[u] {
+				continue
+			}
+			for j := i + 1; j < len(nb); j++ {
+				w := nb[j]
+				if !gw[w] {
+					continue
+				}
+				if rule2Covered(g, vid, u, w, less) {
+					gw[vid] = false
+					break pairs
+				}
+			}
+		}
+	}
+}

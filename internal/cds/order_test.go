@@ -1,0 +1,108 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/graph"
+	"pacds/internal/xrand"
+)
+
+func identityOrder(n int) []graph.NodeID {
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	return order
+}
+
+func TestOrderedIdentityMatchesDefault(t *testing.T) {
+	rng := xrand.New(1212)
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(50)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng)
+		marked := Mark(g)
+		for _, p := range Policies {
+			want, err := ApplyRules(g, p, marked, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ApplyRulesOrdered(g, p, marked, energy, identityOrder(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("policy %v: identity order diverged at node %d", p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderedAnyPermutationPreservesCDS(t *testing.T) {
+	rng := xrand.New(1313)
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(50)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng)
+		marked := Mark(g)
+		perm := rng.Perm(n)
+		order := make([]graph.NodeID, n)
+		for i, v := range perm {
+			order[i] = graph.NodeID(v)
+		}
+		for _, p := range []Policy{ID, ND, EL1, EL2} {
+			gw, err := ApplyRulesOrdered(g, p, marked, energy, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyCDS(g, gw); err != nil {
+				t.Fatalf("trial %d policy %v: %v", trial, p, err)
+			}
+		}
+	}
+}
+
+func TestOrderedPanicsOnBadLengths(t *testing.T) {
+	g := graph.Path(4)
+	marked := Mark(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short order did not panic")
+		}
+	}()
+	_, _ = ApplyRulesOrdered(g, ID, marked, nil, identityOrder(3))
+}
+
+func TestOrderSensitivityBounded(t *testing.T) {
+	// Different orders may yield different sizes, but the spread should
+	// be small relative to the set size — the priority conditions do most
+	// of the selection, not the serialization.
+	g := randomConnectedUDG(t, 60, 777)
+	marked := Mark(g)
+	rng := xrand.New(888)
+	min, max := 1<<30, 0
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(60)
+		order := make([]graph.NodeID, 60)
+		for i, v := range perm {
+			order[i] = graph.NodeID(v)
+		}
+		gw, err := ApplyRulesOrdered(g, ND, marked, nil, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := CountGateways(gw)
+		if size < min {
+			min = size
+		}
+		if size > max {
+			max = size
+		}
+	}
+	t.Logf("ND CDS size across 30 random orders: [%d, %d]", min, max)
+	if max-min > max/2 {
+		t.Fatalf("order sensitivity too wide: [%d, %d]", min, max)
+	}
+}

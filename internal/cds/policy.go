@@ -1,0 +1,123 @@
+// Package cds implements the paper's core contribution: the Wu-Li marking
+// process for connected dominating sets (CDS) in ad hoc wireless networks,
+// the original ID-based pruning Rules 1 and 2, and the paper's extensions —
+// node-degree-based Rules 1a/2a, and energy-level-based Rules 1b/2b and
+// 1b'/2b'.
+//
+// Terminology follows the paper: a node marked T after the marking process
+// is a gateway; rules selectively unmark gateways while preserving the
+// connected-dominating-set property. el(v) is node v's energy level, nd(v)
+// its degree, id(v) its unique identifier (here, the node index).
+package cds
+
+import (
+	"fmt"
+
+	"pacds/internal/graph"
+)
+
+// Policy selects which rule set prunes the marked set. Names follow the
+// paper's evaluation section.
+type Policy int
+
+const (
+	// NR applies no rules: the raw marking process output.
+	NR Policy = iota
+	// ID applies the original Wu-Li Rule 1 and Rule 2, keyed on node ID.
+	ID
+	// ND applies Rule 1a and Rule 2a, keyed on node degree with ID
+	// tie-break. Goal: smaller CDS.
+	ND
+	// EL1 applies Rule 1b and Rule 2b, keyed on energy level with ID
+	// tie-break. Goal: longer network lifetime.
+	EL1
+	// EL2 applies Rule 1b' and Rule 2b', keyed on energy level with node
+	// degree then ID tie-breaks.
+	EL2
+)
+
+// Policies lists all policies in the order the paper's figures plot them.
+var Policies = []Policy{NR, ID, ND, EL1, EL2}
+
+// String implements fmt.Stringer using the paper's labels.
+func (p Policy) String() string {
+	switch p {
+	case NR:
+		return "NR"
+	case ID:
+		return "ID"
+	case ND:
+		return "ND"
+	case EL1:
+		return "EL1"
+	case EL2:
+		return "EL2"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ByName parses a policy label (case-sensitive, as printed by String).
+func ByName(name string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cds: unknown policy %q (want NR, ID, ND, EL1, or EL2)", name)
+}
+
+// NeedsEnergy reports whether the policy reads node energy levels.
+func (p Policy) NeedsEnergy() bool { return p == EL1 || p == EL2 }
+
+// Less is a strict total order on nodes: Less(v, u) means v has lower
+// priority than u, i.e. v is the one Rules 1x/2x prefer to unmark. All
+// orders end with the unique node ID, so ties cannot occur.
+type Less func(v, u graph.NodeID) bool
+
+// lessFor builds the priority order for a policy. energy may be nil for
+// policies that do not need it; it is indexed by node id.
+func lessFor(p Policy, g *graph.Graph, energy []float64) (Less, error) {
+	switch p {
+	case NR:
+		return nil, nil
+	case ID:
+		return func(v, u graph.NodeID) bool { return v < u }, nil
+	case ND:
+		return func(v, u graph.NodeID) bool {
+			dv, du := g.Degree(v), g.Degree(u)
+			if dv != du {
+				return dv < du
+			}
+			return v < u
+		}, nil
+	case EL1:
+		if len(energy) != g.NumNodes() {
+			return nil, fmt.Errorf("cds: policy %v needs energy levels for all %d nodes, got %d", p, g.NumNodes(), len(energy))
+		}
+		return func(v, u graph.NodeID) bool {
+			ev, eu := energy[v], energy[u]
+			if ev != eu {
+				return ev < eu
+			}
+			return v < u
+		}, nil
+	case EL2:
+		if len(energy) != g.NumNodes() {
+			return nil, fmt.Errorf("cds: policy %v needs energy levels for all %d nodes, got %d", p, g.NumNodes(), len(energy))
+		}
+		return func(v, u graph.NodeID) bool {
+			ev, eu := energy[v], energy[u]
+			if ev != eu {
+				return ev < eu
+			}
+			dv, du := g.Degree(v), g.Degree(u)
+			if dv != du {
+				return dv < du
+			}
+			return v < u
+		}, nil
+	default:
+		return nil, fmt.Errorf("cds: unknown policy %v", p)
+	}
+}

@@ -1,0 +1,148 @@
+package cds
+
+import "pacds/internal/graph"
+
+// Rule k — the generalization of Rules 1 and 2 to an arbitrary number of
+// coverers, following the direction of Wu's later work (Dai & Wu's
+// extended localized algorithm). The ICPP 2001 paper's rules consider one
+// coverer (Rule 1) or two (Rule 2); Rule k unmarks a gateway v when the
+// closed-neighborhood union of ANY connected set of currently-marked
+// higher-priority neighbors covers N(v):
+//
+//	∃ C ⊆ { u ∈ N(v) : marked(u), v < u in priority } such that
+//	G[C] is connected and N(v) ⊆ ∪_{u ∈ C} N[u].
+//
+// Coverage uses CLOSED neighborhoods (a coverer covers itself), which is
+// what makes Rule 1 the |C| = 1 special case: N(v) ⊆ N[u] is exactly
+// N[v] ⊆ N[u] given that u and v are adjacent.
+//
+// The connectivity requirement on C is what lets any G'-path through v be
+// rerouted inside C; the higher-priority requirement gives the removal
+// chains a well-founded order. It suffices to test one canonical C per v:
+// the union over a connected component of eligible neighbors is maximal,
+// so v is removable iff some component of the eligible-neighbor subgraph
+// covers N(v).
+//
+// This is provided as an extension (it is this paper's "future work"
+// lineage, not part of its evaluation); the ablation experiment and
+// benchmarks compare its pruning power against Rules 1+2.
+
+// ApplyRuleK applies Rule k sequentially (current-state semantics, like
+// ApplyRules) using the policy's priority order, and returns the resulting
+// gateway set. NR returns the marking unchanged.
+func ApplyRuleK(g *graph.Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	if len(marked) != g.NumNodes() {
+		panic("cds: marked slice length mismatch")
+	}
+	out := append([]bool(nil), marked...)
+	if p == NR {
+		return out, nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scratch buffers reused across nodes.
+	n := g.NumNodes()
+	eligible := make([]bool, n)
+	comp := make([]int, n)
+	var stack []graph.NodeID
+
+	for v := 0; v < n; v++ {
+		if !out[v] {
+			continue
+		}
+		vid := graph.NodeID(v)
+		nb := g.Neighbors(vid)
+
+		// Eligible coverers: currently-marked neighbors with higher
+		// priority than v.
+		count := 0
+		for _, u := range nb {
+			el := out[u] && less(vid, u)
+			eligible[u] = el
+			if el {
+				comp[u] = -1
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+
+		// Label connected components of the eligible set (connectivity
+		// within G restricted to eligible nodes).
+		nextComp := 0
+		for _, u := range nb {
+			if !eligible[u] || comp[u] != -1 {
+				continue
+			}
+			comp[u] = nextComp
+			stack = append(stack[:0], u)
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, y := range g.Neighbors(x) {
+					if eligible[y] && comp[y] == -1 {
+						comp[y] = nextComp
+						stack = append(stack, y)
+					}
+				}
+			}
+			nextComp++
+		}
+
+		// For each component, check whether its union covers N(v).
+		if coveredByComponent(g, vid, nb, eligible, comp, nextComp) {
+			out[v] = false
+		}
+
+		// Reset eligibility marks for the next v.
+		for _, u := range nb {
+			eligible[u] = false
+		}
+	}
+	return out, nil
+}
+
+// coveredByComponent reports whether some eligible component's closed-
+// neighborhood union covers N(v). For each x in N(v), determine which
+// components cover x (x is an eligible member of the component, or is
+// adjacent to one); a component covers v iff it covers every x.
+func coveredByComponent(g *graph.Graph, v graph.NodeID, nb []graph.NodeID,
+	eligible []bool, comp []int, numComp int) bool {
+	if numComp == 0 {
+		return false
+	}
+	// covers[c] counts how many of v's neighbors component c covers; a
+	// neighbor may be covered by several components, so deduplicate per
+	// neighbor with a last-touched stamp.
+	covers := make([]int, numComp)
+	stamp := make([]int, numComp)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	mark := func(c, idx int) {
+		if stamp[c] != idx {
+			stamp[c] = idx
+			covers[c]++
+		}
+	}
+	for idx, x := range nb {
+		if eligible[x] {
+			mark(comp[x], idx) // x covers itself (closed neighborhood)
+		}
+		for _, u := range g.Neighbors(x) {
+			if eligible[u] {
+				mark(comp[u], idx)
+			}
+		}
+	}
+	for c := 0; c < numComp; c++ {
+		if covers[c] == len(nb) {
+			return true
+		}
+	}
+	return false
+}

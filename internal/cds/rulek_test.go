@@ -1,0 +1,225 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/graph"
+	"pacds/internal/xrand"
+)
+
+func TestRuleKPreservesCDS(t *testing.T) {
+	rng := xrand.New(911)
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(60)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng)
+		marked := Mark(g)
+		for _, p := range []Policy{ID, ND, EL1, EL2} {
+			gw, err := ApplyRuleK(g, p, marked, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyCDS(g, gw); err != nil {
+				t.Fatalf("trial %d n=%d policy %v: %v", trial, n, p, err)
+			}
+			for v := range gw {
+				if gw[v] && !marked[v] {
+					t.Fatalf("rule k marked an unmarked node")
+				}
+			}
+		}
+	}
+}
+
+func TestRuleKThreeCoverers(t *testing.T) {
+	// A wheel-like case Rule 1 and Rule 2 both miss: hub v's neighborhood
+	// needs three coverers that form a connected set.
+	// v = 0 adjacent to ring 1..6 (C6); each ring node also adjacent to
+	// its two ring neighbors. N(0) = {1..6}. Coverers 1, 3, 5 are NOT
+	// pairwise adjacent so no pair covers; but {1,2,3} is connected and
+	// N(1) ∪ N(2) ∪ N(3) = {0,2,6,1,3,2,4} = {0,1,2,3,4,6}... misses 5.
+	// Use the full ring {1..6}: connected and covers N(0) = {1..6} since
+	// each ring node is adjacent to its neighbors. Priority: give 0 the
+	// lowest priority via ID (it already is).
+	g := graph.New(7)
+	for i := 1; i <= 6; i++ {
+		g.AddEdge(0, graph.NodeID(i))
+		next := i%6 + 1
+		g.AddEdge(graph.NodeID(i), graph.NodeID(next))
+	}
+	marked := Mark(g)
+	if !marked[0] {
+		t.Fatal("hub should be marked (ring neighbors not all pairwise adjacent)")
+	}
+	// Rules 1+2 under ID: can a pair of ring nodes cover N(0)? N(i) for a
+	// ring node = {0, i-1, i+1}; two adjacent ring nodes cover at most
+	// {0, i-1, i, i+1, i+2} — misses at least one of the 6. So v=0
+	// survives Rules 1+2 but Rule k removes it via the full ring.
+	both, err := ApplyRules(g, ID, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both[0] {
+		t.Fatal("premise broken: Rules 1+2 should not remove the hub")
+	}
+	rk, err := ApplyRuleK(g, ID, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk[0] {
+		t.Fatal("Rule k should remove the hub (ring covers it)")
+	}
+	if err := VerifyCDS(g, rk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleKRequiresConnectedCoverers(t *testing.T) {
+	// v's neighborhood is covered by {a, b} jointly but a and b are not
+	// connected (and no connected eligible set covers): v must stay.
+	// v=0 adjacent to a=1, b=2, c=3. a adjacent to c; b adjacent to... we
+	// need N(0)={1,2,3} covered: 1 ∈ N(u)? Make a=1 adjacent to 2? That
+	// would connect them. Construct: N(1) = {0, 3}; N(2) = {0, 3}... then
+	// 1,2 not adjacent; union N(1) ∪ N(2) = {0,3} which misses 1, 2
+	// themselves. To cover 1 and 2 the coverers must see them.
+	// Take coverers 3 and 4: v=0 adjacent {1,2,3,4}; 3 adjacent {0,1,2};
+	// 4 adjacent {0,1,2}; 3-4 NOT adjacent. N(0)={1,2,3,4};
+	// N(3) ∪ N(4) = {0,1,2} — misses 3,4. Coverage of open sets of two
+	// non-adjacent nodes can never include the coverers themselves, so
+	// the premise "covered but disconnected" needs >= 3 coverers:
+	// C = {3, 4, 5} pairwise non-adjacent, each seeing the others?
+	// 3 sees 4 requires adjacency... If x ∈ C must be covered, some other
+	// member must be adjacent to x, making C not an independent set. So:
+	// C = {3,4} ∪ {5} where 5 is adjacent to 3 and 4 but NOT to v... then
+	// 5 ∉ N(v), not eligible. Net effect: coverage by a disconnected
+	// eligible set is impossible for open neighborhoods that include the
+	// coverers. Instead, verify directly that a disconnected eligible set
+	// whose union WOULD cover does not fire by checking a component-wise
+	// near-miss: two separate cliques each covering half of N(v).
+	g := graph.New(9)
+	// v = 0; left clique {1, 2} covering {1, 2}; right clique {3, 4}
+	// covering {3, 4}; all four adjacent to v; 1-2 adjacent, 3-4 adjacent,
+	// but left and right not adjacent.
+	for _, e := range [][2]graph.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4},
+		{1, 2}, {3, 4},
+		// private neighbors so nodes stay marked and distinct
+		{1, 5}, {2, 6}, {3, 7}, {4, 8},
+	} {
+		g.AddEdge(e[0], e[1])
+	}
+	marked := Mark(g)
+	if !marked[0] {
+		t.Fatal("v should be marked")
+	}
+	rk, err := ApplyRuleK(g, ID, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component {1,2} covers {1,2,0,5,6}∩N(0)... N(0)={1,2,3,4};
+	// N(1)∪N(2)={0,2,5,1,6} covers {1,2} but misses {3,4}. Likewise the
+	// right side. No single component covers N(0): v stays.
+	if !rk[0] {
+		t.Fatal("Rule k removed v although no connected component covers N(v)")
+	}
+}
+
+func TestRuleKSubsumesRule1(t *testing.T) {
+	// Any Rule-1 removal (single higher-priority coverer) is a Rule-k
+	// removal with |C| = 1. Check on random graphs: every node removed by
+	// Rule 1 alone is also removed by Rule k.
+	rng := xrand.New(606)
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(40)
+		g := randomConnectedUDG(t, n, rng.Uint64())
+		marked := Mark(g)
+		r1, err := ApplyRule1Only(g, ND, marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, err := ApplyRuleK(g, ND, marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Note: sequential order effects could in principle diverge, but
+		// rule-k's eligibility is a superset at equal state; verify the
+		// aggregate at least.
+		if CountGateways(rk) > CountGateways(r1) {
+			t.Fatalf("trial %d: rule k kept %d > rule 1's %d gateways",
+				trial, CountGateways(rk), CountGateways(r1))
+		}
+	}
+}
+
+func TestRuleKDeterministic(t *testing.T) {
+	g := randomConnectedUDG(t, 50, 42)
+	energy := randomEnergy(50, xrand.New(1))
+	a, err := ApplyRuleK(g, EL2, Mark(g), energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApplyRuleK(g, EL2, Mark(g), energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at %d", v)
+		}
+	}
+}
+
+func TestRuleKNR(t *testing.T) {
+	g := graph.Path(5)
+	marked := Mark(g)
+	out, err := ApplyRuleK(g, NR, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range out {
+		if out[v] != marked[v] {
+			t.Fatal("NR changed markers")
+		}
+	}
+}
+
+func TestRuleKEnergyValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ApplyRuleK(g, EL1, Mark(g), nil); err == nil {
+		t.Fatal("EL1 without energy accepted")
+	}
+}
+
+func BenchmarkRuleK(b *testing.B) {
+	g := benchmarkUDG(b)
+	marked := Mark(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyRuleK(g, ND, marked, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkUDG(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := xrand.New(77)
+	// Direct UDG construction to avoid importing udg (cycle-free but keep
+	// deps slim): random points, quadratic build.
+	n := 100
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := pts[u].x-pts[v].x, pts[u].y-pts[v].y
+			if dx*dx+dy*dy <= 625 {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return g
+}

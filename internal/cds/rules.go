@@ -1,0 +1,278 @@
+package cds
+
+import "pacds/internal/graph"
+
+// Rule application.
+//
+// The rules examine the markers produced by the marking process and
+// selectively change gateways back to non-gateways. The paper's
+// correctness argument is per removal: "it is easy to prove that G' - {v}
+// is still a connected dominating set" — i.e. each unmarking is justified
+// against the gateway set as it stands when the unmarking happens. We
+// therefore apply the rules sequentially, in ascending node-ID order, with
+// every premise ("u and w are two MARKED neighbors of v") evaluated
+// against the current gateway state. Each individual removal provably
+// preserves both domination (N(v) stays covered by the still-marked
+// coverers) and connectivity (any G'-path through v reroutes via the
+// adjacent pair u, w), so the final set is always a CDS regardless of the
+// priority key.
+//
+// A fully-simultaneous snapshot semantics — every host deciding from the
+// same post-marking broadcast — is NOT safe for the generalized Rules
+// 2a/2b/2b': case 1 removes v unconditionally while its coverer u may
+// simultaneously remove itself via a different pair, leaving a node
+// undominated. (Property tests in this package demonstrated exactly that
+// before the sequential semantics was adopted; the original ID-keyed rules
+// do not exhibit it because the min-ID guard orders every removal chain.)
+// In a real deployment the serialization is provided by the gateway-status
+// broadcasts the paper describes: a host that unmarks itself announces it,
+// and its neighbors re-evaluate with current information.
+//
+// Two structural templates cover all eight rules in the paper:
+//
+//   - Rule 1 template (Rules 1, 1a, 1b, 1b'): marked v unmarks itself if
+//     some marked neighbor u has N[v] ⊆ N[u] and v precedes u in the
+//     priority order.
+//
+//   - Rule 2 template (Rules 2a, 2b, 2b'): marked v with marked neighbors
+//     u, w and N(v) ⊆ N(u) ∪ N(w) unmarks itself according to the
+//     three-case mutual-coverage analysis (see rule2Covered below).
+//
+//   - The original Rule 2 (ID) predates the three-case analysis: v unmarks
+//     itself iff N(v) ⊆ N(u) ∪ N(w) and id(v) = min{id(v), id(u), id(w)}.
+
+// applyRule1 evaluates the Rule 1 template sequentially in ascending node
+// order, unmarking gw[v] in place. Premises are checked against the
+// current gateway state gw.
+func applyRule1(g *graph.Graph, gw []bool, less Less) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if !gw[v] {
+			continue
+		}
+		vid := graph.NodeID(v)
+		for _, u := range g.Neighbors(vid) {
+			// The rule is stated on G': the covering node u must currently
+			// be a gateway.
+			if !gw[u] {
+				continue
+			}
+			if less(vid, u) && g.ClosedSubset(vid, u) {
+				gw[v] = false
+				break
+			}
+		}
+	}
+}
+
+// applyRule2ID evaluates the original ID-keyed Rule 2 sequentially: v is
+// unmarked iff two currently-marked neighbors u, w cover N(v) and v has
+// the minimum ID of the three.
+func applyRule2ID(g *graph.Graph, gw []bool) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if !gw[v] {
+			continue
+		}
+		vid := graph.NodeID(v)
+		nb := g.Neighbors(vid)
+		for i := 0; i < len(nb) && gw[v]; i++ {
+			u := nb[i]
+			if !gw[u] || u < vid {
+				// id(v) must be the minimum of the three, so any marked
+				// neighbor with a smaller ID disqualifies the pair that
+				// includes it. Skipping u < vid is not just an optimization:
+				// it enforces the min-ID condition for u.
+				continue
+			}
+			for j := i + 1; j < len(nb); j++ {
+				w := nb[j]
+				if !gw[w] || w < vid {
+					continue
+				}
+				if g.OpenSubsetOfUnion(vid, u, w) {
+					gw[v] = false
+					break
+				}
+			}
+		}
+	}
+}
+
+// applyRule2Priority evaluates the Rule 2a/2b/2b' template sequentially
+// using the given priority order, against the current gateway state.
+func applyRule2Priority(g *graph.Graph, gw []bool, less Less) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if !gw[v] {
+			continue
+		}
+		vid := graph.NodeID(v)
+		nb := g.Neighbors(vid)
+		for i := 0; i < len(nb) && gw[v]; i++ {
+			u := nb[i]
+			if !gw[u] {
+				continue
+			}
+			for j := i + 1; j < len(nb); j++ {
+				w := nb[j]
+				if !gw[w] {
+					continue
+				}
+				if rule2Covered(g, vid, u, w, less) {
+					gw[v] = false
+					break
+				}
+			}
+		}
+	}
+}
+
+// rule2Covered reports whether marked node v may unmark itself given the
+// marked neighbor pair {u, w}, per the three-case analysis shared by Rules
+// 2a, 2b and 2b' (with the priority order supplying the nd/el/id
+// comparisons):
+//
+//	case 1: v covered by (u,w); neither u nor w covered by the other two
+//	        → unmark v unconditionally.
+//	case 2: v and exactly one of {u,w} covered (call it x); the other not
+//	        → unmark v iff v precedes x in the priority order.
+//	case 3: all three mutually covered
+//	        → unmark v iff v is the strict priority minimum of the three.
+//
+// The case conditions in the paper are written for a fixed labeling of u
+// and w; because the pair is unordered we canonicalize by which of the two
+// is covered. The paper's per-case condition lists (e.g. Rule 2a case 3's
+// "nd(v) < nd(u) and nd(v) < nd(w)", "nd(v) = nd(u) < nd(w) and
+// id(v) < id(u)", "all equal and id(v) minimal") are exactly "v is the
+// strict lexicographic minimum", which is what the Less order computes.
+func rule2Covered(g *graph.Graph, v, u, w graph.NodeID, less Less) bool {
+	if !g.OpenSubsetOfUnion(v, u, w) {
+		return false
+	}
+	cu := g.OpenSubsetOfUnion(u, v, w)
+	cw := g.OpenSubsetOfUnion(w, u, v)
+	switch {
+	case !cu && !cw: // case 1
+		return true
+	case cu && !cw: // case 2 with x = u
+		return less(v, u)
+	case !cu && cw: // case 2 with x = w
+		return less(v, w)
+	default: // case 3
+		return less(v, u) && less(v, w)
+	}
+}
+
+// Result is the outcome of running the marking process and a policy's
+// rules over a graph.
+type Result struct {
+	// Policy that produced this result.
+	Policy Policy
+	// Marked is the raw marking-process output m(v).
+	Marked []bool
+	// Gateway is the final gateway status after rule application. For NR
+	// it equals Marked.
+	Gateway []bool
+}
+
+// NumGateways returns |G'|, the number of gateway hosts.
+func (r *Result) NumGateways() int {
+	n := 0
+	for _, g := range r.Gateway {
+		if g {
+			n++
+		}
+	}
+	return n
+}
+
+// GatewayIDs returns the sorted list of gateway node ids.
+func (r *Result) GatewayIDs() []graph.NodeID {
+	var ids []graph.NodeID
+	for v, g := range r.Gateway {
+		if g {
+			ids = append(ids, graph.NodeID(v))
+		}
+	}
+	return ids
+}
+
+// Compute runs the marking process and then the policy's rules. energy is
+// required (length == g.NumNodes()) for EL1 and EL2 and ignored otherwise.
+func Compute(g *graph.Graph, p Policy, energy []float64) (*Result, error) {
+	marked := Mark(g)
+	gateway, err := ApplyRules(g, p, marked, energy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Policy: p, Marked: marked, Gateway: gateway}, nil
+}
+
+// MustCompute is Compute for callers with statically-valid arguments; it
+// panics on error.
+func MustCompute(g *graph.Graph, p Policy, energy []float64) *Result {
+	r, err := Compute(g, p, energy)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ApplyRules applies the policy's pruning rules to a marking-process
+// snapshot and returns the resulting gateway statuses. The snapshot is not
+// modified.
+func ApplyRules(g *graph.Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	if len(marked) != g.NumNodes() {
+		panic("cds: marked slice length mismatch")
+	}
+	out := append([]bool(nil), marked...)
+	if p == NR {
+		return out, nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return nil, err
+	}
+	applyRule1(g, out, less)
+	if p == ID {
+		applyRule2ID(g, out)
+	} else {
+		applyRule2Priority(g, out, less)
+	}
+	return out, nil
+}
+
+// ApplyRule1Only and ApplyRule2Only exist for the ablation benchmarks: they
+// apply a single rule of the policy's pair.
+
+// ApplyRule1Only applies only the Rule 1 template (or original Rule 1 for
+// ID).
+func ApplyRule1Only(g *graph.Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	out := append([]bool(nil), marked...)
+	if p == NR {
+		return out, nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return nil, err
+	}
+	applyRule1(g, out, less)
+	return out, nil
+}
+
+// ApplyRule2Only applies only the Rule 2 template (or original Rule 2 for
+// ID).
+func ApplyRule2Only(g *graph.Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	out := append([]bool(nil), marked...)
+	if p == NR {
+		return out, nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return nil, err
+	}
+	if p == ID {
+		applyRule2ID(g, out)
+	} else {
+		applyRule2Priority(g, out, less)
+	}
+	return out, nil
+}

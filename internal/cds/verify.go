@@ -1,0 +1,138 @@
+package cds
+
+import (
+	"fmt"
+
+	"pacds/internal/graph"
+)
+
+// Invariant checkers for the paper's Properties 1-3. These run in tests,
+// in cmd/cdstool, and optionally inside the simulator (sim.Config.Verify).
+
+// VerifyCDS checks that gateway is a connected dominating set of g, under
+// the paper's preconditions: g connected and not complete. For graphs that
+// are complete, the marking process correctly yields an empty set and the
+// check degenerates (any set, including the empty one, is accepted when
+// the graph is complete — routing needs no intermediaries). For
+// disconnected graphs, the check is applied per connected component of
+// size >= 2 that is not a clique.
+func VerifyCDS(g *graph.Graph, gateway []bool) error {
+	if len(gateway) != g.NumNodes() {
+		return fmt.Errorf("cds: gateway slice has %d entries for %d nodes", len(gateway), g.NumNodes())
+	}
+	label, count := g.ConnectedComponents()
+	for c := 0; c < count; c++ {
+		inComp := make([]bool, g.NumNodes())
+		size, edges := 0, 0
+		for v := range inComp {
+			if label[v] == c {
+				inComp[v] = true
+				size++
+				edges += g.Degree(graph.NodeID(v))
+			}
+		}
+		edges /= 2
+		if size <= 1 {
+			continue // isolated node: nothing to dominate or route
+		}
+		if edges == size*(size-1)/2 {
+			continue // complete component: marking yields no gateways, by design
+		}
+		// Domination within the component.
+		for v := range inComp {
+			if !inComp[v] || gateway[v] {
+				continue
+			}
+			dominated := false
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if gateway[u] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return fmt.Errorf("cds: node %d is not dominated (component %d)", v, c)
+			}
+		}
+		// Connectivity of the gateway subgraph within the component.
+		compGW := make([]bool, g.NumNodes())
+		any := false
+		for v := range inComp {
+			if inComp[v] && gateway[v] {
+				compGW[v] = true
+				any = true
+			}
+		}
+		if !any {
+			return fmt.Errorf("cds: component %d (size %d, not complete) has no gateways", c, size)
+		}
+		if !g.InducedSubgraphConnected(compGW) {
+			return fmt.Errorf("cds: gateway subgraph of component %d is disconnected", c)
+		}
+	}
+	return nil
+}
+
+// VerifyProperty3 checks the paper's Property 3 on the marking-process
+// output: between every pair of vertices there exists a shortest path all
+// of whose intermediate vertices are marked. Verified by running a BFS
+// that may only traverse marked intermediate nodes and comparing distances
+// with an unrestricted BFS. O(V·E); for tests and tools.
+func VerifyProperty3(g *graph.Graph, marked []bool) error {
+	n := g.NumNodes()
+	if len(marked) != n {
+		return fmt.Errorf("cds: marked slice has %d entries for %d nodes", len(marked), n)
+	}
+	for s := 0; s < n; s++ {
+		src := graph.NodeID(s)
+		free := g.BFS(src)
+		restricted := bfsMarkedInterior(g, src, marked)
+		for d := 0; d < n; d++ {
+			if free[d] != restricted[d] {
+				return fmt.Errorf("cds: property 3 violated for pair (%d, %d): free dist %d, gateway-interior dist %d",
+					s, d, free[d], restricted[d])
+			}
+		}
+	}
+	return nil
+}
+
+// bfsMarkedInterior computes hop distances from src where every
+// intermediate node (neither endpoint) must be marked. Endpoints may be
+// unmarked: a path s - x1 - ... - xk - d needs x1..xk marked.
+func bfsMarkedInterior(g *graph.Graph, src graph.NodeID, marked []bool) []int {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] != -1 {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			// u may be expanded further only if it can serve as an
+			// intermediate vertex, i.e. u is marked.
+			if marked[u] {
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// CountGateways returns the number of true entries.
+func CountGateways(gateway []bool) int {
+	n := 0
+	for _, g := range gateway {
+		if g {
+			n++
+		}
+	}
+	return n
+}

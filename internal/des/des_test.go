@@ -1,0 +1,153 @@
+package des
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func udgGen(n int) func(seed uint64) *graph.Graph {
+	return func(seed uint64) *graph.Graph {
+		inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 2000)
+		if err != nil {
+			panic(err)
+		}
+		return inst.Graph
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	g := udgGen(40)(7)
+	r, err := Run(g, DefaultConfig(cds.ND, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unmarked == 0 {
+		t.Fatal("async run never unmarked anything")
+	}
+	if r.FinishTime <= 0 {
+		t.Fatalf("finish time = %v", r.FinishTime)
+	}
+	// The final set is a subset of the marking.
+	marked := cds.Mark(g)
+	for v := range r.Gateway {
+		if r.Gateway[v] && !marked[v] {
+			t.Fatalf("async run marked an unmarked node %d", v)
+		}
+	}
+}
+
+func TestNRNoOp(t *testing.T) {
+	g := udgGen(20)(3)
+	r, err := Run(g, DefaultConfig(cds.NR, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unmarked != 0 || r.Violation != nil {
+		t.Fatalf("NR result: %+v", r)
+	}
+}
+
+func TestZeroDelayMatchesSomeSerialization(t *testing.T) {
+	// With MeanDelay = 0 every unmark is visible immediately; the
+	// execution is a serialization in jitter order, so the result is a
+	// valid CDS for every policy.
+	for _, p := range []cds.Policy{cds.ID, cds.ND, cds.EL1, cds.EL2} {
+		for seed := uint64(0); seed < 10; seed++ {
+			g := udgGen(40)(seed + 100)
+			cfg := Config{Policy: p, JitterSpan: 1, MeanDelay: 0, Seed: seed}
+			var energy []float64
+			if p.NeedsEnergy() {
+				rng := xrand.New(seed)
+				energy = make([]float64, 40)
+				for i := range energy {
+					energy[i] = float64(rng.IntRange(1, 10)) * 10
+				}
+			}
+			r, err := Run(g, cfg, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Violation != nil {
+				t.Fatalf("policy %v seed %d: zero-delay execution violated CDS: %v",
+					p, seed, r.Violation)
+			}
+		}
+	}
+}
+
+func TestIDSafeUnderAsynchrony(t *testing.T) {
+	// The original ID rules carry their own ordering (strict-minimum
+	// guards): even with large in-flight delays, no violation occurs.
+	rate, err := ViolationRate(udgGen(50), DefaultConfig(cds.ID, 11), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Fatalf("ID violation rate = %v, want 0", rate)
+	}
+}
+
+func TestGeneralizedRulesViolateUnderAsynchrony(t *testing.T) {
+	// The generalized rules' case-1 unconditional removal races with
+	// in-flight unmarks; with adversarial delay the violation rate is
+	// measurably positive. This is the empirical justification for the
+	// serialized semantics used by package cds.
+	cfg := DefaultConfig(cds.ND, 13)
+	cfg.MeanDelay = 2 // long delays relative to the jitter window
+	rate, err := ViolationRate(udgGen(60), cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate == 0 {
+		t.Fatal("expected a positive violation rate for ND under heavy asynchrony")
+	}
+	t.Logf("ND async violation rate: %.2f", rate)
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := Run(g, Config{Policy: cds.ND, JitterSpan: 0}, nil); err == nil {
+		t.Fatal("zero jitter accepted")
+	}
+	if _, err := Run(g, Config{Policy: cds.ND, JitterSpan: 1, MeanDelay: -1}, nil); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := Run(g, Config{Policy: cds.EL1, JitterSpan: 1}, nil); err == nil {
+		t.Fatal("EL1 without energy accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := udgGen(30)(9)
+	a, err := Run(g, DefaultConfig(cds.EL2, 21), uniformEnergy(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, DefaultConfig(cds.EL2, 21), uniformEnergy(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Gateway {
+		if a.Gateway[v] != b.Gateway[v] {
+			t.Fatalf("nondeterministic at %d", v)
+		}
+	}
+}
+
+func uniformEnergy(n int) []float64 {
+	el := make([]float64, n)
+	for i := range el {
+		el[i] = 100
+	}
+	return el
+}
+
+func TestViolationRateValidation(t *testing.T) {
+	if _, err := ViolationRate(udgGen(10), DefaultConfig(cds.ID, 1), 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

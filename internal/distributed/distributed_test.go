@@ -1,0 +1,239 @@
+package distributed
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func connectedUDG(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 2000)
+	if err != nil {
+		t.Fatalf("sampling: %v", err)
+	}
+	return inst.Graph
+}
+
+func randomEnergy(n int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	el := make([]float64, n)
+	for i := range el {
+		el[i] = float64(rng.IntRange(1, 10)) * 10
+	}
+	return el
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	// The headline property: for every policy, the message-passing
+	// execution ends in exactly the same gateway assignment as the
+	// centralized computation.
+	rng := xrand.New(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(76)
+		g := connectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng.Uint64())
+		for _, p := range cds.Policies {
+			want := cds.MustCompute(g, p, energy)
+			got, _, err := Run(g, p, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range got {
+				if got[v] != want.Gateway[v] {
+					t.Fatalf("trial %d n=%d policy %v: node %d distributed=%v centralized=%v",
+						trial, n, p, v, got[v], want.Gateway[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedResultIsCDS(t *testing.T) {
+	rng := xrand.New(1000)
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(60)
+		g := connectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng.Uint64())
+		for _, p := range cds.Policies {
+			got, _, err := Run(g, p, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cds.VerifyCDS(g, got); err != nil {
+				t.Fatalf("policy %v: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := connectedUDG(t, 40, 7)
+	gateway, stats, err := Run(g, cds.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	// Three full broadcast phases: hello, neighbor-list, status.
+	if stats.Messages < 3*n {
+		t.Fatalf("messages = %d, want >= %d", stats.Messages, 3*n)
+	}
+	// Every broadcast reaches deg(sender) receivers; three full phases.
+	if stats.Deliveries < 3*2*g.NumEdges() {
+		t.Fatalf("deliveries = %d, want >= %d", stats.Deliveries, 3*2*g.NumEdges())
+	}
+	if stats.Rounds < 3 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+	// Unmark events must equal the difference between marked and final.
+	marked := cds.Mark(g)
+	diff := cds.CountGateways(marked) - cds.CountGateways(gateway)
+	if stats.StatusChanges != diff {
+		t.Fatalf("status changes = %d, want %d", stats.StatusChanges, diff)
+	}
+}
+
+func TestNRSkipsRulePhase(t *testing.T) {
+	g := connectedUDG(t, 30, 9)
+	_, stats, err := Run(g, cds.NR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StatusChanges != 0 {
+		t.Fatal("NR produced status changes")
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("NR rounds = %d, want 3", stats.Rounds)
+	}
+}
+
+func TestEnergyRequired(t *testing.T) {
+	g := graph.Path(4)
+	if _, _, err := Run(g, cds.EL1, nil); err == nil {
+		t.Fatal("EL1 without energy accepted")
+	}
+	if _, _, err := Run(g, cds.EL2, []float64{1}); err == nil {
+		t.Fatal("EL2 with short energy accepted")
+	}
+}
+
+func TestFigure1Distributed(t *testing.T) {
+	// Paper Figure 1: only v(1) and w(2) end up marked under NR.
+	g := graph.FromEdges(5, [][2]graph.NodeID{
+		{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3},
+	})
+	got, _, err := Run(g, cds.NR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false, false}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("node %d: got %v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestMessageKindString(t *testing.T) {
+	if Hello.String() != "hello" || NeighborList.String() != "neighbor-list" ||
+		Status.String() != "status" || StatusUpdate.String() != "status-update" {
+		t.Fatal("Kind.String() labels wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind label wrong")
+	}
+}
+
+func TestSingleAndTinyGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.New(1), graph.Path(2), graph.Complete(3)} {
+		for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
+			got, _, err := Run(g, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, gw := range got {
+				if gw {
+					t.Fatalf("tiny graph (%d nodes) policy %v: node %d marked", g.NumNodes(), p, v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDistributedRun(b *testing.B) {
+	inst, err := udg.RandomConnected(udg.PaperConfig(100), xrand.New(1), 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	energy := randomEnergy(100, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(inst.Graph, cds.EL2, energy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// allGraphs5 enumerates every simple graph on 5 vertices.
+func allGraphs5(fn func(g *graph.Graph)) {
+	pairs := [][2]graph.NodeID{}
+	for u := graph.NodeID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			pairs = append(pairs, [2]graph.NodeID{u, v})
+		}
+	}
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.New(5)
+		for i, e := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddEdge(e[0], e[1])
+			}
+		}
+		fn(g)
+	}
+}
+
+func TestExhaustiveDistributedMatchesCentralized(t *testing.T) {
+	// Every 5-vertex graph, every policy, two energy assignments: the
+	// message-passing execution equals the centralized computation.
+	// Proven by enumeration at this size.
+	energies := [][]float64{
+		{100, 100, 100, 100, 100},
+		{10, 50, 30, 90, 70},
+	}
+	allGraphs5(func(g *graph.Graph) {
+		for _, p := range cds.Policies {
+			for _, el := range energies {
+				got, _, err := Run(g, p, el)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := cds.MustCompute(g, p, el)
+				for v := range got {
+					if got[v] != want.Gateway[v] {
+						t.Fatalf("policy %v energies %v on %d-edge graph: node %d differs",
+							p, el, g.NumEdges(), v)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestByteAccounting(t *testing.T) {
+	g := connectedUDG(t, 30, 77)
+	_, stats, err := Run(g, cds.ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: every message carries at least the 8-byte header, and
+	// the NeighborList phase adds 4 bytes per adjacency entry (sum of
+	// degrees = 2E) plus the 8-byte energy field per host.
+	minBytes := 8*stats.Messages + 4*2*g.NumEdges() + 8*g.NumNodes()
+	if stats.Bytes < minBytes {
+		t.Fatalf("bytes = %d, want >= %d", stats.Bytes, minBytes)
+	}
+}

@@ -1,0 +1,274 @@
+package distributed
+
+import (
+	"sort"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+)
+
+// node is one host's local state. Everything in here was either configured
+// at the host (id, energy) or learned from received messages; the protocol
+// never reads the global graph on a node's behalf.
+type node struct {
+	id     graph.NodeID
+	energy float64
+
+	nbrs      []graph.NodeID                  // from Hello, sorted
+	nbrSets   map[graph.NodeID][]graph.NodeID // from NeighborList, each sorted
+	nbrEnergy map[graph.NodeID]float64        // from NeighborList
+
+	// marker is the marking-process result m(v); it persists across
+	// maintenance intervals. gateway is the post-rule status, reset to
+	// marker at the start of each rule phase.
+	marker  bool
+	gateway bool
+	// nbrMarker tracks neighbors' markers (from Status broadcasts);
+	// nbrGateway tracks their current gateway status during a rule phase
+	// (reset from nbrMarker, then updated by StatusUpdate broadcasts).
+	nbrMarker  map[graph.NodeID]bool
+	nbrGateway map[graph.NodeID]bool
+}
+
+func newNode(id graph.NodeID, energy float64) *node {
+	return &node{
+		id:         id,
+		energy:     energy,
+		nbrSets:    make(map[graph.NodeID][]graph.NodeID),
+		nbrEnergy:  make(map[graph.NodeID]float64),
+		nbrMarker:  make(map[graph.NodeID]bool),
+		nbrGateway: make(map[graph.NodeID]bool),
+	}
+}
+
+// receive handles one delivered message.
+func (n *node) receive(m Message) {
+	switch m.Kind {
+	case Hello:
+		n.nbrs = insertSorted(n.nbrs, m.From)
+	case NeighborList:
+		n.nbrSets[m.From] = m.Neighbors
+		n.nbrEnergy[m.From] = m.Energy
+	case Status:
+		n.nbrMarker[m.From] = m.Marked
+	case StatusUpdate:
+		n.nbrGateway[m.From] = m.Marked
+	}
+}
+
+func insertSorted(list []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	if i < len(list) && list[i] == v {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
+}
+
+func contains(sorted []graph.NodeID, v graph.NodeID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// adjacent reports whether u and w are adjacent, judged from n's local
+// knowledge (u must be one of n's neighbors so its set is known).
+func (n *node) adjacent(u, w graph.NodeID) bool {
+	set, ok := n.nbrSets[u]
+	if !ok {
+		return false
+	}
+	return contains(set, w)
+}
+
+// computeMarker runs marking step 3 locally: marked iff two neighbors are
+// not connected to each other.
+func (n *node) computeMarker() {
+	n.marker = false
+	for i := 0; i < len(n.nbrs); i++ {
+		for j := i + 1; j < len(n.nbrs); j++ {
+			if !n.adjacent(n.nbrs[i], n.nbrs[j]) {
+				n.marker = true
+				return
+			}
+		}
+	}
+}
+
+// beginRulePhase resets the working gateway state from the markers, for
+// both self and the tracked neighbors.
+func (n *node) beginRulePhase() {
+	n.gateway = n.marker
+	for u, m := range n.nbrMarker {
+		n.nbrGateway[u] = m
+	}
+}
+
+// degreeOf returns nd(u) for a neighbor u (or for n itself).
+func (n *node) degreeOf(u graph.NodeID) int {
+	if u == n.id {
+		return len(n.nbrs)
+	}
+	return len(n.nbrSets[u])
+}
+
+// energyOf returns el(u) for a neighbor u (or for n itself).
+func (n *node) energyOf(u graph.NodeID) float64 {
+	if u == n.id {
+		return n.energy
+	}
+	return n.nbrEnergy[u]
+}
+
+// less is the policy priority order evaluated from local knowledge.
+func (n *node) less(p cds.Policy, v, u graph.NodeID) bool {
+	switch p {
+	case cds.ID:
+		return v < u
+	case cds.ND:
+		dv, du := n.degreeOf(v), n.degreeOf(u)
+		if dv != du {
+			return dv < du
+		}
+		return v < u
+	case cds.EL1:
+		ev, eu := n.energyOf(v), n.energyOf(u)
+		if ev != eu {
+			return ev < eu
+		}
+		return v < u
+	case cds.EL2:
+		ev, eu := n.energyOf(v), n.energyOf(u)
+		if ev != eu {
+			return ev < eu
+		}
+		dv, du := n.degreeOf(v), n.degreeOf(u)
+		if dv != du {
+			return dv < du
+		}
+		return v < u
+	default:
+		return false
+	}
+}
+
+// closedSubsetSelf reports whether N[self] ⊆ N[u], judged locally: u must
+// be a neighbor (so self ∈ N[u]) and every neighbor of self other than u
+// must be in N(u).
+func (n *node) closedSubsetSelf(u graph.NodeID) bool {
+	if !contains(n.nbrs, u) {
+		return false
+	}
+	nu := n.nbrSets[u]
+	for _, x := range n.nbrs {
+		if x == u {
+			continue
+		}
+		if !contains(nu, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// openSubsetUnion reports whether N(a) ⊆ N(u) ∪ N(w) judged locally. N(a)
+// must be known: a is self or a neighbor.
+func (n *node) openSubsetUnion(a, u, w graph.NodeID) bool {
+	var na []graph.NodeID
+	if a == n.id {
+		na = n.nbrs
+	} else {
+		na = n.nbrSets[a]
+	}
+	nu, nw := n.nbrSets[u], n.nbrSets[w]
+	if u == n.id {
+		nu = n.nbrs
+	}
+	if w == n.id {
+		nw = n.nbrs
+	}
+	for _, x := range na {
+		if !contains(nu, x) && !contains(nw, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryRule1 evaluates the policy's Rule 1 template locally; reports whether
+// the node unmarked itself.
+func (n *node) tryRule1(p cds.Policy) bool {
+	if !n.gateway {
+		return false
+	}
+	for _, u := range n.nbrs {
+		if !n.nbrGateway[u] {
+			continue
+		}
+		if n.less(p, n.id, u) && n.closedSubsetSelf(u) {
+			n.gateway = false
+			return true
+		}
+	}
+	return false
+}
+
+// tryRule2 evaluates the policy's Rule 2 locally; reports whether the node
+// unmarked itself.
+func (n *node) tryRule2(p cds.Policy) bool {
+	if !n.gateway {
+		return false
+	}
+	for i := 0; i < len(n.nbrs); i++ {
+		u := n.nbrs[i]
+		if !n.nbrGateway[u] {
+			continue
+		}
+		if p == cds.ID && u < n.id {
+			continue
+		}
+		for j := i + 1; j < len(n.nbrs); j++ {
+			w := n.nbrs[j]
+			if !n.nbrGateway[w] {
+				continue
+			}
+			if p == cds.ID {
+				if w < n.id {
+					continue
+				}
+				if n.openSubsetUnion(n.id, u, w) {
+					n.gateway = false
+					return true
+				}
+				continue
+			}
+			if n.rule2Covered(p, u, w) {
+				n.gateway = false
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rule2Covered is the three-case analysis of Rules 2a/2b/2b', evaluated
+// from local knowledge (self's set plus both neighbors' sets).
+func (n *node) rule2Covered(p cds.Policy, u, w graph.NodeID) bool {
+	v := n.id
+	if !n.openSubsetUnion(v, u, w) {
+		return false
+	}
+	cu := n.openSubsetUnion(u, v, w)
+	cw := n.openSubsetUnion(w, u, v)
+	switch {
+	case !cu && !cw:
+		return true
+	case cu && !cw:
+		return n.less(p, v, u)
+	case !cu && cw:
+		return n.less(p, v, w)
+	default:
+		return n.less(p, v, u) && n.less(p, v, w)
+	}
+}

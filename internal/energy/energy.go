@@ -1,0 +1,231 @@
+// Package energy models per-host batteries and the per-interval energy
+// drain used in the paper's lifetime experiments.
+//
+// Each host starts at an initial energy level (100 in the paper). After
+// every update interval a gateway host loses d and a non-gateway host loses
+// d' (a unit constant in the paper). The paper studies three models for d,
+// all normalized by the connected-dominating-set size |G'| so the total
+// bypass traffic is shared by the gateways that carry it:
+//
+//	model 1: d = 2 / |G'|                 (constant total traffic)
+//	model 2: d = N / |G'|                 (traffic ∝ number of hosts)
+//	model 3: d = N(N-1)/2 / (10 * |G'|)   (traffic ∝ number of host pairs)
+//
+// A host whose level reaches zero ceases to function; the lifetime metric
+// is the number of completed update intervals before the first host dies.
+package energy
+
+import "fmt"
+
+// DrainModel computes the per-gateway energy drain for one update interval,
+// given the total number of hosts n and the current CDS size.
+type DrainModel interface {
+	// GatewayDrain returns d for an interval. cdsSize is |G'|; callers
+	// must pass cdsSize >= 1 (an empty CDS carries no traffic and the
+	// drain is not applied).
+	GatewayDrain(n, cdsSize int) float64
+	// Name is a short identifier used in tables and filenames.
+	Name() string
+}
+
+// Constant is the paper's model 1: d = 2/|G'|.
+type Constant struct{}
+
+// GatewayDrain implements DrainModel.
+func (Constant) GatewayDrain(n, cdsSize int) float64 {
+	return 2 / float64(cdsSize)
+}
+
+// Name implements DrainModel.
+func (Constant) Name() string { return "const" }
+
+// Linear is the paper's model 2: d = N/|G'|.
+type Linear struct{}
+
+// GatewayDrain implements DrainModel.
+func (Linear) GatewayDrain(n, cdsSize int) float64 {
+	return float64(n) / float64(cdsSize)
+}
+
+// Name implements DrainModel.
+func (Linear) Name() string { return "linear" }
+
+// Quadratic is the paper's model 3: d = N(N-1)/2 / (10*|G'|).
+type Quadratic struct{}
+
+// GatewayDrain implements DrainModel.
+func (Quadratic) GatewayDrain(n, cdsSize int) float64 {
+	return float64(n) * float64(n-1) / 2 / (10 * float64(cdsSize))
+}
+
+// Name implements DrainModel.
+func (Quadratic) Name() string { return "quadratic" }
+
+// ByName returns the drain model with the given Name, or an error.
+func ByName(name string) (DrainModel, error) {
+	switch name {
+	case "const":
+		return Constant{}, nil
+	case "linear":
+		return Linear{}, nil
+	case "quadratic":
+		return Quadratic{}, nil
+	case "const-pergw":
+		return ConstantPerGW{}, nil
+	case "linear-pergw":
+		return LinearPerGW{}, nil
+	case "quadratic-pergw":
+		return QuadraticPerGW{}, nil
+	}
+	return nil, fmt.Errorf("energy: unknown drain model %q (want const, linear, quadratic, or a -pergw variant)", name)
+}
+
+// Levels tracks the energy level el(v) of every host.
+type Levels struct {
+	el      []float64
+	initial float64
+}
+
+// NewLevels returns batteries for n hosts, all at the given initial level.
+// The paper initializes every host to 100.
+func NewLevels(n int, initial float64) *Levels {
+	if n < 0 {
+		panic("energy: negative host count")
+	}
+	if initial < 0 {
+		panic("energy: negative initial level")
+	}
+	l := &Levels{el: make([]float64, n), initial: initial}
+	for i := range l.el {
+		l.el[i] = initial
+	}
+	return l
+}
+
+// N returns the number of hosts.
+func (l *Levels) N() int { return len(l.el) }
+
+// Initial returns the initial level hosts started from.
+func (l *Levels) Initial() float64 { return l.initial }
+
+// Level returns el(v).
+func (l *Levels) Level(v int) float64 { return l.el[v] }
+
+// SetLevel overwrites el(v); used by tests and custom scenarios.
+func (l *Levels) SetLevel(v int, level float64) {
+	if level < 0 {
+		level = 0
+	}
+	l.el[v] = level
+}
+
+// Alive reports whether host v still functions (el(v) > 0).
+func (l *Levels) Alive(v int) bool { return l.el[v] > 0 }
+
+// Drain subtracts amount from el(v), flooring at zero.
+func (l *Levels) Drain(v int, amount float64) {
+	if amount < 0 {
+		panic("energy: negative drain")
+	}
+	l.el[v] -= amount
+	if l.el[v] < 0 {
+		l.el[v] = 0
+	}
+}
+
+// NumAlive returns the number of hosts with positive energy.
+func (l *Levels) NumAlive() int {
+	n := 0
+	for _, e := range l.el {
+		if e > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyDead reports whether at least one host has exhausted its battery —
+// the paper's lifetime stop condition.
+func (l *Levels) AnyDead() bool {
+	for _, e := range l.el {
+		if e <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the minimum level across all hosts; 0 for no hosts.
+func (l *Levels) Min() float64 {
+	if len(l.el) == 0 {
+		return 0
+	}
+	min := l.el[0]
+	for _, e := range l.el[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Total returns the sum of remaining energy across hosts.
+func (l *Levels) Total() float64 {
+	sum := 0.0
+	for _, e := range l.el {
+		sum += e
+	}
+	return sum
+}
+
+// Variance returns the population variance of the levels — a measure of
+// how well a policy balances consumption. 0 for fewer than one host.
+func (l *Levels) Variance() float64 {
+	n := len(l.el)
+	if n == 0 {
+		return 0
+	}
+	mean := l.Total() / float64(n)
+	sum := 0.0
+	for _, e := range l.el {
+		d := e - mean
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// Clone returns a deep copy.
+func (l *Levels) Clone() *Levels {
+	return &Levels{el: append([]float64(nil), l.el...), initial: l.initial}
+}
+
+// ApplyInterval drains one update interval's consumption: every gateway
+// host loses model.GatewayDrain(n, |gateways|) and every other host loses
+// nonGatewayDrain (d' = 1 in the paper). Hosts already at zero stay at
+// zero. If there are no gateways (complete or empty graphs can yield an
+// empty CDS), only the non-gateway drain applies.
+func ApplyInterval(l *Levels, gateway []bool, model DrainModel, nonGatewayDrain float64) {
+	if len(gateway) != len(l.el) {
+		panic("energy: gateway slice length mismatch")
+	}
+	cds := 0
+	for _, g := range gateway {
+		if g {
+			cds++
+		}
+	}
+	var d float64
+	if cds > 0 {
+		d = model.GatewayDrain(len(l.el), cds)
+	}
+	for v, isGW := range gateway {
+		if l.el[v] <= 0 {
+			continue
+		}
+		if isGW {
+			l.Drain(v, d)
+		} else {
+			l.Drain(v, nonGatewayDrain)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDrainModels(t *testing.T) {
+	cases := []struct {
+		model  DrainModel
+		n, cds int
+		want   float64
+		name   string
+	}{
+		{Constant{}, 50, 10, 0.2, "const"},
+		{Constant{}, 100, 1, 2, "const"},
+		{Linear{}, 50, 10, 5, "linear"},
+		{Linear{}, 100, 25, 4, "linear"},
+		{Quadratic{}, 50, 10, 50 * 49 / 2.0 / 100.0, "quadratic"},
+		{Quadratic{}, 10, 5, 10 * 9 / 2.0 / 50.0, "quadratic"},
+	}
+	for _, c := range cases {
+		if got := c.model.GatewayDrain(c.n, c.cds); !almostEq(got, c.want) {
+			t.Errorf("%s.GatewayDrain(%d, %d) = %v, want %v", c.name, c.n, c.cds, got, c.want)
+		}
+		if c.model.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.model.Name(), c.name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"const", "linear", "quadratic"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+}
+
+func TestNewLevels(t *testing.T) {
+	l := NewLevels(5, 100)
+	if l.N() != 5 || l.Initial() != 100 {
+		t.Fatalf("N=%d Initial=%v", l.N(), l.Initial())
+	}
+	for v := 0; v < 5; v++ {
+		if l.Level(v) != 100 || !l.Alive(v) {
+			t.Fatalf("host %d: level %v alive %v", v, l.Level(v), l.Alive(v))
+		}
+	}
+	if l.AnyDead() {
+		t.Fatal("fresh levels report a dead host")
+	}
+	if l.NumAlive() != 5 {
+		t.Fatalf("NumAlive = %d", l.NumAlive())
+	}
+}
+
+func TestNewLevelsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLevels(-1, 100) },
+		func() { NewLevels(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDrainFloorsAtZero(t *testing.T) {
+	l := NewLevels(1, 10)
+	l.Drain(0, 25)
+	if l.Level(0) != 0 {
+		t.Fatalf("level = %v, want 0", l.Level(0))
+	}
+	if l.Alive(0) {
+		t.Fatal("drained host still alive")
+	}
+	if !l.AnyDead() {
+		t.Fatal("AnyDead false after death")
+	}
+}
+
+func TestDrainNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative drain did not panic")
+		}
+	}()
+	NewLevels(1, 10).Drain(0, -1)
+}
+
+func TestSetLevelClampsNegative(t *testing.T) {
+	l := NewLevels(1, 10)
+	l.SetLevel(0, -5)
+	if l.Level(0) != 0 {
+		t.Fatalf("SetLevel(-5) stored %v", l.Level(0))
+	}
+}
+
+func TestMinTotalVariance(t *testing.T) {
+	l := NewLevels(4, 100)
+	l.SetLevel(0, 40)
+	l.SetLevel(1, 60)
+	l.SetLevel(2, 80)
+	l.SetLevel(3, 100)
+	if l.Min() != 40 {
+		t.Fatalf("Min = %v", l.Min())
+	}
+	if l.Total() != 280 {
+		t.Fatalf("Total = %v", l.Total())
+	}
+	// mean 70; deviations -30,-10,10,30 -> variance (900+100+100+900)/4 = 500
+	if !almostEq(l.Variance(), 500) {
+		t.Fatalf("Variance = %v, want 500", l.Variance())
+	}
+}
+
+func TestEmptyLevels(t *testing.T) {
+	l := NewLevels(0, 100)
+	if l.Min() != 0 || l.Total() != 0 || l.Variance() != 0 {
+		t.Fatal("empty levels stats nonzero")
+	}
+	if l.AnyDead() {
+		t.Fatal("empty levels report dead host")
+	}
+}
+
+func TestClone(t *testing.T) {
+	l := NewLevels(3, 50)
+	c := l.Clone()
+	c.Drain(0, 10)
+	if l.Level(0) != 50 {
+		t.Fatal("clone mutation affected original")
+	}
+	if c.Level(0) != 40 {
+		t.Fatal("clone drain lost")
+	}
+}
+
+func TestApplyInterval(t *testing.T) {
+	l := NewLevels(4, 100)
+	gateway := []bool{true, true, false, false}
+	// n=4, cds=2: Linear drain d = 4/2 = 2; d' = 1.
+	ApplyInterval(l, gateway, Linear{}, 1)
+	wants := []float64{98, 98, 99, 99}
+	for v, want := range wants {
+		if !almostEq(l.Level(v), want) {
+			t.Fatalf("host %d level = %v, want %v", v, l.Level(v), want)
+		}
+	}
+}
+
+func TestApplyIntervalPaperConstants(t *testing.T) {
+	// Paper model 1 with |G'|=5, N=20: every gateway loses 2/5 = 0.4.
+	l := NewLevels(20, 100)
+	gateway := make([]bool, 20)
+	for v := 0; v < 5; v++ {
+		gateway[v] = true
+	}
+	ApplyInterval(l, gateway, Constant{}, 1)
+	if !almostEq(l.Level(0), 99.6) {
+		t.Fatalf("gateway level = %v, want 99.6", l.Level(0))
+	}
+	if !almostEq(l.Level(10), 99) {
+		t.Fatalf("non-gateway level = %v, want 99", l.Level(10))
+	}
+}
+
+func TestApplyIntervalSkipsDeadHosts(t *testing.T) {
+	l := NewLevels(2, 100)
+	l.SetLevel(0, 0)
+	ApplyInterval(l, []bool{true, false}, Constant{}, 1)
+	if l.Level(0) != 0 {
+		t.Fatal("dead host level changed")
+	}
+	if !almostEq(l.Level(1), 99) {
+		t.Fatalf("live host level = %v", l.Level(1))
+	}
+}
+
+func TestApplyIntervalNoGateways(t *testing.T) {
+	// No gateways: model must not be consulted with cds=0; everyone loses d'.
+	l := NewLevels(3, 10)
+	ApplyInterval(l, []bool{false, false, false}, Quadratic{}, 1)
+	for v := 0; v < 3; v++ {
+		if !almostEq(l.Level(v), 9) {
+			t.Fatalf("host %d = %v, want 9", v, l.Level(v))
+		}
+	}
+}
+
+func TestApplyIntervalLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ApplyInterval(NewLevels(2, 10), []bool{true}, Constant{}, 1)
+}
+
+func TestLifetimeIntuition(t *testing.T) {
+	// Sanity: under the linear model with a fixed CDS, hosts die when
+	// level/d intervals elapse. N=10, |G'|=2 -> d=5 -> gateway dies after
+	// 20 intervals from 100.
+	l := NewLevels(10, 100)
+	gateway := make([]bool, 10)
+	gateway[0], gateway[1] = true, true
+	intervals := 0
+	for !l.AnyDead() {
+		ApplyInterval(l, gateway, Linear{}, 1)
+		intervals++
+		if intervals > 1000 {
+			t.Fatal("no death after 1000 intervals")
+		}
+	}
+	if intervals != 20 {
+		t.Fatalf("first death after %d intervals, want 20", intervals)
+	}
+}

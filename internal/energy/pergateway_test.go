@@ -1,0 +1,67 @@
+package energy
+
+import "testing"
+
+func TestPerGatewayModels(t *testing.T) {
+	cases := []struct {
+		model DrainModel
+		n     int
+		want  float64
+		name  string
+	}{
+		{ConstantPerGW{}, 50, 2, "const-pergw"},
+		{ConstantPerGW{}, 3, 2, "const-pergw"},
+		{LinearPerGW{}, 50, 5, "linear-pergw"},
+		{LinearPerGW{}, 100, 10, "linear-pergw"},
+		{QuadraticPerGW{}, 20, 20 * 19 / 200.0, "quadratic-pergw"},
+		{QuadraticPerGW{}, 100, 100 * 99 / 200.0, "quadratic-pergw"},
+	}
+	for _, c := range cases {
+		// Per-gateway drain must be independent of CDS size.
+		for _, cdsSize := range []int{1, 5, 50} {
+			if got := c.model.GatewayDrain(c.n, cdsSize); !almostEq(got, c.want) {
+				t.Errorf("%s.GatewayDrain(%d, %d) = %v, want %v", c.name, c.n, cdsSize, got, c.want)
+			}
+		}
+		if c.model.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.model.Name(), c.name)
+		}
+	}
+}
+
+func TestPerGatewayPremiseConsistency(t *testing.T) {
+	// The point of the per-gateway variants: gateways drain more than the
+	// unit non-gateway drain across the bulk of the paper's host range
+	// (the N-dependent models only cross d' = 1 below n ≈ 15).
+	for _, m := range PerGWModels {
+		for _, n := range []int{20, 50, 100} {
+			if d := m.GatewayDrain(n, 20); d <= 1 {
+				t.Errorf("%s: d = %v at n=%d should exceed d' = 1", m.Name(), d, n)
+			}
+		}
+	}
+}
+
+func TestByNamePerGW(t *testing.T) {
+	for _, m := range PerGWModels {
+		got, err := ByName(m.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Fatalf("ByName(%q) returned %q", m.Name(), got.Name())
+		}
+	}
+}
+
+func TestModelLists(t *testing.T) {
+	if len(Models) != 3 || len(PerGWModels) != 3 {
+		t.Fatal("model lists must each have 3 entries (figures 11-13)")
+	}
+	wantLiteral := []string{"const", "linear", "quadratic"}
+	for i, m := range Models {
+		if m.Name() != wantLiteral[i] {
+			t.Fatalf("Models[%d] = %s, want %s", i, m.Name(), wantLiteral[i])
+		}
+	}
+}

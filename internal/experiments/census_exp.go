@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/stats"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Census characterizes the random-instance regime the paper's experiments
+// run in: probability a raw instance is connected, average degree,
+// diameter, and clustering coefficient of connected instances, vs N.
+// This justifies the connected-instance sampling documented in
+// EXPERIMENTS.md.
+func Census(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "census",
+		Title: "Random-instance census (100x100 field, r=25)",
+		Notes: []string{
+			"p-connected is estimated over raw instances; the remaining columns describe connected instances.",
+		},
+	}
+	pConn := &Series{Label: "p-connected"}
+	avgDeg := &Series{Label: "avg-degree"}
+	diam := &Series{Label: "diameter"}
+	clust := &Series{Label: "clustering"}
+	rng := xrand.New(opt.Seed + 71)
+	for _, n := range opt.Ns {
+		// Connectivity probability over raw samples.
+		const rawSamples = 200
+		connected := 0
+		for i := 0; i < rawSamples; i++ {
+			inst, err := udg.Random(udg.PaperConfig(n), rng)
+			if err != nil {
+				return nil, fmt.Errorf("census N=%d: %w", n, err)
+			}
+			if inst.Graph.IsConnected() {
+				connected++
+			}
+		}
+		pConn.Points = append(pConn.Points, Point{N: n, Mean: float64(connected) / rawSamples})
+
+		degAcc, diamAcc, clustAcc := &stats.Accumulator{}, &stats.Accumulator{}, &stats.Accumulator{}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("census N=%d: %w", n, err)
+			}
+			degAcc.Add(inst.Graph.AverageDegree())
+			diamAcc.Add(float64(inst.Graph.Diameter()))
+			clustAcc.Add(inst.Graph.ClusteringCoefficient())
+		}
+		ds, dms, cs := degAcc.Summary(), diamAcc.Summary(), clustAcc.Summary()
+		avgDeg.Points = append(avgDeg.Points, Point{N: n, Mean: ds.Mean, CI: ds.CI95()})
+		diam.Points = append(diam.Points, Point{N: n, Mean: dms.Mean, CI: dms.CI95()})
+		clust.Points = append(clust.Points, Point{N: n, Mean: cs.Mean, CI: cs.CI95()})
+	}
+	fr.Series = append(fr.Series, *pConn, *avgDeg, *diam, *clust)
+	return fr, nil
+}
+
+// Fragility counts the articulation points of each policy's induced
+// backbone — gateways whose failure splits the backbone. Smaller CDSs
+// tend to be more fragile; the experiment quantifies the robustness price
+// of aggressive pruning.
+func Fragility(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "fragility",
+		Title: "Backbone articulation points per policy (single points of failure)",
+	}
+	acc := map[cds.Policy]*Series{}
+	for _, p := range cds.Policies {
+		acc[p] = &Series{Label: p.String()}
+	}
+	rng := xrand.New(opt.Seed + 73)
+	for _, n := range opt.Ns {
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 100
+		}
+		sums := map[cds.Policy]*stats.Accumulator{}
+		for _, p := range cds.Policies {
+			sums[p] = &stats.Accumulator{}
+		}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("fragility N=%d: %w", n, err)
+			}
+			for _, p := range cds.Policies {
+				res, err := cds.Compute(inst.Graph, p, uniform)
+				if err != nil {
+					return nil, err
+				}
+				backbone, _ := inst.Graph.InducedSubgraph(res.Gateway)
+				sums[p].Add(float64(backbone.CountArticulationPoints()))
+			}
+		}
+		for _, p := range cds.Policies {
+			s := sums[p].Summary()
+			acc[p].Points = append(acc[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, p := range cds.Policies {
+		fr.Series = append(fr.Series, *acc[p])
+	}
+	return fr, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/sim"
+	"pacds/internal/stats"
+	"pacds/internal/xrand"
+)
+
+// Churn studies the paper's "switching on/off" form of mobility: hosts
+// power down with probability OffProb per interval (saving their battery)
+// and return with probability 0.3. Reported per off-probability (the N
+// column holds OffProb in hundredths): lifetime, mean CDS size, and the
+// fraction of intervals the ON subgraph was disconnected, at N=40 under
+// the ND policy.
+func Churn(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "churn",
+		Title: "On/off switching: lifetime, CDS size, disconnection vs off-probability (N=40, ND)",
+		Notes: []string{
+			"The N column is the per-interval off-probability in hundredths; on-probability is 0.3.",
+		},
+	}
+	lifetime := &Series{Label: "lifetime"}
+	gateways := &Series{Label: "mean-gateways"}
+	disc := &Series{Label: "disconnected-frac"}
+	offProbs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	for _, off := range offProbs {
+		lAcc, gAcc, dAcc := &stats.Accumulator{}, &stats.Accumulator{}, &stats.Accumulator{}
+		seedRNG := xrand.New(opt.Seed ^ uint64(off*1000+1)*167)
+		for trial := 0; trial < opt.Trials; trial++ {
+			cfg := sim.ChurnConfig{
+				Config:  sim.PaperConfig(40, cds.ND, energy.ConstantPerGW{}, seedRNG.Uint64()),
+				OffProb: off,
+				OnProb:  0.3,
+			}
+			m, err := sim.RunChurn(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("churn off=%v: %w", off, err)
+			}
+			lAcc.Add(float64(m.Intervals))
+			gAcc.Add(m.MeanGateways)
+			dAcc.Add(float64(m.DisconnectedIntervals) / float64(m.Intervals))
+		}
+		x := int(off * 100)
+		ls, gs, ds := lAcc.Summary(), gAcc.Summary(), dAcc.Summary()
+		lifetime.Points = append(lifetime.Points, Point{N: x, Mean: ls.Mean, CI: ls.CI95()})
+		gateways.Points = append(gateways.Points, Point{N: x, Mean: gs.Mean, CI: gs.CI95()})
+		disc.Points = append(disc.Points, Point{N: x, Mean: ds.Mean, CI: ds.CI95()})
+	}
+	fr.Series = append(fr.Series, *lifetime, *gateways, *disc)
+	return fr, nil
+}

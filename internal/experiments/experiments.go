@@ -1,0 +1,255 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation section plus the extra analyses this repository adds
+// (baseline CDS sizes, marking locality, rule ablations). Each driver
+// returns a FigureResult that renders to text or CSV; cmd/experiments and
+// the root benchmark harness call these drivers.
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/geom"
+	"pacds/internal/sim"
+	"pacds/internal/stats"
+	"pacds/internal/table"
+)
+
+// Options parameterizes a sweep.
+type Options struct {
+	// Ns is the host-count sweep (default: 10, 20, ..., 100, bracketing
+	// the paper's 3-100 range at densities where connected instances are
+	// sampleable).
+	Ns []int
+	// Trials per (N, policy) cell. Default 20.
+	Trials int
+	// Seed drives the whole experiment deterministically.
+	Seed uint64
+	// PerGateway selects the premise-consistent per-gateway drain variants
+	// instead of the literal paper formulas for the lifetime figures (see
+	// package energy and EXPERIMENTS.md).
+	PerGateway bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Ns) == 0 {
+		o.Ns = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if o.Trials <= 0 {
+		o.Trials = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 20010901 // ICPP 2001
+	}
+	return o
+}
+
+// Point is one x-position of a series.
+type Point struct {
+	N    int
+	Mean float64
+	CI   float64 // 95% confidence half-width
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// FigureResult is a rendered experiment.
+type FigureResult struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Table renders the result with one row per N and one column pair per
+// series.
+func (fr *FigureResult) Table() *table.Table {
+	header := []string{"N"}
+	for _, s := range fr.Series {
+		header = append(header, s.Label, s.Label+"±")
+	}
+	t := table.New(header...)
+	if len(fr.Series) == 0 {
+		return t
+	}
+	for i, p := range fr.Series[0].Points {
+		row := []interface{}{p.N}
+		for _, s := range fr.Series {
+			if i < len(s.Points) {
+				row = append(row, s.Points[i].Mean, s.Points[i].CI)
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure10 reproduces the paper's first experiment: the average number of
+// gateway hosts vs N for NR, ID, ND, EL1, EL2 on fresh connected random
+// unit-disk networks with uniform energy.
+func Figure10(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "figure10",
+		Title: "Average number of gateway hosts vs N (100x100 field, r=25)",
+		Notes: []string{
+			"Fresh connected instances, uniform initial energy 100.",
+			"With uniform energy EL2 coincides with ND (ties fall through to degree);",
+			"EL1 tracks ID but prunes slightly more via the generalized Rule 2.",
+		},
+	}
+	series := make(map[cds.Policy]*Series, len(cds.Policies))
+	for _, p := range cds.Policies {
+		series[p] = &Series{Label: p.String()}
+		fr.Series = append(fr.Series, Series{}) // placeholder, filled below
+	}
+	for _, n := range opt.Ns {
+		samples, err := sim.GatewayCountSample(n, geom.Square(100), 25, 100, opt.Trials,
+			opt.Seed^uint64(n)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("figure10 N=%d: %w", n, err)
+		}
+		for _, p := range cds.Policies {
+			s := stats.Summarize(samples[p])
+			series[p].Points = append(series[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for i, p := range cds.Policies {
+		fr.Series[i] = *series[p]
+	}
+	return fr, nil
+}
+
+// lifetime runs the lifetime experiment for a drain model — the engine
+// behind Figures 11, 12 and 13.
+func lifetime(id, title string, drain energy.DrainModel, opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    id,
+		Title: title,
+		Notes: []string{
+			fmt.Sprintf("Drain model %s, d' = 1, initial energy 100, mobility c = 0.5, l in [1..6].", drain.Name()),
+			"Lifetime = update intervals completed before the first host dies.",
+		},
+	}
+	for _, p := range cds.Policies {
+		s := Series{Label: p.String()}
+		for _, n := range opt.Ns {
+			cfg := sim.PaperConfig(n, p, drain, opt.Seed^uint64(n)*31+uint64(p))
+			ts, err := sim.RunTrials(cfg, opt.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("%s N=%d policy %v: %w", id, n, p, err)
+			}
+			sum := stats.Summarize(ts.Lifetime)
+			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
+		}
+		fr.Series = append(fr.Series, s)
+	}
+	return fr, nil
+}
+
+// Figure11 reproduces the lifetime comparison with constant d (paper
+// model 1).
+func Figure11(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	drain := energy.DrainModel(energy.Constant{})
+	if opt.PerGateway {
+		drain = energy.ConstantPerGW{}
+	}
+	return lifetime("figure11",
+		"Network lifetime vs N, constant gateway drain (paper model 1)", drain, opt)
+}
+
+// Figure12 reproduces the lifetime comparison with d proportional to N
+// (paper model 2).
+func Figure12(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	drain := energy.DrainModel(energy.Linear{})
+	if opt.PerGateway {
+		drain = energy.LinearPerGW{}
+	}
+	return lifetime("figure12",
+		"Network lifetime vs N, drain proportional to N (paper model 2)", drain, opt)
+}
+
+// Figure13 reproduces the lifetime comparison with d proportional to the
+// number of host pairs (paper model 3).
+func Figure13(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	drain := energy.DrainModel(energy.Quadratic{})
+	if opt.PerGateway {
+		drain = energy.QuadraticPerGW{}
+	}
+	return lifetime("figure13",
+		"Network lifetime vs N, drain proportional to N(N-1)/2 (paper model 3)", drain, opt)
+}
+
+// ByName dispatches a figure driver by id ("figure10" ... "figure13").
+func ByName(id string, opt Options) (*FigureResult, error) {
+	switch id {
+	case "figure10":
+		return Figure10(opt)
+	case "figure11":
+		return Figure11(opt)
+	case "figure12":
+		return Figure12(opt)
+	case "figure13":
+		return Figure13(opt)
+	case "baselines":
+		return BaselineSizes(opt)
+	case "locality":
+		return Locality(opt)
+	case "ablation":
+		return RuleAblation(opt)
+	case "stretch":
+		return RoutingStretch(opt)
+	case "traffic":
+		return TrafficLifetime(opt)
+	case "delivery":
+		return TrafficDelivery(opt)
+	case "rulek":
+		return RuleKSizes(opt)
+	case "maintenance":
+		return Maintenance(opt)
+	case "radius":
+		return RadiusSensitivity(opt)
+	case "clustered":
+		return ClusteredDeployment(opt)
+	case "broadcast":
+		return Broadcast(opt)
+	case "quasi":
+		return QuasiUDG(opt)
+	case "ordersense":
+		return OrderSensitivity(opt)
+	case "earouting":
+		return EnergyAwareRouting(opt)
+	case "census":
+		return Census(opt)
+	case "fragility":
+		return Fragility(opt)
+	case "async":
+		return Async(opt)
+	case "distcost":
+		return DistributedCost(opt)
+	case "churn":
+		return Churn(opt)
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// All lists the experiment ids ByName accepts.
+var All = []string{
+	"figure10", "figure11", "figure12", "figure13",
+	"baselines", "locality", "ablation", "stretch",
+	"traffic", "delivery", "rulek", "maintenance",
+	"radius", "clustered", "broadcast",
+	"quasi", "ordersense", "earouting",
+	"census", "fragility", "async", "distcost", "churn",
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Small sweeps keep the test suite fast; the full sweeps run via
+// cmd/experiments and the root benchmarks.
+func quickOpts() Options {
+	return Options{Ns: []int{10, 25}, Trials: 5, Seed: 11}
+}
+
+func TestFigure10(t *testing.T) {
+	fr, err := Figure10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(fr.Series))
+	}
+	for _, s := range fr.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mean <= 0 {
+				t.Fatalf("series %s N=%d mean %v", s.Label, p.N, p.Mean)
+			}
+		}
+	}
+	// NR must be the largest at every N; ND no larger than NR.
+	byLabel := map[string]Series{}
+	for _, s := range fr.Series {
+		byLabel[s.Label] = s
+	}
+	for i := range byLabel["NR"].Points {
+		nr := byLabel["NR"].Points[i].Mean
+		for _, l := range []string{"ID", "ND", "EL1", "EL2"} {
+			if byLabel[l].Points[i].Mean > nr {
+				t.Fatalf("%s exceeds NR at N=%d", l, byLabel[l].Points[i].N)
+			}
+		}
+	}
+}
+
+func TestFigure10GrowsWithN(t *testing.T) {
+	fr, err := Figure10(Options{Ns: []int{10, 60}, Trials: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fr.Series {
+		if s.Points[1].Mean <= s.Points[0].Mean {
+			t.Fatalf("series %s: CDS size should grow with N (%v -> %v)",
+				s.Label, s.Points[0].Mean, s.Points[1].Mean)
+		}
+	}
+}
+
+func TestLifetimeFigures(t *testing.T) {
+	for _, f := range []func(Options) (*FigureResult, error){Figure11, Figure12, Figure13} {
+		fr, err := f(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Series) != 5 {
+			t.Fatalf("%s: %d series", fr.ID, len(fr.Series))
+		}
+		for _, s := range fr.Series {
+			for _, p := range s.Points {
+				if p.Mean < 1 {
+					t.Fatalf("%s %s N=%d: lifetime %v", fr.ID, s.Label, p.N, p.Mean)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure11PerGatewayOrdering(t *testing.T) {
+	// The paper's Figure 11 claim under the premise-consistent drain:
+	// ND/EL1/EL2 close together, ID clearly the worst of the four rule
+	// policies.
+	opt := Options{Ns: []int{40}, Trials: 15, Seed: 5, PerGateway: true}
+	fr, err := Figure11(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life := map[string]float64{}
+	for _, s := range fr.Series {
+		life[s.Label] = s.Points[0].Mean
+	}
+	for _, l := range []string{"ND", "EL1", "EL2"} {
+		if life[l] <= life["ID"] {
+			t.Errorf("%s lifetime %.2f should exceed ID %.2f (per-gateway constant drain)",
+				l, life[l], life["ID"])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, id := range All {
+		opt := quickOpts()
+		opt.Ns = []int{12}
+		opt.Trials = 3
+		fr, err := ByName(id, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if fr.ID != id {
+			t.Fatalf("ByName(%q).ID = %q", id, fr.ID)
+		}
+		if len(fr.Series) == 0 {
+			t.Fatalf("%s: no series", id)
+		}
+	}
+	if _, err := ByName("nope", quickOpts()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestBaselineSizesOrdering(t *testing.T) {
+	fr, err := BaselineSizes(Options{Ns: []int{40}, Trials: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, s := range fr.Series {
+		mean[s.Label] = s.Points[0].Mean
+	}
+	// The pure dominating set (no connectivity) is the floor.
+	for _, l := range []string{"NR", "ID", "ND", "guha-khuller", "mis-cds", "tree-cds"} {
+		if mean["greedy-ds"] > mean[l] {
+			t.Errorf("greedy-ds %.2f should be <= %s %.2f", mean["greedy-ds"], l, mean[l])
+		}
+	}
+	// Marking without rules is the ceiling among marking-based rows.
+	if mean["ID"] > mean["NR"] || mean["ND"] > mean["NR"] {
+		t.Error("rules should not grow the marking output")
+	}
+	// The centralized greedy CDS beats the localized marking+rules.
+	if mean["guha-khuller"] > mean["ND"] {
+		t.Errorf("guha-khuller %.2f should be <= ND %.2f", mean["guha-khuller"], mean["ND"])
+	}
+}
+
+func TestLocalitySublinear(t *testing.T) {
+	fr, err := Locality(Options{Ns: []int{30, 90}, Trials: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fr.Series[0].Points
+	// The dirty set is bounded by a 2-hop neighborhood, far below N at the
+	// larger sweep point.
+	if pts[1].Mean > float64(90)/2 {
+		t.Fatalf("locality footprint %.2f at N=90 is not local", pts[1].Mean)
+	}
+}
+
+func TestRuleAblation(t *testing.T) {
+	fr, err := RuleAblation(Options{Ns: []int{30}, Trials: 6, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, s := range fr.Series {
+		mean[s.Label] = s.Points[0].Mean
+	}
+	if mean["rule1-only"] > mean["marking"] || mean["rule2-only"] > mean["marking"] {
+		t.Error("single rules should not grow the marking output")
+	}
+	if mean["both"] > mean["rule1-only"] || mean["both"] > mean["rule2-only"] {
+		t.Error("both rules should prune at least as much as either alone")
+	}
+}
+
+func TestRoutingStretch(t *testing.T) {
+	fr, err := RoutingStretch(Options{Ns: []int{20}, Trials: 3, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fr.Series {
+		st := s.Points[0].Mean
+		if st < 1 {
+			t.Fatalf("series %s mean stretch %v < 1", s.Label, st)
+		}
+		if s.Label == "NR" && st != 1 {
+			t.Fatalf("NR stretch %v, want exactly 1 (Property 3)", st)
+		}
+		if st > 2 {
+			t.Fatalf("series %s mean stretch %v implausibly high", s.Label, st)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	fr, err := Figure10(Options{Ns: []int{15}, Trials: 3, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fr.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"N", "NR", "ID", "ND", "EL1", "EL2"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("rendered table missing column %s:\n%s", col, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := fr.Table().RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "N,") {
+		t.Fatalf("csv header: %q", csv.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Ns) != 10 || o.Trials != 20 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

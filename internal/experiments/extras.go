@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/baseline"
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/routing"
+	"pacds/internal/stats"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Analyses beyond the paper's figures: baseline CDS sizes, the locality of
+// the marking process under single-host movement, rule ablations, and
+// routing path stretch. Each is cited in DESIGN.md's experiment index.
+
+// BaselineSizes compares the marking-based CDS sizes against classical
+// centralized constructions (Guha-Khuller greedy, MIS + connectors, BFS
+// spanning-tree internals, plain greedy dominating set).
+func BaselineSizes(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "baselines",
+		Title: "CDS size vs N: marking-based policies vs centralized baselines",
+		Notes: []string{
+			"greedy-ds is a plain dominating set (no connectivity) — a floor, not a CDS.",
+		},
+	}
+	labels := []string{"NR", "ID", "ND", "guha-khuller", "mis-cds", "tree-cds", "greedy-ds"}
+	acc := make(map[string]*Series, len(labels))
+	for _, l := range labels {
+		acc[l] = &Series{Label: l}
+	}
+	rng := xrand.New(opt.Seed)
+	for _, n := range opt.Ns {
+		sums := make(map[string]*stats.Accumulator, len(labels))
+		for _, l := range labels {
+			sums[l] = &stats.Accumulator{}
+		}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("baselines N=%d: %w", n, err)
+			}
+			g := inst.Graph
+			for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
+				r, err := cds.Compute(g, p, nil)
+				if err != nil {
+					return nil, err
+				}
+				sums[p.String()].Add(float64(r.NumGateways()))
+			}
+			sums["guha-khuller"].Add(float64(baseline.SetSize(baseline.GuhaKhuller(g))))
+			sums["mis-cds"].Add(float64(baseline.SetSize(baseline.MISConnectedCDS(g))))
+			sums["tree-cds"].Add(float64(baseline.SetSize(baseline.SpanningTreeCDS(g))))
+			sums["greedy-ds"].Add(float64(baseline.SetSize(baseline.GreedyDominatingSet(g))))
+		}
+		for _, l := range labels {
+			s := sums[l].Summary()
+			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, l := range labels {
+		fr.Series = append(fr.Series, *acc[l])
+	}
+	return fr, nil
+}
+
+// Locality measures the paper's Section 2.2 claim: after one host moves a
+// small distance, how many hosts must recompute their marker. Reported as
+// the mean dirty-set size vs N, alongside N itself for scale.
+func Locality(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "locality",
+		Title: "Marking locality: hosts recomputed after one host moves (paper §2.2)",
+		Notes: []string{
+			"One random host takes one paper-model hop (<= 6 units); the dirty set is",
+			"the exact dependency set {endpoints} ∪ {common neighbors} per toggled edge.",
+		},
+	}
+	dirtySeries := Series{Label: "dirty-hosts"}
+	rng := xrand.New(opt.Seed + 7)
+	for _, n := range opt.Ns {
+		acc := &stats.Accumulator{}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("locality N=%d: %w", n, err)
+			}
+			im := cds.NewIncrementalMarker(inst.Graph)
+			im.Marked()
+			// Move one random host one hop as in the paper's model.
+			moved := graph.NodeID(rng.Intn(n))
+			dx := float64(rng.IntRange(1, 6))
+			newPos := inst.Config.Field.Clamp(inst.Positions[moved].Add(dx, 0))
+			r2 := inst.Config.Radius * inst.Config.Radius
+			for v := 0; v < n; v++ {
+				if graph.NodeID(v) == moved {
+					continue
+				}
+				inRange := newPos.Dist2(inst.Positions[v]) <= r2
+				has := inst.Graph.HasEdge(moved, graph.NodeID(v))
+				switch {
+				case inRange && !has:
+					im.AddEdge(moved, graph.NodeID(v))
+				case !inRange && has:
+					im.RemoveEdge(moved, graph.NodeID(v))
+				}
+			}
+			acc.Add(float64(im.PendingDirty()))
+		}
+		s := acc.Summary()
+		dirtySeries.Points = append(dirtySeries.Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+	}
+	fr.Series = append(fr.Series, dirtySeries)
+	return fr, nil
+}
+
+// RuleAblation compares, for each policy, the CDS size with Rule 1 only,
+// Rule 2 only, and both — quantifying each rule's contribution.
+func RuleAblation(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "ablation",
+		Title: "Rule ablation: mean CDS size with rule 1 only / rule 2 only / both (policy ND)",
+	}
+	labels := []string{"marking", "rule1-only", "rule2-only", "both"}
+	acc := make(map[string]*Series, len(labels))
+	for _, l := range labels {
+		acc[l] = &Series{Label: l}
+	}
+	rng := xrand.New(opt.Seed + 13)
+	for _, n := range opt.Ns {
+		sums := map[string]*stats.Accumulator{}
+		for _, l := range labels {
+			sums[l] = &stats.Accumulator{}
+		}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("ablation N=%d: %w", n, err)
+			}
+			g := inst.Graph
+			marked := cds.Mark(g)
+			sums["marking"].Add(float64(cds.CountGateways(marked)))
+			r1, err := cds.ApplyRule1Only(g, cds.ND, marked, nil)
+			if err != nil {
+				return nil, err
+			}
+			sums["rule1-only"].Add(float64(cds.CountGateways(r1)))
+			r2, err := cds.ApplyRule2Only(g, cds.ND, marked, nil)
+			if err != nil {
+				return nil, err
+			}
+			sums["rule2-only"].Add(float64(cds.CountGateways(r2)))
+			both, err := cds.ApplyRules(g, cds.ND, marked, nil)
+			if err != nil {
+				return nil, err
+			}
+			sums["both"].Add(float64(cds.CountGateways(both)))
+		}
+		for _, l := range labels {
+			s := sums[l].Summary()
+			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, l := range labels {
+		fr.Series = append(fr.Series, *acc[l])
+	}
+	return fr, nil
+}
+
+// RoutingStretch measures the mean path stretch (CDS route length over
+// shortest path length, all host pairs) per policy — the routing price of
+// a smaller dominating set.
+func RoutingStretch(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "stretch",
+		Title: "Mean routing stretch vs N (CDS route hops / shortest path hops)",
+	}
+	acc := make(map[cds.Policy]*Series, len(cds.Policies))
+	for _, p := range cds.Policies {
+		acc[p] = &Series{Label: p.String()}
+	}
+	rng := xrand.New(opt.Seed + 29)
+	for _, n := range opt.Ns {
+		sums := map[cds.Policy]*stats.Accumulator{}
+		for _, p := range cds.Policies {
+			sums[p] = &stats.Accumulator{}
+		}
+		trials := opt.Trials
+		if trials > 10 {
+			trials = 10 // all-pairs stretch is O(N^2 · BFS); cap the work
+		}
+		for trial := 0; trial < trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("stretch N=%d: %w", n, err)
+			}
+			g := inst.Graph
+			uniform := make([]float64, n)
+			for i := range uniform {
+				uniform[i] = 100
+			}
+			for _, p := range cds.Policies {
+				res, err := cds.Compute(g, p, uniform)
+				if err != nil {
+					return nil, err
+				}
+				r, err := routing.New(g, res.Gateway)
+				if err != nil {
+					return nil, err
+				}
+				for s := graph.NodeID(0); int(s) < n; s++ {
+					for d := s + 1; int(d) < n; d++ {
+						st, err := r.Stretch(s, d)
+						if err != nil {
+							return nil, fmt.Errorf("stretch N=%d policy %v pair (%d,%d): %w", n, p, s, d, err)
+						}
+						sums[p].Add(st)
+					}
+				}
+			}
+		}
+		for _, p := range cds.Policies {
+			s := sums[p].Summary()
+			acc[p].Points = append(acc[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, p := range cds.Policies {
+		fr.Series = append(fr.Series, *acc[p])
+	}
+	return fr, nil
+}

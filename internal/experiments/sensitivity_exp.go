@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/geom"
+	"pacds/internal/stats"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Sensitivity analyses: transmission radius and deployment shape. The
+// paper fixes r = 25 and uniform placement; these drivers show how the
+// CDS sizes respond when those assumptions move.
+
+// RadiusSensitivity sweeps the transmission radius at fixed N = 50 and
+// reports the mean CDS size per policy. Low radius → sparse graphs where
+// almost everything must be a gateway; high radius → near-complete graphs
+// where the marking empties out.
+func RadiusSensitivity(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "radius",
+		Title: "CDS size vs transmission radius (N = 50, 100x100 field)",
+		Notes: []string{
+			"The N column holds the radius for this experiment.",
+		},
+	}
+	radii := []int{20, 25, 30, 40, 50, 60, 80}
+	acc := map[cds.Policy]*Series{}
+	for _, p := range cds.Policies {
+		acc[p] = &Series{Label: p.String()}
+	}
+	rng := xrand.New(opt.Seed + 43)
+	uniform := make([]float64, 50)
+	for i := range uniform {
+		uniform[i] = 100
+	}
+	for _, r := range radii {
+		sums := map[cds.Policy]*stats.Accumulator{}
+		for _, p := range cds.Policies {
+			sums[p] = &stats.Accumulator{}
+		}
+		cfg := udg.Config{N: 50, Field: geom.Square(100), Radius: float64(r)}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(cfg, rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("radius r=%d: %w", r, err)
+			}
+			for _, p := range cds.Policies {
+				res, err := cds.Compute(inst.Graph, p, uniform)
+				if err != nil {
+					return nil, err
+				}
+				sums[p].Add(float64(res.NumGateways()))
+			}
+		}
+		for _, p := range cds.Policies {
+			s := sums[p].Summary()
+			acc[p].Points = append(acc[p].Points, Point{N: r, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, p := range cds.Policies {
+		fr.Series = append(fr.Series, *acc[p])
+	}
+	return fr, nil
+}
+
+// ClusteredDeployment repeats the Figure 10 size experiment on hotspot
+// (non-uniform) deployments: 3 Gaussian clusters, spread r/2.
+func ClusteredDeployment(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "clustered",
+		Title: "CDS size vs N on clustered (3-hotspot) deployments",
+		Notes: []string{
+			"Hotspot cores prune heavily; sparse inter-cluster bridges keep every connector.",
+		},
+	}
+	acc := map[cds.Policy]*Series{}
+	for _, p := range cds.Policies {
+		acc[p] = &Series{Label: p.String()}
+	}
+	rng := xrand.New(opt.Seed + 47)
+	for _, n := range opt.Ns {
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 100
+		}
+		sums := map[cds.Policy]*stats.Accumulator{}
+		for _, p := range cds.Policies {
+			sums[p] = &stats.Accumulator{}
+		}
+		cc := udg.ClusterConfig{Clusters: 3, Spread: 12.5}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomClusteredConnected(udg.PaperConfig(n), cc, rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("clustered N=%d: %w", n, err)
+			}
+			for _, p := range cds.Policies {
+				res, err := cds.Compute(inst.Graph, p, uniform)
+				if err != nil {
+					return nil, err
+				}
+				sums[p].Add(float64(res.NumGateways()))
+			}
+		}
+		for _, p := range cds.Policies {
+			s := sums[p].Summary()
+			acc[p].Points = append(acc[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, p := range cds.Policies {
+		fr.Series = append(fr.Series, *acc[p])
+	}
+	return fr, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/stats"
+	"pacds/internal/traffic"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// TrafficLifetime runs the packet-level experiment: constant-bit-rate
+// flows routed through each policy's CDS, forwarding energy charged to
+// the hosts that relay. Reports the first-death interval per policy.
+// Because the drain follows the actual forwarding work, this experiment
+// sidesteps the drain-normalization ambiguity documented in
+// EXPERIMENTS.md.
+func TrafficLifetime(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "traffic",
+		Title: "Packet-level lifetime vs N (per-hop tx/rx energy accounting)",
+		Notes: []string{
+			"N/2 CBR flows, 1 packet/interval each; tx 0.05, rx 0.02, idle 0.01 per interval.",
+		},
+	}
+	for _, p := range cds.Policies {
+		s := Series{Label: p.String()}
+		for _, n := range opt.Ns {
+			acc := &stats.Accumulator{}
+			seedRNG := xrand.New(opt.Seed ^ uint64(n)*131 + uint64(p))
+			for trial := 0; trial < opt.Trials; trial++ {
+				cfg := traffic.PaperConfig(n, p, seedRNG.Uint64())
+				m, err := traffic.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("traffic N=%d policy %v: %w", n, p, err)
+				}
+				acc.Add(float64(m.FirstDeathInterval))
+			}
+			sum := acc.Summary()
+			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
+		}
+		fr.Series = append(fr.Series, s)
+	}
+	return fr, nil
+}
+
+// TrafficDelivery reports the packet delivery ratio per policy when the
+// simulation continues past the first death until half the hosts are
+// gone — measuring how gracefully each policy's backbone degrades.
+func TrafficDelivery(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "delivery",
+		Title: "Packet delivery ratio vs N, running until half the hosts die",
+	}
+	for _, p := range cds.Policies {
+		s := Series{Label: p.String()}
+		for _, n := range opt.Ns {
+			acc := &stats.Accumulator{}
+			seedRNG := xrand.New(opt.Seed ^ uint64(n)*137 + uint64(p))
+			for trial := 0; trial < opt.Trials; trial++ {
+				cfg := traffic.PaperConfig(n, p, seedRNG.Uint64())
+				cfg.ContinueAfterDeath = true
+				cfg.StopWhenAliveBelow = 0.5
+				m, err := traffic.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("delivery N=%d policy %v: %w", n, p, err)
+				}
+				acc.Add(m.DeliveryRatio())
+			}
+			sum := acc.Summary()
+			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
+		}
+		fr.Series = append(fr.Series, s)
+	}
+	return fr, nil
+}
+
+// RuleKSizes compares the CDS size of the paper's Rules 1+2 against the
+// Rule-k generalization (this paper's future-work lineage) under the ND
+// priority.
+func RuleKSizes(opt Options) (*FigureResult, error) {
+	opt = opt.withDefaults()
+	fr := &FigureResult{
+		ID:    "rulek",
+		Title: "CDS size: marking vs Rules 1+2 vs Rule k (ND priority)",
+	}
+	labels := []string{"marking", "rules1+2", "rule-k"}
+	acc := map[string]*Series{}
+	for _, l := range labels {
+		acc[l] = &Series{Label: l}
+	}
+	rng := xrand.New(opt.Seed + 61)
+	for _, n := range opt.Ns {
+		sums := map[string]*stats.Accumulator{}
+		for _, l := range labels {
+			sums[l] = &stats.Accumulator{}
+		}
+		for trial := 0; trial < opt.Trials; trial++ {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+			if err != nil {
+				return nil, fmt.Errorf("rulek N=%d: %w", n, err)
+			}
+			marked := cds.Mark(inst.Graph)
+			sums["marking"].Add(float64(cds.CountGateways(marked)))
+			both, err := cds.ApplyRules(inst.Graph, cds.ND, marked, nil)
+			if err != nil {
+				return nil, err
+			}
+			sums["rules1+2"].Add(float64(cds.CountGateways(both)))
+			rk, err := cds.ApplyRuleK(inst.Graph, cds.ND, marked, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := cds.VerifyCDS(inst.Graph, rk); err != nil {
+				return nil, fmt.Errorf("rulek N=%d: %w", n, err)
+			}
+			sums["rule-k"].Add(float64(cds.CountGateways(rk)))
+		}
+		for _, l := range labels {
+			s := sums[l].Summary()
+			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+		}
+	}
+	for _, l := range labels {
+		fr.Series = append(fr.Series, *acc[l])
+	}
+	return fr, nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import "testing"
+
+func TestTrafficLifetime(t *testing.T) {
+	fr, err := TrafficLifetime(Options{Ns: []int{15}, Trials: 3, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 5 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	for _, s := range fr.Series {
+		if s.Points[0].Mean <= 0 {
+			t.Fatalf("series %s lifetime %v", s.Label, s.Points[0].Mean)
+		}
+	}
+}
+
+func TestTrafficDelivery(t *testing.T) {
+	fr, err := TrafficDelivery(Options{Ns: []int{15}, Trials: 3, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fr.Series {
+		r := s.Points[0].Mean
+		if r <= 0 || r > 1 {
+			t.Fatalf("series %s delivery ratio %v", s.Label, r)
+		}
+	}
+}
+
+func TestRuleKSizes(t *testing.T) {
+	fr, err := RuleKSizes(Options{Ns: []int{40}, Trials: 6, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, s := range fr.Series {
+		mean[s.Label] = s.Points[0].Mean
+	}
+	if mean["rules1+2"] > mean["marking"] || mean["rule-k"] > mean["marking"] {
+		t.Error("rules should not grow the marking output")
+	}
+	// Rule k subsumes Rule 1 (single coverer) but not this paper's Rule 2:
+	// Rule 2's case 1 removes without any priority comparison, while
+	// rule-k insists every coverer outrank the removed node. The two land
+	// close together; assert rule-k prunes substantially versus marking.
+	if mean["rule-k"] > 0.75*mean["marking"] {
+		t.Errorf("rule-k %.2f should prune well below marking %.2f", mean["rule-k"], mean["marking"])
+	}
+}
+
+func TestMaintenance(t *testing.T) {
+	fr, err := Maintenance(Options{Ns: []int{25}, Trials: 3, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 2 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	maint := fr.Series[0].Points[0].Mean
+	rerun := fr.Series[1].Points[0].Mean
+	if maint >= rerun {
+		t.Fatalf("maintenance %.1f msgs/interval should undercut full rerun %.1f", maint, rerun)
+	}
+}
+
+func TestRadiusSensitivity(t *testing.T) {
+	fr, err := RadiusSensitivity(Options{Trials: 3, Seed: 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fr.Series {
+		if len(s.Points) != 7 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		// At very large radius the graph is nearly complete: tiny CDS.
+		first, last := s.Points[0].Mean, s.Points[len(s.Points)-1].Mean
+		if s.Label != "NR" && last >= first {
+			t.Errorf("series %s: CDS should shrink with radius (%v -> %v)", s.Label, first, last)
+		}
+	}
+}
+
+func TestClusteredDeployment(t *testing.T) {
+	fr, err := ClusteredDeployment(Options{Ns: []int{40}, Trials: 4, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, s := range fr.Series {
+		mean[s.Label] = s.Points[0].Mean
+	}
+	if mean["ND"] > mean["NR"] {
+		t.Error("rules should not grow the marking output on clustered deployments")
+	}
+}
+
+func TestBroadcastExperiment(t *testing.T) {
+	fr, err := Broadcast(Options{Ns: []int{30}, Trials: 5, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fr.Series {
+		saving := s.Points[0].Mean
+		if s.Label == "NR" {
+			// Marking-only saves little at this density (nearly all hosts
+			// are gateways), but never goes negative.
+			if saving < 0 {
+				t.Errorf("NR saving = %v", saving)
+			}
+			continue
+		}
+		if saving <= 0.2 {
+			t.Errorf("series %s saving = %v, want substantial", s.Label, saving)
+		}
+	}
+}
+
+func TestQuasiUDGExperiment(t *testing.T) {
+	fr, err := QuasiUDG(Options{Ns: []int{40}, Trials: 4, Seed: 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := map[string]float64{}
+	for _, s := range fr.Series {
+		mean[s.Label] = s.Points[0].Mean
+	}
+	if mean["ND"] > mean["NR"] {
+		t.Error("rules should not grow the marking output on quasi graphs")
+	}
+}
+
+func TestOrderSensitivityExperiment(t *testing.T) {
+	fr, err := OrderSensitivity(Options{Ns: []int{30}, Trials: 3, Seed: 107})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, mid, hi float64
+	for _, s := range fr.Series {
+		switch s.Label {
+		case "min-over-orders":
+			lo = s.Points[0].Mean
+		case "mean-over-orders":
+			mid = s.Points[0].Mean
+		case "max-over-orders":
+			hi = s.Points[0].Mean
+		}
+	}
+	if !(lo <= mid && mid <= hi) {
+		t.Fatalf("order stats not ordered: %v %v %v", lo, mid, hi)
+	}
+}
+
+func TestEnergyAwareRoutingExperiment(t *testing.T) {
+	fr, err := EnergyAwareRouting(Options{Ns: []int{20}, Trials: 3, Seed: 109})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 2 {
+		t.Fatalf("series = %d", len(fr.Series))
+	}
+	for _, s := range fr.Series {
+		if s.Points[0].Mean <= 0 {
+			t.Fatalf("series %s mean %v", s.Label, s.Points[0].Mean)
+		}
+	}
+}
+
+func TestCensus(t *testing.T) {
+	fr, err := Census(Options{Ns: []int{40}, Trials: 4, Seed: 113})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fr.Series {
+		vals[s.Label] = s.Points[0].Mean
+	}
+	if p := vals["p-connected"]; p <= 0 || p > 1 {
+		t.Fatalf("p-connected = %v", p)
+	}
+	// At N=40, r=25 in 100x100: avg degree around 6-8.
+	if d := vals["avg-degree"]; d < 3 || d > 15 {
+		t.Fatalf("avg degree = %v", d)
+	}
+	if c := vals["clustering"]; c < 0.3 || c > 0.9 {
+		t.Fatalf("clustering = %v (UDGs are highly clustered)", c)
+	}
+	if dm := vals["diameter"]; dm < 2 || dm > 15 {
+		t.Fatalf("diameter = %v", dm)
+	}
+}
+
+func TestFragility(t *testing.T) {
+	fr, err := Fragility(Options{Ns: []int{40}, Trials: 5, Seed: 127})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fr.Series {
+		vals[s.Label] = s.Points[0].Mean
+	}
+	// The unpruned backbone is far more redundant than the pruned ones.
+	if vals["NR"] >= vals["ND"] {
+		t.Fatalf("NR fragility %v should be below ND %v", vals["NR"], vals["ND"])
+	}
+}
+
+func TestAsyncExperiment(t *testing.T) {
+	fr, err := Async(Options{Trials: 5, Seed: 131})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string][]float64{}
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			rates[s.Label] = append(rates[s.Label], p.Mean)
+		}
+	}
+	// ID never violates; at zero delay nobody violates.
+	for _, r := range rates["ID"] {
+		if r != 0 {
+			t.Fatalf("ID violation rate %v, want 0", r)
+		}
+	}
+	for label, rs := range rates {
+		if rs[0] != 0 {
+			t.Fatalf("%s violates at zero delay: %v", label, rs[0])
+		}
+	}
+	// ND violates at the largest delay.
+	nd := rates["ND"]
+	if nd[len(nd)-1] == 0 {
+		t.Fatal("ND should violate under heavy asynchrony")
+	}
+}
+
+func TestDistributedCost(t *testing.T) {
+	fr, err := DistributedCost(Options{Ns: []int{20}, Trials: 3, Seed: 137})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fr.Series {
+		vals[s.Label] = s.Points[0].Mean
+	}
+	for label, v := range vals {
+		if v <= 0 {
+			t.Fatalf("%s cost %v", label, v)
+		}
+	}
+	// Energy-aware maintenance pays the per-interval level broadcast.
+	if vals["EL1"] <= vals["ND"] {
+		t.Fatalf("EL1 cost %v should exceed ND %v", vals["EL1"], vals["ND"])
+	}
+}
+
+func TestChurnExperiment(t *testing.T) {
+	fr, err := Churn(Options{Trials: 3, Seed: 139})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]*Series{}
+	for i := range fr.Series {
+		series[fr.Series[i].Label] = &fr.Series[i]
+	}
+	life := series["lifetime"].Points
+	// Off-time saves energy: the heaviest churn outlives always-on.
+	if life[len(life)-1].Mean <= life[0].Mean {
+		t.Fatalf("churned lifetime %v should exceed always-on %v",
+			life[len(life)-1].Mean, life[0].Mean)
+	}
+	disc := series["disconnected-frac"].Points
+	if disc[len(disc)-1].Mean <= disc[0].Mean {
+		t.Fatal("heavy churn should disconnect more often")
+	}
+}

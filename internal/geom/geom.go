@@ -1,0 +1,131 @@
+// Package geom provides the 2-D geometry primitives used by the ad hoc
+// network simulator: points, rectangles, distance computations, and a
+// uniform-grid spatial index that accelerates fixed-radius neighbor queries
+// when constructing unit-disk graphs.
+//
+// The paper's simulation field is a 100x100 free space; all coordinates are
+// float64 and distances are Euclidean.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-D plane.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Add returns p translated by the vector (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Sub returns the vector from q to p as a Point.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison form in inner loops.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the given corners, normalizing the
+// coordinate order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+// Square returns the square [0, side] x [0, side]. The paper's field is
+// Square(100).
+func Square(side float64) Rect { return Rect{0, 0, side, side} }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside r (boundaries inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.MinX {
+		p.X = r.MinX
+	} else if p.X > r.MaxX {
+		p.X = r.MaxX
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	} else if p.Y > r.MaxY {
+		p.Y = r.MaxY
+	}
+	return p
+}
+
+// Reflect returns p bounced off the walls of r, as if the walls were
+// mirrors. Points that overshoot by more than one full extent are folded
+// repeatedly until they land inside.
+func (r Rect) Reflect(p Point) Point {
+	p.X = reflect1(p.X, r.MinX, r.MaxX)
+	p.Y = reflect1(p.Y, r.MinY, r.MaxY)
+	return p
+}
+
+func reflect1(v, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	span := hi - lo
+	// Map into a sawtooth of period 2*span, then fold.
+	t := math.Mod(v-lo, 2*span)
+	if t < 0 {
+		t += 2 * span
+	}
+	if t > span {
+		t = 2*span - t
+	}
+	return lo + t
+}
+
+// Wrap returns p wrapped around torus boundaries of r.
+func (r Rect) Wrap(p Point) Point {
+	p.X = wrap1(p.X, r.MinX, r.MaxX)
+	p.Y = wrap1(p.Y, r.MinY, r.MaxY)
+	return p
+}
+
+func wrap1(v, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	span := hi - lo
+	t := math.Mod(v-lo, span)
+	if t < 0 {
+		t += span
+	}
+	return lo + t
+}

@@ -1,0 +1,282 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pacds/internal/xrand"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1, 1}, Point{1, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.Dist2(c.q); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("Dist2(%v, %v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Add(3, -1)
+	if q != (Point{4, 1}) {
+		t.Fatalf("Add = %v", q)
+	}
+	d := q.Sub(p)
+	if d != (Point{3, -1}) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Fatalf("NewRect = %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Square(100)
+	for _, p := range []Point{{0, 0}, {100, 100}, {50, 50}, {0, 100}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []Point{{-0.001, 0}, {100.001, 50}, {50, -1}, {50, 101}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Square(100)
+	cases := []struct{ in, want Point }{
+		{Point{-5, 50}, Point{0, 50}},
+		{Point{105, 50}, Point{100, 50}},
+		{Point{50, -5}, Point{50, 0}},
+		{Point{50, 105}, Point{50, 100}},
+		{Point{-5, -5}, Point{0, 0}},
+		{Point{50, 50}, Point{50, 50}},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReflect(t *testing.T) {
+	r := Square(100)
+	cases := []struct{ in, want Point }{
+		{Point{-10, 50}, Point{10, 50}},
+		{Point{110, 50}, Point{90, 50}},
+		{Point{50, -30}, Point{50, 30}},
+		{Point{50, 130}, Point{50, 70}},
+		{Point{50, 50}, Point{50, 50}},
+		{Point{250, 50}, Point{50, 50}},  // fold twice: 250 -> 50
+		{Point{-250, 50}, Point{50, 50}}, // negative folds
+	}
+	for _, c := range cases {
+		got := r.Reflect(c.in)
+		if got.Dist(c.want) > 1e-9 {
+			t.Errorf("Reflect(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReflectAlwaysInside(t *testing.T) {
+	r := Square(100)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		// Keep magnitudes sane so Mod stays accurate.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		return r.Contains(r.Reflect(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	r := Square(100)
+	cases := []struct{ in, want Point }{
+		{Point{-10, 50}, Point{90, 50}},
+		{Point{110, 50}, Point{10, 50}},
+		{Point{50, 250}, Point{50, 50}},
+		{Point{50, 50}, Point{50, 50}},
+	}
+	for _, c := range cases {
+		got := r.Wrap(c.in)
+		if got.Dist(c.want) > 1e-9 {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapAlwaysInside(t *testing.T) {
+	r := Square(100)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		p := r.Wrap(Point{x, y})
+		return p.X >= 0 && p.X <= 100 && p.Y >= 0 && p.Y <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateRect(t *testing.T) {
+	r := Rect{5, 5, 5, 5}
+	if got := r.Reflect(Point{9, 9}); got != (Point{5, 5}) {
+		t.Fatalf("Reflect on degenerate rect = %v", got)
+	}
+	if got := r.Wrap(Point{9, 9}); got != (Point{5, 5}) {
+		t.Fatalf("Wrap on degenerate rect = %v", got)
+	}
+}
+
+func randomPoints(n int, side float64, seed uint64) []Point {
+	r := xrand.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * side, r.Float64() * side}
+	}
+	return pts
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 500} {
+		for _, radius := range []float64{5, 25, 60, 200} {
+			pts := randomPoints(n, 100, uint64(n)*7+uint64(radius))
+			g := NewGrid(pts, Square(100), radius)
+			for id := range pts {
+				got := g.Neighbors(id, nil)
+				want := NeighborsBrute(pts, id, radius, nil)
+				sort.Ints(got)
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d r=%v id=%d: grid %d neighbors, brute %d", n, radius, id, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d r=%v id=%d: mismatch %v vs %v", n, radius, id, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridExcludesSelf(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {2, 2}}
+	g := NewGrid(pts, Square(10), 5)
+	nb := g.Neighbors(0, nil)
+	for _, id := range nb {
+		if id == 0 {
+			t.Fatal("Neighbors included the query point itself")
+		}
+	}
+	if len(nb) != 2 {
+		t.Fatalf("coincident points: got %d neighbors, want 2", len(nb))
+	}
+}
+
+func TestGridInclusiveRadius(t *testing.T) {
+	pts := []Point{{0, 0}, {25, 0}, {25.0001, 0}}
+	g := NewGrid(pts, Square(100), 25)
+	nb := g.Neighbors(0, nil)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Fatalf("inclusive radius: got %v, want [1]", nb)
+	}
+}
+
+func TestGridPointsOutsideBounds(t *testing.T) {
+	// Points outside the nominal bounds must still be indexed and findable.
+	pts := []Point{{-5, -5}, {-4, -5}, {50, 50}}
+	g := NewGrid(pts, Square(100), 10)
+	nb := g.Neighbors(0, nil)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Fatalf("out-of-bounds points: got %v, want [1]", nb)
+	}
+}
+
+func TestGridRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid with radius 0 did not panic")
+		}
+	}()
+	NewGrid(nil, Square(10), 0)
+}
+
+func TestGridReuseDst(t *testing.T) {
+	pts := randomPoints(50, 100, 3)
+	g := NewGrid(pts, Square(100), 25)
+	buf := make([]int, 0, 64)
+	a := g.Neighbors(0, buf)
+	b := g.Neighbors(0, buf)
+	if len(a) != len(b) {
+		t.Fatalf("reused buffer changed result: %d vs %d", len(a), len(b))
+	}
+}
+
+func BenchmarkGridNeighbors(b *testing.B) {
+	pts := randomPoints(1000, 100, 1)
+	g := NewGrid(pts, Square(100), 25)
+	buf := make([]int, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(i%1000, buf[:0])
+	}
+}
+
+func BenchmarkBruteNeighbors(b *testing.B) {
+	pts := randomPoints(1000, 100, 1)
+	buf := make([]int, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = NeighborsBrute(pts, i%1000, 25, buf[:0])
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	pts := randomPoints(1000, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewGrid(pts, Square(100), 25)
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+// Articulation points (cut vertices) via Tarjan's low-link algorithm,
+// implemented iteratively. Used by the backbone-fragility analysis: a
+// gateway that is an articulation point of the induced backbone is a
+// single point of failure for routing.
+
+// ArticulationPoints returns a boolean slice marking the vertices whose
+// removal increases the number of connected components.
+func (g *Graph) ArticulationPoints() []bool {
+	n := len(g.adj)
+	cut := make([]bool, n)
+	disc := make([]int, n) // discovery time, 0 = unvisited
+	low := make([]int, n)
+	parent := make([]NodeID, n)
+	childCount := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+
+	type frame struct {
+		v    NodeID
+		next int // index into adjacency list
+	}
+	var stack []frame
+
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack = append(stack[:0], frame{v: NodeID(start)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.v]
+			if f.next < len(adj) {
+				u := adj[f.next]
+				f.next++
+				if disc[u] == 0 {
+					parent[u] = f.v
+					childCount[f.v]++
+					timer++
+					disc[u] = timer
+					low[u] = timer
+					stack = append(stack, frame{v: u})
+				} else if u != parent[f.v] && disc[u] < low[f.v] {
+					low[f.v] = disc[u]
+				}
+				continue
+			}
+			// Post-order: propagate low-link to parent and decide cut
+			// status.
+			v := f.v
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p != -1 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				// Non-root p is a cut vertex if some child v cannot reach
+				// above p.
+				if parent[p] != -1 && low[v] >= disc[p] {
+					cut[p] = true
+				}
+			}
+		}
+		// The DFS root is a cut vertex iff it has 2+ DFS children.
+		if childCount[start] >= 2 {
+			cut[start] = true
+		}
+	}
+	return cut
+}
+
+// CountArticulationPoints returns the number of cut vertices.
+func (g *Graph) CountArticulationPoints() int {
+	n := 0
+	for _, c := range g.ArticulationPoints() {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient:
+// for each node with degree >= 2, the fraction of its neighbor pairs that
+// are adjacent; nodes with degree < 2 contribute 0, matching the common
+// convention. Returns 0 for an empty graph.
+func (g *Graph) ClusteringCoefficient() float64 {
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		nb := g.adj[v]
+		deg := len(nb)
+		if deg < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < deg; i++ {
+			for j := i + 1; j < deg; j++ {
+				if g.HasEdge(nb[i], nb[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(deg*(deg-1))
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"testing"
+
+	"pacds/internal/xrand"
+)
+
+// bruteArticulation removes each vertex in turn and counts components.
+func bruteArticulation(g *Graph) []bool {
+	n := g.NumNodes()
+	out := make([]bool, n)
+	_, base := g.ConnectedComponents()
+	for v := 0; v < n; v++ {
+		// Build g minus v.
+		h := New(n)
+		g.Edges(func(a, b NodeID) {
+			if int(a) != v && int(b) != v {
+				h.AddEdge(a, b)
+			}
+		})
+		_, count := h.ConnectedComponents()
+		// Removing v leaves v isolated in h; discount that artifact.
+		// h has the same node set, with v isolated: components = real + 1
+		// (unless v was already isolated in g).
+		isolatedBefore := g.Degree(NodeID(v)) == 0
+		adj := count - 1
+		if isolatedBefore {
+			adj = count
+		}
+		out[v] = adj > base
+	}
+	return out
+}
+
+func TestArticulationAgainstBrute(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(25)
+		p := 0.1 + rng.Float64()*0.4
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					g.AddEdge(NodeID(u), NodeID(v))
+				}
+			}
+		}
+		got := g.ArticulationPoints()
+		want := bruteArticulation(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d (n=%d p=%.2f): node %d got %v want %v",
+					trial, n, p, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestArticulationKnownShapes(t *testing.T) {
+	// Path: all interior vertices are cut vertices.
+	p := Path(5)
+	cuts := p.ArticulationPoints()
+	for v := 0; v < 5; v++ {
+		want := v > 0 && v < 4
+		if cuts[v] != want {
+			t.Errorf("P5 node %d: cut=%v want %v", v, cuts[v], want)
+		}
+	}
+	// Cycle: no cut vertices.
+	if Cycle(6).CountArticulationPoints() != 0 {
+		t.Error("C6 has cut vertices")
+	}
+	// Star: only the hub.
+	s := Star(6)
+	cuts = s.ArticulationPoints()
+	if !cuts[0] || s.CountArticulationPoints() != 1 {
+		t.Errorf("star cuts = %v", cuts)
+	}
+	// Complete: none.
+	if Complete(5).CountArticulationPoints() != 0 {
+		t.Error("K5 has cut vertices")
+	}
+	// Two triangles sharing a vertex: the shared vertex.
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}})
+	cuts = g.ArticulationPoints()
+	if !cuts[2] || g.CountArticulationPoints() != 1 {
+		t.Errorf("bowtie cuts = %v", cuts)
+	}
+}
+
+func TestArticulationDisconnected(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2) // path in one component; node 1 is a cut vertex
+	g.AddEdge(3, 4) // separate edge; 5 isolated
+	cuts := g.ArticulationPoints()
+	if !cuts[1] {
+		t.Error("node 1 should be a cut vertex")
+	}
+	for _, v := range []int{0, 2, 3, 4, 5} {
+		if cuts[v] {
+			t.Errorf("node %d wrongly marked", v)
+		}
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Complete graph: coefficient 1.
+	if c := Complete(5).ClusteringCoefficient(); c != 1 {
+		t.Errorf("K5 clustering = %v", c)
+	}
+	// Star: hub has no adjacent neighbor pairs, leaves degree 1: 0.
+	if c := Star(5).ClusteringCoefficient(); c != 0 {
+		t.Errorf("star clustering = %v", c)
+	}
+	// Triangle plus a pendant: nodes 0,1 in triangle with pendant effect.
+	// 0-1, 1-2, 2-0, 2-3: node 0: nbrs {1,2} adjacent -> 1; node 1: same
+	// -> 1; node 2: nbrs {0,1,3}: pairs (0,1) adjacent, (0,3) no, (1,3)
+	// no -> 1/3; node 3: degree 1 -> 0. Average = (1+1+1/3+0)/4 = 7/12.
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	want := 7.0 / 12.0
+	if c := g.ClusteringCoefficient(); c < want-1e-12 || c > want+1e-12 {
+		t.Errorf("clustering = %v, want %v", c, want)
+	}
+	if New(0).ClusteringCoefficient() != 0 {
+		t.Error("empty graph clustering nonzero")
+	}
+}

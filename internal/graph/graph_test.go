@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"testing"
+
+	"pacds/internal/xrand"
+)
+
+// randomGraph returns a G(n, p) Erdős–Rényi graph for tests.
+func randomGraph(n int, p float64, seed uint64) *Graph {
+	r := xrand.New(seed)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("New(5): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("node %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1)
+	g.AddEdge(3, 0)
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge 0-1 missing or asymmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge 0-2")
+	}
+	// duplicate add is a no-op
+	g.AddEdge(1, 0)
+	if g.NumEdges() != 3 {
+		t.Fatalf("duplicate AddEdge changed count to %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgeSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge still present after removal")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned true for absent edge")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []NodeID{5, 2, 4, 1, 3} {
+		g.AddEdge(0, v)
+	}
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("adjacency not sorted: %v", nb)
+		}
+	}
+	if len(nb) != 5 || g.Degree(0) != 5 {
+		t.Fatalf("degree = %d, neighbors = %v", g.Degree(0), nb)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := randomGraph(20, 0.3, 1)
+	c := g.Clone()
+	if !Equal(g, c) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("mutating clone changed original")
+	}
+	if Equal(g, c) {
+		t.Fatal("graphs should differ after clone mutation")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := Cycle(5)
+	count := 0
+	g.Edges(func(u, v NodeID) {
+		if u >= v {
+			t.Fatalf("Edges yielded u=%d >= v=%d", u, v)
+		}
+		count++
+	})
+	if count != 5 {
+		t.Fatalf("Edges visited %d edges, want 5", count)
+	}
+}
+
+func TestIsComplete(t *testing.T) {
+	if !Complete(5).IsComplete() {
+		t.Fatal("K5 not complete")
+	}
+	if Path(5).IsComplete() {
+		t.Fatal("P5 reported complete")
+	}
+	if !Complete(1).IsComplete() {
+		t.Fatal("K1 not complete")
+	}
+	if !New(0).IsComplete() {
+		t.Fatal("empty graph not complete")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	p := Path(5)
+	if p.NumEdges() != 4 || !p.IsConnected() {
+		t.Fatalf("P5: %d edges connected=%v", p.NumEdges(), p.IsConnected())
+	}
+	c := Cycle(6)
+	if c.NumEdges() != 6 || c.Degree(0) != 2 {
+		t.Fatalf("C6: %d edges deg0=%d", c.NumEdges(), c.Degree(0))
+	}
+	s := Star(7)
+	if s.Degree(0) != 6 || s.NumEdges() != 6 {
+		t.Fatalf("Star7: deg0=%d edges=%d", s.Degree(0), s.NumEdges())
+	}
+	k := Complete(6)
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6: %d edges", k.NumEdges())
+	}
+}
+
+func TestCycleTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5) // hub degree 4, leaves degree 1
+	if g.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	want := 2.0 * 4 / 5
+	if g.AverageDegree() != want {
+		t.Fatalf("AverageDegree = %v, want %v", g.AverageDegree(), want)
+	}
+	if New(0).MaxDegree() != 0 || New(0).AverageDegree() != 0 {
+		t.Fatal("empty graph degree stats nonzero")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	if !Equal(g, Path(4)) {
+		t.Fatal("FromEdges != Path(4)")
+	}
+}

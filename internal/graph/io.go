@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format, used by cmd/cdstool and tests:
+//
+//	# comment
+//	nodes <n>
+//	<u> <v>
+//	<u> <v>
+//	...
+//
+// Node ids are decimal integers in [0, n). Blank lines and lines starting
+// with '#' are ignored. The "nodes" header is required so isolated vertices
+// round-trip.
+
+// Write encodes g in edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v NodeID) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Read decodes a graph from edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var g *Graph
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "nodes" {
+				return nil, fmt.Errorf("graph: line %d: expected \"nodes <n>\" header, got %q", lineno, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineno, fields[1])
+			}
+			g = New(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"<u> <v>\", got %q", lineno, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q", lineno, line)
+		}
+		if u < 0 || u >= g.NumNodes() || v < 0 || v >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: line %d: edge %d-%d out of range [0, %d)", lineno, u, v, g.NumNodes())
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self loop %d-%d", lineno, u, v)
+		}
+		g.AddEdge(NodeID(u), NodeID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input, missing \"nodes <n>\" header")
+	}
+	return g, nil
+}
+
+// Equal reports whether two graphs have identical node counts and edge
+// sets.
+func Equal(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := range a.adj {
+		la, lb := a.adj[v], b.adj[v]
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraph(25, 0.2, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(g, got) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+func TestReadIsolatedNodes(t *testing.T) {
+	g, err := Read(strings.NewReader("nodes 4\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nnodes 3\n# another\n0 1\n\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, Path(3)) {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"0 1\n",                // missing header
+		"nodes -1\n",           // bad count
+		"nodes x\n",            // non-numeric count
+		"nodes 2\n0\n",         // short edge line
+		"nodes 2\n0 1 2\n",     // long edge line
+		"nodes 2\na b\n",       // non-numeric edge
+		"nodes 2\n0 2\n",       // out of range
+		"nodes 2\n1 1\n",       // self loop
+		"edges 2\n0 1\n",       // wrong header keyword
+		"nodes 2 extra\n0 1\n", // malformed header
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := Path(4), Path(4)
+	if !Equal(a, b) {
+		t.Fatal("identical graphs not equal")
+	}
+	b.AddEdge(0, 3)
+	if Equal(a, b) {
+		t.Fatal("different graphs equal")
+	}
+	if Equal(Path(3), Path(4)) {
+		t.Fatal("different node counts equal")
+	}
+	// Same edge count, different edges.
+	c := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	d := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {1, 3}})
+	if Equal(c, d) {
+		t.Fatal("graphs with different edges equal")
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Path(3)); err != nil {
+		t.Fatal(err)
+	}
+	want := "nodes 3\n0 1\n1 2\n"
+	if buf.String() != want {
+		t.Fatalf("Write output = %q, want %q", buf.String(), want)
+	}
+}

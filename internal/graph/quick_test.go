@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testing/quick generators for graph-shaped inputs. edgeList generates a
+// valid random (n, edges) pair.
+
+type edgeList struct {
+	n     int
+	edges [][2]NodeID
+}
+
+// Generate implements quick.Generator.
+func (edgeList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(size+2)
+	maxEdges := n * (n - 1) / 2
+	m := r.Intn(maxEdges + 1)
+	e := edgeList{n: n}
+	for i := 0; i < m; i++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u != v {
+			e.edges = append(e.edges, [2]NodeID{u, v})
+		}
+	}
+	return reflect.ValueOf(e)
+}
+
+func TestQuickDegreeSumIsTwiceEdges(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		sum := 0
+		for v := 0; v < e.n; v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHasEdgeSymmetric(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		for u := NodeID(0); int(u) < e.n; u++ {
+			for v := NodeID(0); int(v) < e.n; v++ {
+				if g.HasEdge(u, v) != g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddRemoveRoundTrip(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		before := g.Clone()
+		// Remove then re-add every edge; the graph must be unchanged.
+		var removed [][2]NodeID
+		g.Edges(func(u, v NodeID) { removed = append(removed, [2]NodeID{u, v}) })
+		for _, ed := range removed {
+			if !g.RemoveEdge(ed[0], ed[1]) {
+				return false
+			}
+		}
+		if g.NumEdges() != 0 {
+			return false
+		}
+		for _, ed := range removed {
+			g.AddEdge(ed[0], ed[1])
+		}
+		return Equal(g, before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		label, count := g.ConnectedComponents()
+		// Every node labeled in [0, count); edges never cross components.
+		for v, l := range label {
+			if l < 0 || l >= count {
+				return false
+			}
+			_ = v
+		}
+		ok := true
+		g.Edges(func(u, v NodeID) {
+			if label[u] != label[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	// dist(s, x) <= dist(s, y) + 1 for every edge {x, y}.
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		dist := g.BFS(0)
+		ok := true
+		g.Edges(func(u, v NodeID) {
+			du, dv := dist[u], dist[v]
+			if du == -1 != (dv == -1) {
+				ok = false // adjacent nodes must share reachability
+			}
+			if du != -1 && dv != -1 && abs(du-dv) > 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestQuickInducedSubgraphEdgeSubset(t *testing.T) {
+	f := func(e edgeList, mask []bool) bool {
+		g := FromEdges(e.n, e.edges)
+		inSet := make([]bool, e.n)
+		for i := range inSet {
+			inSet[i] = i < len(mask) && mask[i]
+		}
+		sub, toOld := g.InducedSubgraph(inSet)
+		// Every edge of the subgraph maps to an edge of g between in-set
+		// nodes.
+		ok := true
+		sub.Edges(func(u, v NodeID) {
+			if !g.HasEdge(toOld[u], toOld[v]) {
+				ok = false
+			}
+			if !inSet[toOld[u]] || !inSet[toOld[v]] {
+				ok = false
+			}
+		})
+		// Edge count matches a direct count.
+		want := 0
+		g.Edges(func(u, v NodeID) {
+			if inSet[u] && inSet[v] {
+				want++
+			}
+		})
+		return ok && sub.NumEdges() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClosedSubsetTransitive(t *testing.T) {
+	// N[a] ⊆ N[b] and N[b] ⊆ N[c] imply N[a] ⊆ N[c].
+	f := func(e edgeList) bool {
+		g := FromEdges(e.n, e.edges)
+		n := NodeID(e.n)
+		for a := NodeID(0); a < n; a++ {
+			for b := NodeID(0); b < n; b++ {
+				if !g.ClosedSubset(a, b) {
+					continue
+				}
+				for c := NodeID(0); c < n; c++ {
+					if g.ClosedSubset(b, c) && !g.ClosedSubset(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

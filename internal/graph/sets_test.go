@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"testing"
+)
+
+// Brute-force reference implementations over map sets.
+
+func openSet(g *Graph, v NodeID) map[NodeID]bool {
+	s := map[NodeID]bool{}
+	for _, u := range g.Neighbors(v) {
+		s[u] = true
+	}
+	return s
+}
+
+func closedSet(g *Graph, v NodeID) map[NodeID]bool {
+	s := openSet(g, v)
+	s[v] = true
+	return s
+}
+
+func subset(a, b map[NodeID]bool) bool {
+	for x := range a {
+		if !b[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func union(a, b map[NodeID]bool) map[NodeID]bool {
+	u := map[NodeID]bool{}
+	for x := range a {
+		u[x] = true
+	}
+	for x := range b {
+		u[x] = true
+	}
+	return u
+}
+
+func TestClosedSubsetAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := randomGraph(14, 0.35, seed)
+		for v := NodeID(0); v < 14; v++ {
+			for u := NodeID(0); u < 14; u++ {
+				want := subset(closedSet(g, v), closedSet(g, u))
+				got := g.ClosedSubset(v, u)
+				if got != want {
+					t.Fatalf("seed %d: ClosedSubset(%d,%d) = %v, want %v", seed, v, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClosedSubsetFigure3a(t *testing.T) {
+	// Paper Figure 3(a): v's closed neighborhood covered by u's.
+	// Construct: v adjacent to u and a; u adjacent to v, a, b.
+	g := New(4) // 0=v 1=u 2=a 3=b
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	if !g.ClosedSubset(0, 1) {
+		t.Fatal("N[v] ⊆ N[u] should hold")
+	}
+	if g.ClosedSubset(1, 0) {
+		t.Fatal("N[u] ⊆ N[v] should not hold")
+	}
+}
+
+func TestClosedSubsetEqualSets(t *testing.T) {
+	// Figure 3(b): N[v] = N[u]; both directions hold.
+	g := New(4) // v=0, u=1 with identical closed neighborhoods {0,1,2,3}
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	if !g.ClosedSubset(0, 1) || !g.ClosedSubset(1, 0) {
+		t.Fatal("equal closed neighborhoods: both subset directions must hold")
+	}
+}
+
+func TestClosedSubsetNonAdjacent(t *testing.T) {
+	// If v and u are not adjacent, N[v] ⊆ N[u] cannot hold (v ∈ N[v] but
+	// v ∉ N[u]).
+	g := New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if g.ClosedSubset(0, 1) {
+		t.Fatal("non-adjacent nodes cannot have closed-subset relation")
+	}
+}
+
+func TestClosedSubsetSelf(t *testing.T) {
+	g := Path(3)
+	for v := NodeID(0); v < 3; v++ {
+		if !g.ClosedSubset(v, v) {
+			t.Fatalf("ClosedSubset(%d,%d) should be true", v, v)
+		}
+	}
+}
+
+func TestOpenSubsetOfUnionAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := randomGraph(12, 0.3, seed+100)
+		for v := NodeID(0); v < 12; v++ {
+			for u := NodeID(0); u < 12; u++ {
+				for w := NodeID(0); w < 12; w++ {
+					want := subset(openSet(g, v), union(openSet(g, u), openSet(g, w)))
+					got := g.OpenSubsetOfUnion(v, u, w)
+					if got != want {
+						t.Fatalf("seed %d: OpenSubsetOfUnion(%d,%d,%d) = %v, want %v",
+							seed, v, u, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOpenSubsetPaperExample(t *testing.T) {
+	// From the paper's Section 3.3 example: N(2) ⊆ N(4) ∪ N(9) where
+	// N(2)={1,3,4,5,6,7,8,9}, N(4)={1,2,3,9,10,11}, N(9)={2,4,5,6,7,8,10}.
+	// Build that subgraph on nodes 1..11 (index 0 unused).
+	g := New(12)
+	edges := [][2]NodeID{
+		{2, 1}, {2, 3}, {2, 4}, {2, 5}, {2, 6}, {2, 7}, {2, 8}, {2, 9},
+		{4, 1}, {4, 3}, {4, 9}, {4, 10}, {4, 11},
+		{9, 5}, {9, 6}, {9, 7}, {9, 8}, {9, 10},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	if !g.OpenSubsetOfUnion(2, 4, 9) {
+		t.Fatal("paper example: N(2) ⊆ N(4) ∪ N(9) must hold")
+	}
+	if g.OpenSubsetOfUnion(4, 2, 9) {
+		t.Fatal("paper example: N(4) ⊄ N(2) ∪ N(9) (11 is only in N(4))")
+	}
+}
+
+func TestCommonNeighbor(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	if x, ok := g.CommonNeighbor(0, 1); !ok || x != 2 {
+		t.Fatalf("CommonNeighbor(0,1) = %d,%v want 2,true", x, ok)
+	}
+	if _, ok := g.CommonNeighbor(1, 3); ok {
+		t.Fatal("CommonNeighbor(1,3) should be false")
+	}
+}
+
+func TestHasUnconnectedNeighbors(t *testing.T) {
+	// Figure 1 of the paper: u-v, u-y, v-w, v-y, w-x.
+	// v and w should be marked (have unconnected neighbors); u, x, y not.
+	g := New(5) // 0=u 1=v 2=w 3=x 4=y
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 4)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 3)
+	wantMarked := map[NodeID]bool{1: true, 2: true}
+	for v := NodeID(0); v < 5; v++ {
+		if got := g.HasUnconnectedNeighbors(v); got != wantMarked[v] {
+			t.Errorf("HasUnconnectedNeighbors(%d) = %v, want %v", v, got, wantMarked[v])
+		}
+	}
+}
+
+func TestHasUnconnectedNeighborsComplete(t *testing.T) {
+	g := Complete(6)
+	for v := NodeID(0); v < 6; v++ {
+		if g.HasUnconnectedNeighbors(v) {
+			t.Fatalf("complete graph: node %d reported unconnected neighbors", v)
+		}
+	}
+}
+
+func TestHasUnconnectedNeighborsDegreeOne(t *testing.T) {
+	g := Path(2)
+	if g.HasUnconnectedNeighbors(0) || g.HasUnconnectedNeighbors(1) {
+		t.Fatal("degree-1 nodes cannot have two unconnected neighbors")
+	}
+}
+
+func TestClosedContains(t *testing.T) {
+	g := Path(3)
+	if !g.ClosedContains(1, 1) {
+		t.Fatal("v ∈ N[v] must hold")
+	}
+	if !g.ClosedContains(1, 0) || !g.ClosedContains(1, 2) {
+		t.Fatal("neighbors must be in closed set")
+	}
+	if g.ClosedContains(0, 2) {
+		t.Fatal("non-neighbor in closed set")
+	}
+}

@@ -1,0 +1,202 @@
+// Package mobility implements host movement models for the ad hoc network
+// simulator.
+//
+// The paper's model (Section 4): in each update interval every host draws
+// rand(0,1); if the draw is below the stability probability c (0.5 in the
+// paper) the host remains where it is, otherwise it moves l units — l a
+// random integer in [1..6] — in one of eight compass directions (E, S, W,
+// N, SE, NE, SW, NW) chosen uniformly. The paper does not specify boundary
+// behaviour; this package offers clamp (default), reflect, and wrap.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"pacds/internal/geom"
+	"pacds/internal/xrand"
+)
+
+// Boundary selects what happens when a move would leave the field.
+type Boundary int
+
+const (
+	// Clamp moves the host to the nearest point inside the field.
+	Clamp Boundary = iota
+	// Reflect bounces the host off the field walls.
+	Reflect
+	// Wrap treats the field as a torus.
+	Wrap
+)
+
+// String implements fmt.Stringer.
+func (b Boundary) String() string {
+	switch b {
+	case Clamp:
+		return "clamp"
+	case Reflect:
+		return "reflect"
+	case Wrap:
+		return "wrap"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// apply returns p constrained to field according to the policy.
+func (b Boundary) apply(field geom.Rect, p geom.Point) geom.Point {
+	switch b {
+	case Reflect:
+		return field.Reflect(p)
+	case Wrap:
+		return field.Wrap(p)
+	default:
+		return field.Clamp(p)
+	}
+}
+
+// Model advances host positions by one update interval. Implementations
+// must treat positions as the complete host population and must only use
+// rng for randomness so runs are reproducible.
+type Model interface {
+	// Step mutates positions in place.
+	Step(positions []geom.Point, field geom.Rect, rng *xrand.RNG)
+}
+
+// dirUnit maps the paper's eight direction codes (1..8: E, S, W, N, SE,
+// NE, SW, NW) to unit vectors. Diagonal moves use unit diagonals so that a
+// move of l units covers distance l in every direction.
+var dirUnit = [9]geom.Point{
+	{},                                       // unused: directions are 1-based in the paper
+	{X: 1, Y: 0},                             // E
+	{X: 0, Y: -1},                            // S
+	{X: -1, Y: 0},                            // W
+	{X: 0, Y: 1},                             // N
+	{X: math.Sqrt2 / 2, Y: -math.Sqrt2 / 2},  // SE
+	{X: math.Sqrt2 / 2, Y: math.Sqrt2 / 2},   // NE
+	{X: -math.Sqrt2 / 2, Y: -math.Sqrt2 / 2}, // SW
+	{X: -math.Sqrt2 / 2, Y: math.Sqrt2 / 2},  // NW
+}
+
+// Paper is the paper's probabilistic hop model.
+type Paper struct {
+	// StayProb is c: the probability a host remains stationary in an
+	// interval. The paper uses 0.5.
+	StayProb float64
+	// MinStep and MaxStep bound the integer hop length l; the paper uses
+	// [1, 6].
+	MinStep, MaxStep int
+	// Bound is the boundary policy (default Clamp).
+	Bound Boundary
+}
+
+// NewPaper returns the model with the paper's parameters: c = 0.5,
+// l ∈ [1..6], clamped boundaries.
+func NewPaper() *Paper {
+	return &Paper{StayProb: 0.5, MinStep: 1, MaxStep: 6, Bound: Clamp}
+}
+
+// Step implements Model.
+func (m *Paper) Step(positions []geom.Point, field geom.Rect, rng *xrand.RNG) {
+	for i, p := range positions {
+		if rng.Float64() < m.StayProb {
+			continue // host remains stable this interval
+		}
+		dir := rng.IntRange(1, 8)
+		l := float64(rng.IntRange(m.MinStep, m.MaxStep))
+		u := dirUnit[dir]
+		positions[i] = m.Bound.apply(field, p.Add(u.X*l, u.Y*l))
+	}
+}
+
+// RandomWalk moves every host every interval by a uniform random angle and
+// a uniform speed in [MinSpeed, MaxSpeed]. Provided as an extension beyond
+// the paper's model for sensitivity studies.
+type RandomWalk struct {
+	MinSpeed, MaxSpeed float64
+	Bound              Boundary
+}
+
+// Step implements Model.
+func (m *RandomWalk) Step(positions []geom.Point, field geom.Rect, rng *xrand.RNG) {
+	for i, p := range positions {
+		theta := rng.Float64() * 2 * math.Pi
+		speed := m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+		positions[i] = m.Bound.apply(field, p.Add(speed*math.Cos(theta), speed*math.Sin(theta)))
+	}
+}
+
+// RandomWaypoint implements the classic random-waypoint model: each host
+// picks a uniform destination in the field and moves toward it at a
+// per-trip speed drawn from [MinSpeed, MaxSpeed]; on arrival it pauses for
+// PauseIntervals update intervals, then picks a new destination. Provided
+// as an extension.
+type RandomWaypoint struct {
+	MinSpeed, MaxSpeed float64
+	// PauseIntervals is the number of whole update intervals a host rests
+	// at a reached waypoint (0 = immediate re-targeting, the classic
+	// zero-pause variant).
+	PauseIntervals int
+
+	targets []geom.Point
+	speeds  []float64
+	pause   []int
+	init    bool
+}
+
+// Step implements Model.
+func (m *RandomWaypoint) Step(positions []geom.Point, field geom.Rect, rng *xrand.RNG) {
+	if !m.init || len(m.targets) != len(positions) {
+		m.targets = make([]geom.Point, len(positions))
+		m.speeds = make([]float64, len(positions))
+		m.pause = make([]int, len(positions))
+		for i := range positions {
+			m.pickTarget(i, field, rng)
+		}
+		m.init = true
+	}
+	for i, p := range positions {
+		if m.pause[i] > 0 {
+			m.pause[i]--
+			continue
+		}
+		remaining := m.speeds[i]
+		for remaining > 0 {
+			d := p.Dist(m.targets[i])
+			if d <= remaining {
+				// Arrive; either pause here or re-target and spend the
+				// leftover budget.
+				p = m.targets[i]
+				remaining -= d
+				m.pickTarget(i, field, rng)
+				if m.PauseIntervals > 0 {
+					m.pause[i] = m.PauseIntervals
+					break
+				}
+				if m.speeds[i] == 0 {
+					break
+				}
+				continue
+			}
+			frac := remaining / d
+			p = p.Add((m.targets[i].X-p.X)*frac, (m.targets[i].Y-p.Y)*frac)
+			remaining = 0
+		}
+		positions[i] = p
+	}
+}
+
+func (m *RandomWaypoint) pickTarget(i int, field geom.Rect, rng *xrand.RNG) {
+	m.targets[i] = geom.Point{
+		X: field.MinX + rng.Float64()*field.Width(),
+		Y: field.MinY + rng.Float64()*field.Height(),
+	}
+	m.speeds[i] = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+}
+
+// Static is a no-op model: hosts never move. Useful as a control in
+// lifetime experiments.
+type Static struct{}
+
+// Step implements Model.
+func (Static) Step([]geom.Point, geom.Rect, *xrand.RNG) {}

@@ -1,0 +1,290 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"pacds/internal/geom"
+	"pacds/internal/xrand"
+)
+
+func uniformPositions(n int, field geom.Rect, seed uint64) []geom.Point {
+	rng := xrand.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: field.MinX + rng.Float64()*field.Width(),
+			Y: field.MinY + rng.Float64()*field.Height(),
+		}
+	}
+	return pts
+}
+
+func TestPaperStayProbability(t *testing.T) {
+	// With c = 1 every host stays; with c = 0 every host moves.
+	field := geom.Square(100)
+	pts := uniformPositions(200, field, 1)
+	orig := append([]geom.Point(nil), pts...)
+
+	stay := &Paper{StayProb: 1, MinStep: 1, MaxStep: 6}
+	stay.Step(pts, field, xrand.New(2))
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatalf("c=1: host %d moved", i)
+		}
+	}
+
+	move := &Paper{StayProb: 0, MinStep: 1, MaxStep: 6}
+	move.Step(pts, field, xrand.New(3))
+	moved := 0
+	for i := range pts {
+		if pts[i] != orig[i] {
+			moved++
+		}
+	}
+	// Clamping can pin a host already on the boundary, but almost all must
+	// move.
+	if moved < 190 {
+		t.Fatalf("c=0: only %d/200 hosts moved", moved)
+	}
+}
+
+func TestPaperMoveFraction(t *testing.T) {
+	// With c = 0.5 roughly half the hosts move each interval.
+	field := geom.Square(1000) // big field so clamping never hides a move
+	pts := uniformPositions(10000, geom.NewRect(100, 100, 900, 900), 5)
+	orig := append([]geom.Point(nil), pts...)
+	NewPaper().Step(pts, field, xrand.New(7))
+	moved := 0
+	for i := range pts {
+		if pts[i] != orig[i] {
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(pts))
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("move fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestPaperStepDistance(t *testing.T) {
+	// Every move must cover between MinStep and MaxStep units (exactly l
+	// for some integer l when no clamping happens).
+	field := geom.Square(1000)
+	pts := uniformPositions(5000, geom.NewRect(100, 100, 900, 900), 9)
+	orig := append([]geom.Point(nil), pts...)
+	m := &Paper{StayProb: 0, MinStep: 1, MaxStep: 6}
+	m.Step(pts, field, xrand.New(11))
+	for i := range pts {
+		d := pts[i].Dist(orig[i])
+		if d == 0 {
+			continue
+		}
+		if d < 1-1e-9 || d > 6+1e-9 {
+			t.Fatalf("host %d moved %v units, want within [1, 6]", i, d)
+		}
+		// Distance should be within rounding of an integer hop length.
+		if math.Abs(d-math.Round(d)) > 1e-9 {
+			t.Fatalf("host %d moved non-integer distance %v", i, d)
+		}
+	}
+}
+
+func TestPaperUsesAllDirections(t *testing.T) {
+	field := geom.Square(1000)
+	m := &Paper{StayProb: 0, MinStep: 3, MaxStep: 3}
+	rng := xrand.New(13)
+	seen := map[[2]int]int{}
+	for trial := 0; trial < 2000; trial++ {
+		pts := []geom.Point{{X: 500, Y: 500}}
+		m.Step(pts, field, rng)
+		dx := int(math.Round(pts[0].X - 500))
+		dy := int(math.Round(pts[0].Y - 500))
+		sign := func(v int) int {
+			switch {
+			case v > 0:
+				return 1
+			case v < 0:
+				return -1
+			}
+			return 0
+		}
+		seen[[2]int{sign(dx), sign(dy)}]++
+	}
+	// All 8 compass directions must occur.
+	count := 0
+	for k, v := range seen {
+		if k != [2]int{0, 0} && v > 0 {
+			count++
+		}
+	}
+	if count != 8 {
+		t.Fatalf("saw %d directions, want 8 (%v)", count, seen)
+	}
+}
+
+func TestPaperClampKeepsInField(t *testing.T) {
+	field := geom.Square(100)
+	pts := uniformPositions(500, field, 17)
+	m := NewPaper()
+	rng := xrand.New(19)
+	for step := 0; step < 50; step++ {
+		m.Step(pts, field, rng)
+		for i, p := range pts {
+			if !field.Contains(p) {
+				t.Fatalf("step %d: host %d left the field: %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestBoundaryPolicies(t *testing.T) {
+	field := geom.Square(100)
+	for _, b := range []Boundary{Clamp, Reflect, Wrap} {
+		m := &Paper{StayProb: 0, MinStep: 6, MaxStep: 6, Bound: b}
+		pts := uniformPositions(300, field, 23)
+		rng := xrand.New(29)
+		for step := 0; step < 30; step++ {
+			m.Step(pts, field, rng)
+			for i, p := range pts {
+				if !field.Contains(p) {
+					t.Fatalf("%v: host %d escaped: %v", b, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryString(t *testing.T) {
+	if Clamp.String() != "clamp" || Reflect.String() != "reflect" || Wrap.String() != "wrap" {
+		t.Fatal("Boundary String() wrong")
+	}
+	if Boundary(42).String() != "Boundary(42)" {
+		t.Fatal("unknown boundary String() wrong")
+	}
+}
+
+func TestRandomWalkStaysInField(t *testing.T) {
+	field := geom.Square(100)
+	m := &RandomWalk{MinSpeed: 1, MaxSpeed: 10, Bound: Reflect}
+	pts := uniformPositions(200, field, 31)
+	rng := xrand.New(37)
+	for step := 0; step < 40; step++ {
+		m.Step(pts, field, rng)
+		for i, p := range pts {
+			if !field.Contains(p) {
+				t.Fatalf("host %d escaped: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestRandomWalkMovesEveryone(t *testing.T) {
+	field := geom.Square(1000)
+	pts := uniformPositions(100, geom.NewRect(200, 200, 800, 800), 41)
+	orig := append([]geom.Point(nil), pts...)
+	m := &RandomWalk{MinSpeed: 2, MaxSpeed: 5}
+	m.Step(pts, field, xrand.New(43))
+	for i := range pts {
+		d := pts[i].Dist(orig[i])
+		if d < 2-1e-9 || d > 5+1e-9 {
+			t.Fatalf("host %d moved %v, want [2, 5]", i, d)
+		}
+	}
+}
+
+func TestRandomWaypointProgress(t *testing.T) {
+	field := geom.Square(100)
+	m := &RandomWaypoint{MinSpeed: 5, MaxSpeed: 5}
+	pts := uniformPositions(50, field, 47)
+	rng := xrand.New(53)
+	orig := append([]geom.Point(nil), pts...)
+	m.Step(pts, field, rng)
+	for i := range pts {
+		if !field.Contains(pts[i]) {
+			t.Fatalf("host %d left field", i)
+		}
+		d := pts[i].Dist(orig[i])
+		// Movement per step is at most the speed (straight line) and
+		// strictly positive unless the target was the current point.
+		if d > 5+1e-9 {
+			t.Fatalf("host %d moved %v > speed", i, d)
+		}
+	}
+}
+
+func TestRandomWaypointEventuallyCovers(t *testing.T) {
+	// A single waypoint host must wander across a meaningful fraction of
+	// the field given enough steps.
+	field := geom.Square(100)
+	m := &RandomWaypoint{MinSpeed: 10, MaxSpeed: 10}
+	pts := []geom.Point{{X: 50, Y: 50}}
+	rng := xrand.New(59)
+	var minX, maxX = 50.0, 50.0
+	for step := 0; step < 500; step++ {
+		m.Step(pts, field, rng)
+		minX = math.Min(minX, pts[0].X)
+		maxX = math.Max(maxX, pts[0].X)
+	}
+	if maxX-minX < 50 {
+		t.Fatalf("waypoint host covered only x-range %v", maxX-minX)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	field := geom.Square(100)
+	pts := uniformPositions(20, field, 61)
+	orig := append([]geom.Point(nil), pts...)
+	Static{}.Step(pts, field, xrand.New(67))
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("Static moved a host")
+		}
+	}
+}
+
+func TestPaperDeterminism(t *testing.T) {
+	field := geom.Square(100)
+	run := func() []geom.Point {
+		pts := uniformPositions(100, field, 71)
+		m := NewPaper()
+		rng := xrand.New(73)
+		for i := 0; i < 20; i++ {
+			m.Step(pts, field, rng)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at host %d", i)
+		}
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	// With a huge speed the host reaches its waypoint every step; with
+	// PauseIntervals = 2 it must then stand still for exactly two steps.
+	field := geom.Square(100)
+	m := &RandomWaypoint{MinSpeed: 1000, MaxSpeed: 1000, PauseIntervals: 2}
+	pts := []geom.Point{{X: 50, Y: 50}}
+	rng := xrand.New(71)
+	moves, stills := 0, 0
+	prev := pts[0]
+	for step := 0; step < 60; step++ {
+		m.Step(pts, field, rng)
+		if pts[0] == prev {
+			stills++
+		} else {
+			moves++
+		}
+		prev = pts[0]
+	}
+	if moves == 0 || stills == 0 {
+		t.Fatalf("moves=%d stills=%d; want both", moves, stills)
+	}
+	// Pause dominates 2:1 at this speed.
+	if stills < moves {
+		t.Fatalf("stills=%d should exceed moves=%d with 2-interval pauses", stills, moves)
+	}
+}

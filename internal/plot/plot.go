@@ -1,0 +1,200 @@
+// Package plot renders experiment series as SVG line charts — the
+// figure-shaped counterpart of the text tables, so `cmd/experiments -svg`
+// regenerates the paper's figures as images. Pure stdlib.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	YError []float64 // optional, same length as Y: error-bar half-widths
+}
+
+// Options controls chart rendering.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 720
+	Height int // default 480
+}
+
+// palette holds distinguishable series colors (colorblind-safe-ish).
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// SVG renders the series as a line chart with axes, ticks, a legend, and
+// optional error bars.
+func SVG(w io.Writer, series []Series, opt Options) error {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		left, right, top, bottom = 64, 150, 36, 48
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("plot: canvas too small (%dx%d)", width, height)
+	}
+
+	// Data extents.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		if s.YError != nil && len(s.YError) != len(s.Y) {
+			return fmt.Errorf("plot: series %q error bars mismatched", s.Label)
+		}
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			lo, hi := s.Y[i], s.Y[i]
+			if s.YError != nil {
+				lo -= s.YError[i]
+				hi += s.YError[i]
+			}
+			minY = math.Min(minY, lo)
+			maxY = math.Max(maxY, hi)
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: no data")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	// Include zero on the y-axis when it is close; always pad.
+	if minY > 0 && minY < 0.25*maxY {
+		minY = 0
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	padY := 0.05 * (maxY - minY)
+	maxY += padY
+	if minY != 0 {
+		minY -= padY
+	}
+
+	px := func(x float64) float64 { return float64(left) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(top) + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	pr(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if opt.Title != "" {
+		pr(`<text x="%d" y="22" font-size="15" fill="#111">%s</text>`+"\n", left, esc(opt.Title))
+	}
+
+	// Axes.
+	pr(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		left, float64(top)+plotH, float64(left)+plotW, float64(top)+plotH)
+	pr(`<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+		left, top, left, float64(top)+plotH)
+
+	// Ticks: 5 per axis, nice-ish values.
+	for i := 0; i <= 5; i++ {
+		xv := minX + (maxX-minX)*float64(i)/5
+		yv := minY + (maxY-minY)*float64(i)/5
+		pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			px(xv), float64(top)+plotH, px(xv), float64(top)+plotH+5)
+		pr(`<text x="%.1f" y="%.1f" font-size="11" fill="#333" text-anchor="middle">%s</text>`+"\n",
+			px(xv), float64(top)+plotH+18, ftoa(xv))
+		pr(`<line x1="%.1f" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			float64(left)-5, py(yv), left, py(yv))
+		pr(`<text x="%.1f" y="%.1f" font-size="11" fill="#333" text-anchor="end">%s</text>`+"\n",
+			float64(left)-8, py(yv)+4, ftoa(yv))
+		// Light gridline.
+		pr(`<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			left, py(yv), float64(left)+plotW, py(yv))
+	}
+	if opt.XLabel != "" {
+		pr(`<text x="%.1f" y="%d" font-size="12" fill="#333" text-anchor="middle">%s</text>`+"\n",
+			float64(left)+plotW/2, height-8, esc(opt.XLabel))
+	}
+	if opt.YLabel != "" {
+		pr(`<text x="14" y="%.1f" font-size="12" fill="#333" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+			float64(top)+plotH/2, float64(top)+plotH/2, esc(opt.YLabel))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		// Error bars first, under the line.
+		if s.YError != nil {
+			for i := range s.X {
+				if s.YError[i] <= 0 {
+					continue
+				}
+				x := px(s.X[i])
+				pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-opacity="0.5"/>`+"\n",
+					x, py(s.Y[i]-s.YError[i]), x, py(s.Y[i]+s.YError[i]), color)
+			}
+		}
+		pr(`<polyline fill="none" stroke="%s" stroke-width="1.8" points="`, color)
+		for i := range s.X {
+			pr("%.1f,%.1f ", px(s.X[i]), py(s.Y[i]))
+		}
+		pr(`"/>` + "\n")
+		for i := range s.X {
+			pr(`<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := top + 10 + si*18
+		lx := float64(width - right + 12)
+		pr(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		pr(`<text x="%.1f" y="%d" font-size="12" fill="#111">%s</text>`+"\n",
+			lx+28, ly+4, esc(s.Label))
+	}
+	pr("</svg>\n")
+	return err
+}
+
+// ftoa formats a tick value compactly.
+func ftoa(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func esc(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

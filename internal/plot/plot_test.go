@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Label: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 15}, YError: []float64{1, 2, 1}},
+		{Label: "b", X: []float64{1, 2, 3}, Y: []float64{5, 8, 30}},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVG(&buf, twoSeries(), Options{Title: "t<est>", XLabel: "N", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("not svg: %.60s", out)
+	}
+	if strings.Count(out, "<polyline ") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(out, "<polyline "))
+	}
+	// 6 data points -> 6 markers.
+	if strings.Count(out, "<circle ") != 6 {
+		t.Fatalf("markers = %d, want 6", strings.Count(out, "<circle "))
+	}
+	if !strings.Contains(out, "t&lt;est&gt;") {
+		t.Fatal("title not escaped")
+	}
+	// Legend labels present.
+	if !strings.Contains(out, ">a</text>") || !strings.Contains(out, ">b</text>") {
+		t.Fatal("legend labels missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, nil, Options{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if err := SVG(&buf, []Series{{Label: "x", X: []float64{1}, Y: []float64{1, 2}}}, Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := SVG(&buf, []Series{{Label: "x", X: []float64{1}, Y: []float64{1}, YError: []float64{1, 2}}}, Options{}); err == nil {
+		t.Fatal("mismatched error bars accepted")
+	}
+	if err := SVG(&buf, twoSeries(), Options{Width: 10, Height: 10}); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+}
+
+func TestSVGDegenerateExtents(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	var buf bytes.Buffer
+	s := []Series{{Label: "flat", X: []float64{5, 5}, Y: []float64{7, 7}}}
+	if err := SVG(&buf, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<polyline ") {
+		t.Fatal("no polyline")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := SVG(&buf, twoSeries(), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("nondeterministic")
+	}
+}
+
+func TestManySeriesPaletteWraps(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{
+			Label: string(rune('a' + i)),
+			X:     []float64{0, 1},
+			Y:     []float64{float64(i), float64(i + 1)},
+		}
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, series, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<polyline ") != 10 {
+		t.Fatal("missing series")
+	}
+}

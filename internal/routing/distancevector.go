@@ -1,0 +1,132 @@
+package routing
+
+import (
+	"fmt"
+
+	"pacds/internal/graph"
+)
+
+// Distributed construction of the gateway routing tables. The paper
+// (Section 2.1) leaves the mechanism open: "The way routing tables are
+// constructed and updated in the subnetwork generated from the connected
+// dominating set can be different." The Router type builds them
+// centrally via BFS; BuildTablesDistance builds the same tables the way
+// an actual deployment would — distance-vector exchange (Bellman-Ford)
+// over backbone links only, in synchronous rounds, counting the messages
+// until convergence.
+//
+// Tests assert the converged distances equal the BFS tables exactly, and
+// that convergence takes at most (backbone diameter) rounds.
+
+// DVStats reports the cost of the distributed construction.
+type DVStats struct {
+	// Rounds until no vector changed.
+	Rounds int
+	// Messages counts vector broadcasts (one per gateway per round in
+	// which it had a change to announce).
+	Messages int
+	// Entries is the total number of (destination, distance) pairs
+	// carried across all messages — the bandwidth-relevant cost.
+	Entries int
+}
+
+// BuildTablesDistanceVector runs synchronous distance-vector exchange
+// among the gateways of g and returns hop distances between every pair
+// (indexed as dist[gatewayIndex][gatewayIndex], aligned with
+// Router.Gateways() order), plus protocol statistics. Unreachable pairs
+// hold -1.
+func BuildTablesDistanceVector(g *graph.Graph, gateway []bool) ([][]int, DVStats, error) {
+	if len(gateway) != g.NumNodes() {
+		return nil, DVStats{}, fmt.Errorf("routing: gateway slice has %d entries for %d nodes", len(gateway), g.NumNodes())
+	}
+	// Dense gateway indexing, in ascending node order (matching Router).
+	var gws []graph.NodeID
+	index := make(map[graph.NodeID]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		if gateway[v] {
+			index[graph.NodeID(v)] = len(gws)
+			gws = append(gws, graph.NodeID(v))
+		}
+	}
+	k := len(gws)
+	const inf = int(^uint(0) >> 2)
+
+	// vec[i][j]: gateway i's current belief of its distance to gateway j.
+	vec := make([][]int, k)
+	for i := range vec {
+		vec[i] = make([]int, k)
+		for j := range vec[i] {
+			vec[i][j] = inf
+		}
+		vec[i][i] = 0
+	}
+	// Backbone adjacency (gateway neighbors of each gateway).
+	nbrs := make([][]int, k)
+	for i, v := range gws {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := index[u]; ok {
+				nbrs[i] = append(nbrs[i], j)
+			}
+		}
+	}
+
+	var stats DVStats
+	changed := make([]bool, k)
+	for i := range changed {
+		changed[i] = true // everyone announces its initial vector
+	}
+	for {
+		// Hosts with changes broadcast their vectors.
+		announcing := 0
+		for i := range changed {
+			if changed[i] {
+				announcing++
+				stats.Messages++
+				stats.Entries += k
+			}
+		}
+		if announcing == 0 {
+			break
+		}
+		stats.Rounds++
+		// Deliver: every neighbor of an announcing gateway relaxes.
+		next := make([]bool, k)
+		// Snapshot the announced vectors (synchronous semantics).
+		announced := make([][]int, k)
+		for i := range changed {
+			if changed[i] {
+				announced[i] = append([]int(nil), vec[i]...)
+			}
+		}
+		for i := 0; i < k; i++ {
+			for _, nb := range nbrs[i] {
+				if announced[nb] == nil {
+					continue
+				}
+				for j := 0; j < k; j++ {
+					if announced[nb][j] == inf {
+						continue
+					}
+					if d := announced[nb][j] + 1; d < vec[i][j] {
+						vec[i][j] = d
+						next[i] = true
+					}
+				}
+			}
+		}
+		changed = next
+	}
+
+	out := make([][]int, k)
+	for i := range vec {
+		out[i] = make([]int, k)
+		for j := range vec[i] {
+			if vec[i][j] >= inf {
+				out[i][j] = -1
+			} else {
+				out[i][j] = vec[i][j]
+			}
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,93 @@
+package routing
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func TestDistanceVectorMatchesBFSTables(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		inst, err := udg.RandomConnected(udg.PaperConfig(45), xrand.New(seed+500), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := inst.Graph
+		res := cds.MustCompute(g, cds.ND, nil)
+		r, err := New(g, res.Gateway)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, stats, err := BuildTablesDistanceVector(g, res.Gateway)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gws := r.Gateways()
+		for i, u := range gws {
+			for j, w := range gws {
+				want, err := r.GatewayDist(u, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dv[i][j] != want {
+					t.Fatalf("seed %d: dist(%d,%d) dv=%d bfs=%d", seed, u, w, dv[i][j], want)
+				}
+			}
+		}
+		if stats.Rounds == 0 || stats.Messages == 0 {
+			t.Fatalf("seed %d: stats = %+v", seed, stats)
+		}
+		// Convergence bound: distances propagate one hop per round, plus
+		// the final quiescent announcement round.
+		backbone, _ := g.InducedSubgraph(res.Gateway)
+		if stats.Rounds > backbone.Diameter()+2 {
+			t.Fatalf("seed %d: %d rounds exceeds backbone diameter %d + 2",
+				seed, stats.Rounds, backbone.Diameter())
+		}
+	}
+}
+
+func TestDistanceVectorDemoNetwork(t *testing.T) {
+	g, gw := demoNetwork()
+	dv, _, err := BuildTablesDistanceVector(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateways 2 and 5, adjacent.
+	if len(dv) != 2 || dv[0][1] != 1 || dv[1][0] != 1 || dv[0][0] != 0 {
+		t.Fatalf("dv = %v", dv)
+	}
+}
+
+func TestDistanceVectorDisconnectedBackbone(t *testing.T) {
+	// Two gateways with no backbone path: -1.
+	g := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {2, 3}})
+	gw := []bool{true, false, true, false}
+	dv, _, err := BuildTablesDistanceVector(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv[0][1] != -1 || dv[1][0] != -1 {
+		t.Fatalf("dv = %v, want unreachable", dv)
+	}
+}
+
+func TestDistanceVectorNoGateways(t *testing.T) {
+	g := graph.Path(3)
+	dv, stats, err := BuildTablesDistanceVector(g, []bool{false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dv) != 0 || stats.Messages != 0 {
+		t.Fatalf("dv=%v stats=%+v", dv, stats)
+	}
+}
+
+func TestDistanceVectorValidation(t *testing.T) {
+	if _, _, err := BuildTablesDistanceVector(graph.Path(3), []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pacds/internal/graph"
+)
+
+// Energy-aware route selection — an extension that combines the paper's
+// CDS with the power-aware routing literature it cites (Singh et al.):
+// among gateway-interior routes, prefer the one that maximizes the
+// minimum residual energy of its relay hosts (a max-min / "widest path"
+// objective), so traffic avoids nearly-drained gateways. Ties between
+// equal-bottleneck routes go to the shorter one.
+
+// RouteMaxMin returns a route from src to dst whose intermediate hosts
+// are gateways, maximizing the minimum energy among those intermediates;
+// among routes with the same bottleneck it returns a shortest one. energy
+// is indexed by node. Endpoint energies are not part of the objective
+// (the endpoints must participate regardless).
+func (r *Router) RouteMaxMin(src, dst graph.NodeID, energy []float64) ([]graph.NodeID, error) {
+	n := r.g.NumNodes()
+	if len(energy) != n {
+		return nil, fmt.Errorf("routing: %d energy values for %d nodes", len(energy), n)
+	}
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return nil, fmt.Errorf("routing: endpoint out of range")
+	}
+	if src == dst {
+		return []graph.NodeID{src}, nil
+	}
+	if r.g.HasEdge(src, dst) {
+		return []graph.NodeID{src, dst}, nil
+	}
+
+	// Widest-path Dijkstra: label = (bottleneck, hops). A node's
+	// bottleneck is the min energy over intermediates on the path to it;
+	// dst and src do not contribute. Order: larger bottleneck first, then
+	// fewer hops.
+	const inf = 1 << 30
+	bottleneck := make([]float64, n)
+	hops := make([]int, n)
+	prev := make([]graph.NodeID, n)
+	done := make([]bool, n)
+	for i := range bottleneck {
+		bottleneck[i] = -1
+		hops[i] = inf
+		prev[i] = -1
+	}
+	pq := &maxMinQueue{}
+	heap.Init(pq)
+	bottleneck[src] = inf // no intermediates yet
+	hops[src] = 0
+	heap.Push(pq, maxMinItem{node: src, bottleneck: inf, hops: 0})
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(maxMinItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == dst {
+			break
+		}
+		// Only the source and gateways may relay.
+		if v != src && !r.gateway[v] {
+			continue
+		}
+		for _, u := range r.g.Neighbors(v) {
+			if done[u] {
+				continue
+			}
+			// u's contribution to the bottleneck: only if u would be an
+			// intermediate, i.e. u != dst.
+			nb := it.bottleneck
+			if u != dst {
+				if !r.gateway[u] {
+					continue // non-gateway interiors not allowed
+				}
+				if energy[u] < nb {
+					nb = energy[u]
+				}
+			}
+			nh := it.hops + 1
+			if nb > bottleneck[u] || (nb == bottleneck[u] && nh < hops[u]) {
+				bottleneck[u] = nb
+				hops[u] = nh
+				prev[u] = v
+				heap.Push(pq, maxMinItem{node: u, bottleneck: nb, hops: nh})
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return nil, fmt.Errorf("routing: no gateway path from %d to %d", src, dst)
+	}
+	path := []graph.NodeID{dst}
+	for at := dst; at != src; {
+		at = prev[at]
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// PathBottleneck returns the minimum energy among the intermediate hosts
+// of path (+Inf-like large value for paths without intermediates).
+func PathBottleneck(path []graph.NodeID, energy []float64) float64 {
+	const inf = 1 << 30
+	min := float64(inf)
+	for _, v := range path[1:max(len(path)-1, 1)] {
+		if energy[v] < min {
+			min = energy[v]
+		}
+	}
+	return min
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// maxMinItem is a priority-queue entry for widest-path Dijkstra.
+type maxMinItem struct {
+	node       graph.NodeID
+	bottleneck float64
+	hops       int
+}
+
+type maxMinQueue []maxMinItem
+
+func (q maxMinQueue) Len() int { return len(q) }
+func (q maxMinQueue) Less(i, j int) bool {
+	if q[i].bottleneck != q[j].bottleneck {
+		return q[i].bottleneck > q[j].bottleneck
+	}
+	return q[i].hops < q[j].hops
+}
+func (q maxMinQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *maxMinQueue) Push(x interface{}) { *q = append(*q, x.(maxMinItem)) }
+func (q *maxMinQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,185 @@
+package routing
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// diamondNetwork: src 0 and dst 3 joined by two gateway relays 1 (weak)
+// and 2 (strong).
+func diamondNetwork() (*graph.Graph, []bool, []float64) {
+	g := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	gateway := []bool{false, true, true, false}
+	energy := []float64{100, 10, 90, 100}
+	return g, gateway, energy
+}
+
+func TestMaxMinPrefersStrongRelay(t *testing.T) {
+	g, gw, energy := diamondNetwork()
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.RouteMaxMin(0, 3, energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("path = %v, want through relay 2", path)
+	}
+	// The hop-count router may pick either relay; max-min must pick the
+	// strong one even when it exists alongside an equally short weak one.
+	if PathBottleneck(path, energy) != 90 {
+		t.Fatalf("bottleneck = %v", PathBottleneck(path, energy))
+	}
+}
+
+func TestMaxMinAcceptsLongerStrongerPath(t *testing.T) {
+	// Weak 1-hop relay vs strong 2-hop relay chain: max-min takes the
+	// longer path.
+	g := graph.FromEdges(5, [][2]graph.NodeID{
+		{0, 1}, {1, 4}, // short path via weak 1
+		{0, 2}, {2, 3}, {3, 4}, // long path via strong 2, 3
+	})
+	gw := []bool{false, true, true, true, false}
+	energy := []float64{100, 5, 80, 80, 100}
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.RouteMaxMin(0, 4, energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path = %v, want the 3-hop strong path", path)
+	}
+	if PathBottleneck(path, energy) != 80 {
+		t.Fatalf("bottleneck = %v", PathBottleneck(path, energy))
+	}
+}
+
+func TestMaxMinTieBreaksToShorter(t *testing.T) {
+	// Equal bottlenecks: the shorter route wins.
+	g := graph.FromEdges(5, [][2]graph.NodeID{
+		{0, 1}, {1, 4},
+		{0, 2}, {2, 3}, {3, 4},
+	})
+	gw := []bool{false, true, true, true, false}
+	energy := []float64{100, 70, 70, 70, 100}
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.RouteMaxMin(0, 4, energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want the 2-hop route on tie", path)
+	}
+}
+
+func TestMaxMinTrivialCases(t *testing.T) {
+	g, gw, energy := diamondNetwork()
+	r, _ := New(g, gw)
+	p, err := r.RouteMaxMin(1, 1, energy)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self route: %v %v", p, err)
+	}
+	p, err = r.RouteMaxMin(0, 1, energy)
+	if err != nil || len(p) != 2 {
+		t.Fatalf("adjacent route: %v %v", p, err)
+	}
+	if _, err := r.RouteMaxMin(0, 9, energy); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := r.RouteMaxMin(0, 3, []float64{1}); err == nil {
+		t.Fatal("short energy accepted")
+	}
+}
+
+func TestMaxMinUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	r, _ := New(g, []bool{false, false, false})
+	if _, err := r.RouteMaxMin(0, 2, []float64{1, 1, 1}); err == nil {
+		t.Fatal("no-gateway route accepted")
+	}
+}
+
+func TestMaxMinInteriorsAreGateways(t *testing.T) {
+	inst, err := udg.RandomConnected(udg.PaperConfig(40), xrand.New(3), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	res := cds.MustCompute(g, cds.ND, nil)
+	r, err := New(g, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	energy := make([]float64, 40)
+	for i := range energy {
+		energy[i] = float64(rng.IntRange(1, 10)) * 10
+	}
+	for s := graph.NodeID(0); s < 40; s += 3 {
+		for d := s + 1; d < 40; d += 5 {
+			path, err := r.RouteMaxMin(s, d, energy)
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			for _, v := range path[1 : len(path)-1] {
+				if !res.Gateway[v] {
+					t.Fatalf("route %d->%d uses non-gateway %d", s, d, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxMinBottleneckNeverWorseThanHopRoute(t *testing.T) {
+	inst, err := udg.RandomConnected(udg.PaperConfig(35), xrand.New(17), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	res := cds.MustCompute(g, cds.ND, nil)
+	r, err := New(g, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(19)
+	energy := make([]float64, 35)
+	for i := range energy {
+		energy[i] = float64(rng.IntRange(1, 10)) * 10
+	}
+	for s := graph.NodeID(0); s < 35; s += 2 {
+		for d := s + 1; d < 35; d += 3 {
+			hopPath, err := r.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmPath, err := r.RouteMaxMin(s, d, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if PathBottleneck(mmPath, energy) < PathBottleneck(hopPath, energy) {
+				t.Fatalf("route %d->%d: max-min bottleneck %v below hop-route %v",
+					s, d, PathBottleneck(mmPath, energy), PathBottleneck(hopPath, energy))
+			}
+		}
+	}
+}
+
+func TestPathBottleneckNoInteriors(t *testing.T) {
+	energy := []float64{1, 2}
+	b := PathBottleneck([]graph.NodeID{0, 1}, energy)
+	if b < 1e6 {
+		t.Fatalf("bottleneck of interior-free path = %v, want large", b)
+	}
+}

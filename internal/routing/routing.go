@@ -1,0 +1,257 @@
+// Package routing implements dominating-set-based routing (paper Section
+// 2.1): packets travel from a source host to an adjacent source gateway,
+// across the subnetwork induced by the connected dominating set, to a
+// destination gateway adjacent to (or equal to) the destination host.
+//
+// A Router is built for one topology snapshot plus a gateway assignment.
+// It materializes the two data structures each gateway host keeps:
+//
+//   - the gateway domain membership list — the non-gateway hosts adjacent
+//     to the gateway (Figure 2b);
+//   - the gateway routing table — one entry per gateway host with that
+//     gateway's membership list, hop distance, and next hop (Figure 2c).
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"pacds/internal/graph"
+)
+
+// Router answers route queries over a fixed topology and gateway set.
+type Router struct {
+	g       *graph.Graph
+	gateway []bool
+
+	// members[u] is the domain membership list of gateway u: adjacent
+	// non-gateway hosts. Only populated for gateways.
+	members map[graph.NodeID][]graph.NodeID
+
+	// gwIndex maps a gateway node id to its dense index in gws.
+	gws     []graph.NodeID
+	gwIndex map[graph.NodeID]int
+
+	// dist[i][j] is the hop distance between gateways gws[i] and gws[j]
+	// across the induced gateway subgraph (-1 if unreachable); next[i][j]
+	// is the next gateway on a shortest such path.
+	dist [][]int
+	next [][]graph.NodeID
+}
+
+// TableEntry is one row of a gateway routing table (Figure 2c).
+type TableEntry struct {
+	Gateway graph.NodeID   // destination gateway
+	Members []graph.NodeID // its domain membership list
+	Dist    int            // hop distance across the gateway subnetwork
+	NextHop graph.NodeID   // next gateway on the path (-1 for self)
+}
+
+// New builds a router for the given topology and gateway assignment. The
+// gateway slice is copied. It is the caller's responsibility that gateway
+// is a CDS when full reachability is expected; New itself accepts any
+// assignment and reports unreachability per query.
+func New(g *graph.Graph, gateway []bool) (*Router, error) {
+	if len(gateway) != g.NumNodes() {
+		return nil, fmt.Errorf("routing: gateway slice has %d entries for %d nodes", len(gateway), g.NumNodes())
+	}
+	r := &Router{
+		g:       g,
+		gateway: append([]bool(nil), gateway...),
+		members: make(map[graph.NodeID][]graph.NodeID),
+		gwIndex: make(map[graph.NodeID]int),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if !gateway[v] {
+			continue
+		}
+		vid := graph.NodeID(v)
+		r.gwIndex[vid] = len(r.gws)
+		r.gws = append(r.gws, vid)
+		for _, u := range g.Neighbors(vid) {
+			if !gateway[u] {
+				r.members[vid] = append(r.members[vid], u)
+			}
+		}
+	}
+	r.buildTables()
+	return r, nil
+}
+
+// buildTables runs BFS from every gateway across the induced gateway
+// subgraph, recording distances and next hops.
+func (r *Router) buildTables() {
+	k := len(r.gws)
+	r.dist = make([][]int, k)
+	r.next = make([][]graph.NodeID, k)
+	for i := range r.gws {
+		r.dist[i] = make([]int, k)
+		r.next[i] = make([]graph.NodeID, k)
+		for j := range r.dist[i] {
+			r.dist[i][j] = -1
+			r.next[i][j] = -1
+		}
+		r.bfsFrom(i)
+	}
+}
+
+func (r *Router) bfsFrom(i int) {
+	src := r.gws[i]
+	r.dist[i][i] = 0
+	prev := make(map[graph.NodeID]graph.NodeID, len(r.gws))
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range r.g.Neighbors(v) {
+			if !r.gateway[u] {
+				continue
+			}
+			j := r.gwIndex[u]
+			if r.dist[i][j] != -1 || u == src {
+				continue
+			}
+			r.dist[i][j] = r.dist[i][r.gwIndex[v]] + 1
+			prev[u] = v
+			// Next hop from src toward u: walk back to the node whose
+			// predecessor is src.
+			hop := u
+			for prev[hop] != src {
+				hop = prev[hop]
+			}
+			r.next[i][j] = hop
+			queue = append(queue, u)
+		}
+	}
+}
+
+// IsGateway reports whether v is a gateway host.
+func (r *Router) IsGateway(v graph.NodeID) bool { return r.gateway[v] }
+
+// Gateways returns the sorted gateway ids.
+func (r *Router) Gateways() []graph.NodeID {
+	return append([]graph.NodeID(nil), r.gws...)
+}
+
+// MembershipList returns gateway u's domain membership list (sorted). It
+// returns nil for non-gateways.
+func (r *Router) MembershipList(u graph.NodeID) []graph.NodeID {
+	return append([]graph.NodeID(nil), r.members[u]...)
+}
+
+// Table returns gateway u's routing table, one entry per gateway
+// (including itself with Dist 0), ordered by gateway id — the structure of
+// the paper's Figure 2c. It returns an error for non-gateways.
+func (r *Router) Table(u graph.NodeID) ([]TableEntry, error) {
+	i, ok := r.gwIndex[u]
+	if !ok {
+		return nil, fmt.Errorf("routing: host %d is not a gateway", u)
+	}
+	entries := make([]TableEntry, 0, len(r.gws))
+	for j, w := range r.gws {
+		entries = append(entries, TableEntry{
+			Gateway: w,
+			Members: r.MembershipList(w),
+			Dist:    r.dist[i][j],
+			NextHop: r.next[i][j],
+		})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Gateway < entries[b].Gateway })
+	return entries, nil
+}
+
+// GatewayDist returns the hop distance between two gateways across the
+// gateway subnetwork, or -1 if unreachable.
+func (r *Router) GatewayDist(u, w graph.NodeID) (int, error) {
+	i, ok := r.gwIndex[u]
+	if !ok {
+		return 0, fmt.Errorf("routing: host %d is not a gateway", u)
+	}
+	j, ok := r.gwIndex[w]
+	if !ok {
+		return 0, fmt.Errorf("routing: host %d is not a gateway", w)
+	}
+	return r.dist[i][j], nil
+}
+
+// Route returns a host-level path from src to dst following the
+// three-step process of Section 2.1: src → source gateway → gateway
+// subnetwork → destination gateway → dst. Endpoints need not be gateways;
+// every intermediate host is a gateway. Adjacent hosts are routed
+// directly. Returns an error when no gateway-interior path exists.
+func (r *Router) Route(src, dst graph.NodeID) ([]graph.NodeID, error) {
+	n := g32(r.g.NumNodes())
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: endpoint out of range")
+	}
+	if src == dst {
+		return []graph.NodeID{src}, nil
+	}
+	if r.g.HasEdge(src, dst) {
+		return []graph.NodeID{src, dst}, nil
+	}
+	// BFS where only gateways may relay (endpoints are free).
+	prev := make([]graph.NodeID, r.g.NumNodes())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Only the source or gateways may forward.
+		if v != src && !r.gateway[v] {
+			continue
+		}
+		for _, u := range r.g.Neighbors(v) {
+			if prev[u] != -1 {
+				continue
+			}
+			prev[u] = v
+			if u == dst {
+				path := []graph.NodeID{dst}
+				for at := dst; at != src; {
+					at = prev[at]
+					path = append(path, at)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, u)
+		}
+	}
+	return nil, fmt.Errorf("routing: no gateway path from %d to %d", src, dst)
+}
+
+func g32(n int) graph.NodeID { return graph.NodeID(n) }
+
+// HopCount returns the length (in hops) of Route(src, dst).
+func (r *Router) HopCount(src, dst graph.NodeID) (int, error) {
+	p, err := r.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}
+
+// Stretch returns the ratio of the dominating-set route length to the
+// true shortest-path length for the pair, quantifying the routing cost of
+// the CDS abstraction. Returns an error if either route does not exist;
+// returns 1 for adjacent or identical hosts.
+func (r *Router) Stretch(src, dst graph.NodeID) (float64, error) {
+	hops, err := r.HopCount(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 1, nil
+	}
+	sp := r.g.ShortestPath(src, dst)
+	if sp == nil {
+		return 0, fmt.Errorf("routing: %d and %d are disconnected", src, dst)
+	}
+	return float64(hops) / float64(len(sp)-1), nil
+}

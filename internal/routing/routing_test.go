@@ -1,0 +1,287 @@
+package routing
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// demoNetwork builds a small two-cluster network in the spirit of the
+// paper's Figure 2: gateways 2 and 5 bridge two host clusters.
+//
+//	0,1 — members of gateway 2;  2—5 backbone;  5's members: 3,4,6
+func demoNetwork() (*graph.Graph, []bool) {
+	g := graph.FromEdges(7, [][2]graph.NodeID{
+		{0, 2}, {1, 2}, // cluster A
+		{2, 5},                 // backbone
+		{3, 5}, {4, 5}, {6, 5}, // cluster B
+	})
+	gateway := []bool{false, false, true, false, false, true, false}
+	return g, gateway
+}
+
+func TestMembershipLists(t *testing.T) {
+	g, gw := demoNetwork()
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := r.MembershipList(2)
+	if len(m2) != 2 || m2[0] != 0 || m2[1] != 1 {
+		t.Fatalf("members(2) = %v, want [0 1]", m2)
+	}
+	m5 := r.MembershipList(5)
+	if len(m5) != 3 || m5[0] != 3 || m5[1] != 4 || m5[2] != 6 {
+		t.Fatalf("members(5) = %v, want [3 4 6]", m5)
+	}
+	if r.MembershipList(0) != nil {
+		t.Fatal("non-gateway has a membership list")
+	}
+}
+
+func TestRoutingTable(t *testing.T) {
+	g, gw := demoNetwork()
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := r.Table(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 2 {
+		t.Fatalf("table has %d entries, want 2", len(table))
+	}
+	// Entry for itself.
+	if table[0].Gateway != 2 || table[0].Dist != 0 {
+		t.Fatalf("self entry = %+v", table[0])
+	}
+	// Entry for gateway 5: one hop away, next hop 5.
+	if table[1].Gateway != 5 || table[1].Dist != 1 || table[1].NextHop != 5 {
+		t.Fatalf("entry for 5 = %+v", table[1])
+	}
+	if len(table[1].Members) != 3 {
+		t.Fatalf("entry for 5 members = %v", table[1].Members)
+	}
+	if _, err := r.Table(0); err == nil {
+		t.Fatal("Table(non-gateway) succeeded")
+	}
+}
+
+func TestRouteThreeSteps(t *testing.T) {
+	g, gw := demoNetwork()
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 0 (cluster A) to host 6 (cluster B): 0 -> 2 -> 5 -> 6.
+	path, err := r.Route(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.NodeID{0, 2, 5, 6}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Intermediate hosts are gateways.
+	for _, v := range path[1 : len(path)-1] {
+		if !r.IsGateway(v) {
+			t.Fatalf("intermediate host %d is not a gateway", v)
+		}
+	}
+}
+
+func TestRouteTrivialCases(t *testing.T) {
+	g, gw := demoNetwork()
+	r, err := New(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Route(3, 3)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self route = %v, %v", p, err)
+	}
+	// Adjacent non-gateway hosts route directly.
+	p, err = r.Route(0, 2)
+	if err != nil || len(p) != 2 {
+		t.Fatalf("adjacent route = %v, %v", p, err)
+	}
+	if _, err := r.Route(0, 99); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	// Two hosts with no gateway between them.
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	r, err := New(g, []bool{false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(0, 2); err == nil {
+		t.Fatal("route without gateways accepted")
+	}
+}
+
+func TestGatewayDist(t *testing.T) {
+	g, gw := demoNetwork()
+	r, _ := New(g, gw)
+	d, err := r.GatewayDist(2, 5)
+	if err != nil || d != 1 {
+		t.Fatalf("GatewayDist(2,5) = %d, %v", d, err)
+	}
+	if _, err := r.GatewayDist(0, 5); err == nil {
+		t.Fatal("GatewayDist with non-gateway accepted")
+	}
+}
+
+func TestNewRejectsBadLength(t *testing.T) {
+	g, _ := demoNetwork()
+	if _, err := New(g, make([]bool, 3)); err == nil {
+		t.Fatal("New accepted wrong-length gateway slice")
+	}
+}
+
+func TestAllPairsRoutableOnRandomCDS(t *testing.T) {
+	// For every policy's CDS on a connected UDG, every host pair must be
+	// routable, and every interior hop must be a gateway.
+	rng := xrand.New(606)
+	for trial := 0; trial < 8; trial++ {
+		inst, err := udg.RandomConnected(udg.PaperConfig(40), xrand.New(rng.Uint64()), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := inst.Graph
+		energy := make([]float64, 40)
+		for i := range energy {
+			energy[i] = float64(rng.IntRange(1, 10)) * 10
+		}
+		for _, p := range cds.Policies {
+			res := cds.MustCompute(g, p, energy)
+			r, err := New(g, res.Gateway)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := graph.NodeID(0); s < 40; s++ {
+				for d := s + 1; d < 40; d++ {
+					path, err := r.Route(s, d)
+					if err != nil {
+						t.Fatalf("policy %v: route %d->%d: %v", p, s, d, err)
+					}
+					for _, v := range path[1 : len(path)-1] {
+						if !res.Gateway[v] {
+							t.Fatalf("policy %v: route %d->%d uses non-gateway %d", p, s, d, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStretchOneOnMarkedSet(t *testing.T) {
+	// Property 3: routing over the RAW marked set achieves shortest paths,
+	// so stretch must be exactly 1 for every pair.
+	inst, err := udg.RandomConnected(udg.PaperConfig(50), xrand.New(99), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	marked := cds.Mark(g)
+	r, err := New(g, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.NodeID(0); s < 50; s++ {
+		for d := s + 1; d < 50; d++ {
+			stretch, err := r.Stretch(s, d)
+			if err != nil {
+				t.Fatalf("stretch %d->%d: %v", s, d, err)
+			}
+			if stretch != 1 {
+				t.Fatalf("stretch %d->%d = %v, want 1 (Property 3)", s, d, stretch)
+			}
+		}
+	}
+}
+
+func TestStretchAtLeastOne(t *testing.T) {
+	inst, err := udg.RandomConnected(udg.PaperConfig(40), xrand.New(123), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	res := cds.MustCompute(g, cds.ND, nil)
+	r, err := New(g, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.NodeID(0); s < 40; s++ {
+		for d := s + 1; d < 40; d++ {
+			stretch, err := r.Stretch(s, d)
+			if err != nil {
+				t.Fatalf("stretch %d->%d: %v", s, d, err)
+			}
+			if stretch < 1 {
+				t.Fatalf("stretch %d->%d = %v < 1: CDS route beat the shortest path", s, d, stretch)
+			}
+		}
+	}
+}
+
+func TestGatewaysAccessor(t *testing.T) {
+	g, gw := demoNetwork()
+	r, _ := New(g, gw)
+	gws := r.Gateways()
+	if len(gws) != 2 || gws[0] != 2 || gws[1] != 5 {
+		t.Fatalf("Gateways = %v", gws)
+	}
+}
+
+func TestTableConsistentWithRouting(t *testing.T) {
+	// Next hops in the tables must actually lie on shortest gateway paths:
+	// dist(u, w) == 1 + dist(next, w) for every pair of distinct gateways.
+	inst, err := udg.RandomConnected(udg.PaperConfig(45), xrand.New(321), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	res := cds.MustCompute(g, cds.ID, nil)
+	r, err := New(g, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range r.Gateways() {
+		table, err := r.Table(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range table {
+			if e.Gateway == u {
+				if e.Dist != 0 {
+					t.Fatalf("self dist = %d", e.Dist)
+				}
+				continue
+			}
+			if e.Dist == -1 {
+				t.Fatalf("gateway %d unreachable from %d in a connected CDS", e.Gateway, u)
+			}
+			rest, err := r.GatewayDist(e.NextHop, e.Gateway)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Dist != rest+1 {
+				t.Fatalf("table at %d for %d: dist %d != 1 + dist(next=%d)=%d",
+					u, e.Gateway, e.Dist, e.NextHop, rest)
+			}
+		}
+	}
+}

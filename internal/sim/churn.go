@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// On/off churn — the paper's introduction singles this out: "the
+// limitation of power leads users [to] disconnect [the] mobile unit
+// frequently in order to save power consumption. This feature may also
+// introduce ... more failures (also called switching on/off), which can
+// be considered as a special form of mobility."
+//
+// RunChurn extends the lifetime simulation with per-interval switching:
+// an ON host switches off with probability OffProb; an OFF host returns
+// with probability OnProb. OFF hosts carry no links, take no gateway
+// role, and drain no energy (that is the point of switching off). The
+// CDS is computed over the ON subgraph each interval.
+
+// ChurnConfig wraps a lifetime Config with switching probabilities.
+type ChurnConfig struct {
+	Config
+	// OffProb is the per-interval probability an ON host switches off.
+	OffProb float64
+	// OnProb is the per-interval probability an OFF host switches on.
+	OnProb float64
+}
+
+// ChurnMetrics reports a churn run.
+type ChurnMetrics struct {
+	// Intervals is the lifetime (first battery death among hosts; OFF
+	// hosts cannot die).
+	Intervals int
+	// Truncated is set when MaxIntervals was reached.
+	Truncated bool
+	// MeanGateways is the average CDS size over intervals (ON hosts).
+	MeanGateways float64
+	// MeanOn is the average number of ON hosts per interval.
+	MeanOn float64
+	// DisconnectedIntervals counts intervals where the ON subgraph was
+	// not connected.
+	DisconnectedIntervals int
+}
+
+// RunChurn executes one lifetime simulation with on/off switching.
+func RunChurn(cfg ChurnConfig) (*ChurnMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OffProb < 0 || cfg.OffProb > 1 || cfg.OnProb < 0 || cfg.OnProb > 1 {
+		return nil, fmt.Errorf("sim: churn probabilities must be in [0, 1]")
+	}
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals <= 0 {
+		maxIntervals = 100000
+	}
+	rng := xrand.New(cfg.Seed)
+	placeRNG := rng.Split(1)
+	moveRNG := rng.Split(2)
+	churnRNG := rng.Split(3)
+
+	ucfg := udg.Config{N: cfg.N, Field: cfg.Field, Radius: cfg.Radius}
+	var inst *udg.Instance
+	var err error
+	if cfg.ConnectedStart {
+		inst, err = udg.RandomConnected(ucfg, placeRNG, 5000)
+	} else {
+		inst, err = udg.Random(ucfg, placeRNG)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	levels := energy.NewLevels(cfg.N, cfg.InitialEnergy)
+	on := make([]bool, cfg.N)
+	for i := range on {
+		on[i] = true
+	}
+	el := make([]float64, cfg.N)
+	m := &ChurnMetrics{}
+	gwSum, onSum := 0, 0
+
+	for interval := 1; ; interval++ {
+		// Topology over ON hosts.
+		g := graph.New(cfg.N)
+		inst.Graph.Edges(func(u, v graph.NodeID) {
+			if on[u] && on[v] {
+				g.AddEdge(u, v)
+			}
+		})
+		for v := 0; v < cfg.N; v++ {
+			el[v] = levels.Level(v)
+		}
+		res, err := cds.Compute(g, cfg.Policy, el)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Verify {
+			if err := cds.VerifyCDS(g, res.Gateway); err != nil {
+				return nil, fmt.Errorf("sim: churn interval %d: %w", interval, err)
+			}
+		}
+		if !g.IsConnected() {
+			m.DisconnectedIntervals++
+		}
+		gwSum += res.NumGateways()
+		for _, o := range on {
+			if o {
+				onSum++
+			}
+		}
+
+		// Drain ON hosts only.
+		cdsSize := res.NumGateways()
+		var d float64
+		if cdsSize > 0 {
+			d = cfg.Drain.GatewayDrain(cfg.N, cdsSize)
+		}
+		for v := 0; v < cfg.N; v++ {
+			if !on[v] || !levels.Alive(v) {
+				continue
+			}
+			if res.Gateway[v] {
+				levels.Drain(v, d)
+			} else {
+				levels.Drain(v, cfg.NonGatewayDrain)
+			}
+		}
+
+		m.Intervals = interval
+		if levels.AnyDead() {
+			break
+		}
+		if interval >= maxIntervals {
+			m.Truncated = true
+			break
+		}
+
+		// Switch and move.
+		for v := 0; v < cfg.N; v++ {
+			if on[v] {
+				if churnRNG.Float64() < cfg.OffProb {
+					on[v] = false
+				}
+			} else if churnRNG.Float64() < cfg.OnProb {
+				on[v] = true
+			}
+		}
+		if cfg.Mobility != nil {
+			cfg.Mobility.Step(inst.Positions, cfg.Field, moveRNG)
+			inst.Rebuild()
+		}
+	}
+	m.MeanGateways = float64(gwSum) / float64(m.Intervals)
+	m.MeanOn = float64(onSum) / float64(m.Intervals)
+	return m, nil
+}

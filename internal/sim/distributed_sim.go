@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/distributed"
+	"pacds/internal/energy"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Distributed lifetime simulation: the paper's update-interval procedure
+// executed end-to-end through the message-passing maintenance session
+// instead of the centralized CDS computation. Every interval the session
+// absorbs the mobility-induced link events (localized NeighborList/Status
+// traffic), energy-aware policies push fresh levels, the rule phase runs
+// in slots, and the drain is applied to the session's gateway set. The
+// run verifies, every interval, that the maintained set matches a fresh
+// centralized computation — the whole-system integration check — and
+// reports the cumulative protocol cost of operating the backbone for the
+// network's entire life.
+
+// DistributedMetrics extends the lifetime metrics with protocol costs.
+type DistributedMetrics struct {
+	// Intervals is the lifetime (update intervals before first death).
+	Intervals int
+	// Truncated is set when MaxIntervals was reached first.
+	Truncated bool
+	// MeanGateways is the average CDS size over intervals.
+	MeanGateways float64
+	// Messages and Deliveries are cumulative protocol costs, including
+	// the bootstrap.
+	Messages, Deliveries int
+	// LinkEvents is the cumulative number of mobility-induced link
+	// changes processed.
+	LinkEvents int
+	// Mismatches counts intervals where the session's gateway set
+	// differed from the centralized computation (always 0; asserted by
+	// tests, reported for visibility).
+	Mismatches int
+}
+
+// RunDistributed executes the lifetime simulation through the
+// maintenance session. Energy-aware policies incur one NeighborList
+// broadcast per host per interval (their neighbors need current levels);
+// topology-keyed policies pay only for link churn.
+func RunDistributed(cfg Config) (*DistributedMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals <= 0 {
+		maxIntervals = 100000
+	}
+	rng := xrand.New(cfg.Seed)
+	placeRNG := rng.Split(1)
+	moveRNG := rng.Split(2)
+
+	ucfg := udg.Config{N: cfg.N, Field: cfg.Field, Radius: cfg.Radius}
+	var inst *udg.Instance
+	var err error
+	if cfg.ConnectedStart {
+		inst, err = udg.RandomConnected(ucfg, placeRNG, 5000)
+	} else {
+		inst, err = udg.Random(ucfg, placeRNG)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	levels := energy.NewLevels(cfg.N, cfg.InitialEnergy)
+	if cfg.InitialLevels != nil {
+		for v, e := range cfg.InitialLevels {
+			levels.SetLevel(v, e)
+		}
+	}
+	el := make([]float64, cfg.N)
+	snapshotLevels := func() []float64 {
+		for v := 0; v < cfg.N; v++ {
+			el[v] = levels.Level(v)
+		}
+		return el
+	}
+
+	session, err := distributed.NewSession(inst.Graph, cfg.Policy, snapshotLevels())
+	if err != nil {
+		return nil, err
+	}
+
+	m := &DistributedMetrics{}
+	gwSum := 0
+	for interval := 1; ; interval++ {
+		gateway := session.Gateways()
+		// Whole-system check: the maintained set equals the centralized
+		// computation on the current topology and energies.
+		want, err := cds.Compute(inst.Graph, cfg.Policy, el)
+		if err != nil {
+			return nil, err
+		}
+		match := true
+		count := 0
+		for v := range gateway {
+			if gateway[v] {
+				count++
+			}
+			if gateway[v] != want.Gateway[v] {
+				match = false
+			}
+		}
+		if !match {
+			m.Mismatches++
+			if cfg.Verify {
+				return nil, fmt.Errorf("sim: interval %d: session diverged from centralized CDS", interval)
+			}
+		}
+		gwSum += count
+
+		energy.ApplyInterval(levels, gateway, cfg.Drain, cfg.NonGatewayDrain)
+		if levels.AnyDead() {
+			m.Intervals = interval
+			break
+		}
+		if interval >= maxIntervals {
+			m.Intervals = interval
+			m.Truncated = true
+			break
+		}
+
+		// Move, diff topology, feed the session.
+		var changes []distributed.EdgeChange
+		if cfg.Mobility != nil {
+			old := inst.Graph.Clone()
+			cfg.Mobility.Step(inst.Positions, cfg.Field, moveRNG)
+			inst.Rebuild()
+			old.Edges(func(u, v graph.NodeID) {
+				if !inst.Graph.HasEdge(u, v) {
+					changes = append(changes, distributed.EdgeChange{A: u, B: v, Up: false})
+				}
+			})
+			inst.Graph.Edges(func(u, v graph.NodeID) {
+				if !old.HasEdge(u, v) {
+					changes = append(changes, distributed.EdgeChange{A: u, B: v, Up: true})
+				}
+			})
+		}
+		m.LinkEvents += len(changes)
+		if cfg.Policy.NeedsEnergy() {
+			if err := session.UpdateEnergy(snapshotLevels()); err != nil {
+				return nil, err
+			}
+		} else {
+			snapshotLevels()
+		}
+		if _, err := session.ApplyChanges(changes); err != nil {
+			return nil, err
+		}
+	}
+	stats := session.Stats()
+	m.Messages = stats.Messages
+	m.Deliveries = stats.Deliveries
+	m.MeanGateways = float64(gwSum) / float64(m.Intervals)
+	return m, nil
+}

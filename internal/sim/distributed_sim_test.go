@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+)
+
+func TestRunDistributedMatchesCentralizedLifetime(t *testing.T) {
+	// The whole-system integration: the distributed session, fed link
+	// events and energy updates, produces exactly the same lifetime as
+	// the centralized engine for the same configuration.
+	for _, p := range []cds.Policy{cds.ID, cds.ND, cds.EL1} {
+		cfg := PaperConfig(20, p, energy.LinearPerGW{}, 404)
+		cfg.Verify = true // fail on any session/centralized divergence
+		dm, err := RunDistributed(cfg)
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if dm.Mismatches != 0 {
+			t.Fatalf("policy %v: %d mismatched intervals", p, dm.Mismatches)
+		}
+		cm, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dm.Intervals != cm.Intervals {
+			t.Fatalf("policy %v: distributed lifetime %d != centralized %d",
+				p, dm.Intervals, cm.Intervals)
+		}
+		if dm.MeanGateways != cm.MeanGateways {
+			t.Fatalf("policy %v: mean gateways %v != %v", p, dm.MeanGateways, cm.MeanGateways)
+		}
+		if dm.Messages == 0 || dm.Deliveries == 0 {
+			t.Fatalf("policy %v: no protocol cost recorded", p)
+		}
+	}
+}
+
+func TestRunDistributedEnergyPolicyCostsMore(t *testing.T) {
+	// Energy-aware maintenance broadcasts fresh levels every interval;
+	// topology-keyed policies pay only for churn. Same topology seed.
+	nd, err := RunDistributed(PaperConfig(25, cds.ND, energy.LinearPerGW{}, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := RunDistributed(PaperConfig(25, cds.EL1, energy.LinearPerGW{}, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndPerInterval := float64(nd.Messages) / float64(nd.Intervals)
+	elPerInterval := float64(el.Messages) / float64(el.Intervals)
+	if elPerInterval <= ndPerInterval {
+		t.Fatalf("EL1 maintenance %.1f msgs/interval should exceed ND %.1f",
+			elPerInterval, ndPerInterval)
+	}
+}
+
+func TestRunDistributedLinkEventsAccumulate(t *testing.T) {
+	cfg := PaperConfig(20, cds.ND, energy.LinearPerGW{}, 55)
+	dm, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Intervals > 1 && dm.LinkEvents == 0 {
+		t.Fatal("mobile run produced no link events")
+	}
+}
+
+func TestRunDistributedStatic(t *testing.T) {
+	cfg := PaperConfig(15, cds.ID, energy.LinearPerGW{}, 31)
+	cfg.Mobility = nil
+	dm, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.LinkEvents != 0 {
+		t.Fatalf("static run saw %d link events", dm.LinkEvents)
+	}
+	if dm.Mismatches != 0 {
+		t.Fatal("static session diverged")
+	}
+}
+
+func TestRunDistributedInvalidConfig(t *testing.T) {
+	cfg := PaperConfig(10, cds.ID, energy.Linear{}, 1)
+	cfg.N = 0
+	if _, err := RunDistributed(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

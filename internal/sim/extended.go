@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// ExtendedMetrics reports a run that continues past the first death — the
+// paper's future-work direction ("more in-depth simulation under
+// different settings"). Dead hosts drop out of the topology; the marking
+// process and rules keep running on the survivors.
+type ExtendedMetrics struct {
+	// DeathIntervals[k] is the interval at which the (k+1)-th host died.
+	DeathIntervals []int
+	// FirstDeath and HalfDeath are convenience cuts of DeathIntervals
+	// (0 when never reached within the cap).
+	FirstDeath, HalfDeath int
+	// Intervals completed when the run stopped.
+	Intervals int
+	// Truncated is set when MaxIntervals was reached first.
+	Truncated bool
+	// MeanGateways is the average CDS size over intervals (survivors
+	// only).
+	MeanGateways float64
+}
+
+// RunExtended executes a lifetime simulation that continues until the
+// alive fraction drops below stopAliveFrac (default 0.5) or MaxIntervals.
+// The Verify flag of cfg is honored against the alive-host subgraph.
+func RunExtended(cfg Config, stopAliveFrac float64) (*ExtendedMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if stopAliveFrac <= 0 || stopAliveFrac >= 1 {
+		stopAliveFrac = 0.5
+	}
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals <= 0 {
+		maxIntervals = 100000
+	}
+	rng := xrand.New(cfg.Seed)
+	placeRNG := rng.Split(1)
+	moveRNG := rng.Split(2)
+
+	ucfg := udg.Config{N: cfg.N, Field: cfg.Field, Radius: cfg.Radius}
+	var inst *udg.Instance
+	var err error
+	if cfg.ConnectedStart {
+		inst, err = udg.RandomConnected(ucfg, placeRNG, 5000)
+	} else {
+		inst, err = udg.Random(ucfg, placeRNG)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	levels := energy.NewLevels(cfg.N, cfg.InitialEnergy)
+	if cfg.InitialLevels != nil {
+		for v, e := range cfg.InitialLevels {
+			levels.SetLevel(v, e)
+		}
+	}
+	el := make([]float64, cfg.N)
+	m := &ExtendedMetrics{}
+	deadCount := 0
+	gwSum := 0
+
+	for interval := 1; ; interval++ {
+		g := aliveSubgraph(inst, levels)
+		for v := 0; v < cfg.N; v++ {
+			el[v] = levels.Level(v)
+		}
+		res, err := cds.Compute(g, cfg.Policy, el)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Verify {
+			if err := cds.VerifyCDS(g, res.Gateway); err != nil {
+				return nil, fmt.Errorf("sim: extended interval %d: %w", interval, err)
+			}
+		}
+		gwSum += res.NumGateways()
+		energy.ApplyInterval(levels, res.Gateway, cfg.Drain, cfg.NonGatewayDrain)
+
+		m.Intervals = interval
+		for cfg.N-levels.NumAlive() > deadCount {
+			deadCount++
+			m.DeathIntervals = append(m.DeathIntervals, interval)
+		}
+		if float64(levels.NumAlive()) < stopAliveFrac*float64(cfg.N) {
+			break
+		}
+		if interval >= maxIntervals {
+			m.Truncated = true
+			break
+		}
+		if cfg.Mobility != nil {
+			cfg.Mobility.Step(inst.Positions, cfg.Field, moveRNG)
+			inst.Rebuild()
+		}
+	}
+
+	if len(m.DeathIntervals) > 0 {
+		m.FirstDeath = m.DeathIntervals[0]
+	}
+	if half := (cfg.N + 1) / 2; len(m.DeathIntervals) >= half {
+		m.HalfDeath = m.DeathIntervals[half-1]
+	}
+	m.MeanGateways = float64(gwSum) / float64(m.Intervals)
+	return m, nil
+}
+
+// aliveSubgraph builds the unit-disk graph over the currently alive
+// hosts; dead hosts keep their positions but carry no links.
+func aliveSubgraph(inst *udg.Instance, levels *energy.Levels) *graph.Graph {
+	full := udg.Build(inst.Positions, inst.Config.Field, inst.Config.Radius)
+	if levels.NumAlive() == levels.N() {
+		return full
+	}
+	g := graph.New(full.NumNodes())
+	full.Edges(func(u, v graph.NodeID) {
+		if levels.Alive(int(u)) && levels.Alive(int(v)) {
+			g.AddEdge(u, v)
+		}
+	})
+	return g
+}

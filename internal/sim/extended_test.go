@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+)
+
+func TestRunExtendedBasic(t *testing.T) {
+	cfg := PaperConfig(20, cds.ND, energy.Linear{}, 42)
+	m, err := RunExtended(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated {
+		t.Fatal("truncated under linear drain")
+	}
+	if m.FirstDeath <= 0 {
+		t.Fatalf("FirstDeath = %d", m.FirstDeath)
+	}
+	if m.HalfDeath < m.FirstDeath {
+		t.Fatalf("HalfDeath %d < FirstDeath %d", m.HalfDeath, m.FirstDeath)
+	}
+	// Deaths recorded in nondecreasing interval order.
+	for i := 1; i < len(m.DeathIntervals); i++ {
+		if m.DeathIntervals[i] < m.DeathIntervals[i-1] {
+			t.Fatalf("death intervals not monotone: %v", m.DeathIntervals)
+		}
+	}
+	// At least half the hosts died before stopping.
+	if len(m.DeathIntervals) < 10 {
+		t.Fatalf("only %d deaths recorded", len(m.DeathIntervals))
+	}
+}
+
+func TestRunExtendedFirstDeathMatchesRun(t *testing.T) {
+	// Up to the first death the extended run is identical to the paper
+	// run: same seed schedule, same topology, same drains.
+	cfg := PaperConfig(25, cds.EL1, energy.Linear{}, 77)
+	basic, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := RunExtended(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.FirstDeath != basic.Intervals {
+		t.Fatalf("extended first death %d != basic lifetime %d", ext.FirstDeath, basic.Intervals)
+	}
+}
+
+func TestRunExtendedWithVerification(t *testing.T) {
+	cfg := PaperConfig(18, cds.ND, energy.Linear{}, 5)
+	cfg.Verify = true
+	if _, err := RunExtended(cfg, 0.4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtendedBadFracDefaults(t *testing.T) {
+	cfg := PaperConfig(12, cds.ID, energy.Linear{}, 9)
+	m, err := RunExtended(cfg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.DeathIntervals) < 6 {
+		t.Fatalf("default frac should run to half deaths, got %d", len(m.DeathIntervals))
+	}
+}
+
+func TestRunExtendedTruncation(t *testing.T) {
+	cfg := PaperConfig(12, cds.ID, energy.Constant{}, 11)
+	cfg.MaxIntervals = 5
+	m, err := RunExtended(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated || m.Intervals != 5 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRunExtendedInvalidConfig(t *testing.T) {
+	cfg := PaperConfig(12, cds.ID, energy.Linear{}, 1)
+	cfg.N = 0
+	if _, err := RunExtended(cfg, 0.5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

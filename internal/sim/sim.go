@@ -1,0 +1,297 @@
+// Package sim implements the paper's simulation procedure (Section 4):
+//
+//  1. Generate a random unit-disk network with uniform initial energy.
+//  2. Each update interval, run the marking process and the selected rule
+//     set; record the number of gateway hosts.
+//  3. Drain energy: d per gateway (one of three traffic models), d' per
+//     non-gateway. If any host reaches zero, stop and record the number of
+//     completed update intervals (the network lifetime). Otherwise every
+//     host roams per the mobility model, the topology is rebuilt, and the
+//     next interval begins.
+//
+// The two experiments of the paper are built on this engine: average
+// gateway count (Figure 10) and average lifetime under the three drain
+// models (Figures 11-13).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/geom"
+	"pacds/internal/mobility"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Config parameterizes one lifetime simulation run.
+type Config struct {
+	// N is the number of hosts.
+	N int
+	// Field is the deployment region (paper: 100x100).
+	Field geom.Rect
+	// Radius is the shared transmission radius (paper: 25).
+	Radius float64
+	// Policy selects the rule set (NR, ID, ND, EL1, EL2).
+	Policy cds.Policy
+	// Drain is the gateway drain model d (paper models 1-3).
+	Drain energy.DrainModel
+	// NonGatewayDrain is d' (paper: 1).
+	NonGatewayDrain float64
+	// InitialEnergy is each host's starting level (paper: 100).
+	InitialEnergy float64
+	// InitialLevels optionally overrides InitialEnergy with per-host
+	// starting levels (length N). The paper initializes uniformly; diverse
+	// starts are an extension that differentiates the energy-aware
+	// policies from the first interval.
+	InitialLevels []float64
+	// Mobility moves hosts between intervals (paper: 8-direction hop
+	// model with c = 0.5, l in [1..6]). Nil means hosts are static.
+	Mobility mobility.Model
+	// MaxIntervals caps the run to guarantee termination even for
+	// configurations where no host ever dies (e.g. zero drain). 0 means
+	// the default of 100000.
+	MaxIntervals int
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// ConnectedStart requires the initial topology to be connected
+	// (sampled by retry, as for the paper's graph-size experiment).
+	ConnectedStart bool
+	// Verify, when set, checks the CDS invariants every interval and
+	// fails the run on violation. Used by tests; costs O(V·E) per
+	// interval.
+	Verify bool
+	// Observer, when non-nil, is called after every interval's rule
+	// application and energy drain with the interval number (1-based),
+	// the interval's CDS result, and the current energy levels. The
+	// callback must not retain the result or levels beyond the call. Use
+	// it to record time series without modifying the engine.
+	Observer func(interval int, res *cds.Result, levels *energy.Levels)
+}
+
+// PaperConfig returns the paper's parameters for a lifetime run: 100x100
+// field, radius 25, energy 100, d' = 1, 8-direction mobility with c = 0.5.
+func PaperConfig(n int, p cds.Policy, drain energy.DrainModel, seed uint64) Config {
+	return Config{
+		N:               n,
+		Field:           geom.Square(100),
+		Radius:          25,
+		Policy:          p,
+		Drain:           drain,
+		NonGatewayDrain: 1,
+		InitialEnergy:   100,
+		Mobility:        mobility.NewPaper(),
+		Seed:            seed,
+		ConnectedStart:  true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("sim: N must be positive, got %d", c.N)
+	}
+	if c.Radius <= 0 {
+		return fmt.Errorf("sim: radius must be positive, got %v", c.Radius)
+	}
+	if c.Drain == nil {
+		return errors.New("sim: drain model is required")
+	}
+	if c.NonGatewayDrain < 0 {
+		return fmt.Errorf("sim: negative non-gateway drain %v", c.NonGatewayDrain)
+	}
+	if c.InitialEnergy <= 0 {
+		return fmt.Errorf("sim: initial energy must be positive, got %v", c.InitialEnergy)
+	}
+	if c.InitialLevels != nil {
+		if len(c.InitialLevels) != c.N {
+			return fmt.Errorf("sim: %d initial levels for %d hosts", len(c.InitialLevels), c.N)
+		}
+		for v, e := range c.InitialLevels {
+			if e <= 0 {
+				return fmt.Errorf("sim: non-positive initial level %v for host %d", e, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics reports the outcome of one run.
+type Metrics struct {
+	// Intervals is the number of completed update intervals before the
+	// first host died — the paper's lifetime metric.
+	Intervals int
+	// Truncated is set when the run hit MaxIntervals with no death.
+	Truncated bool
+	// GatewayCounts holds |G'| per interval.
+	GatewayCounts []int
+	// MeanGateways is the average of GatewayCounts.
+	MeanGateways float64
+	// FirstDead is the id of the host that died (-1 if Truncated).
+	FirstDead int
+	// ResidualEnergy is the total energy remaining at stop.
+	ResidualEnergy float64
+	// ResidualVariance is the population variance of levels at stop — a
+	// direct measure of how well the policy balanced consumption.
+	ResidualVariance float64
+	// DisconnectedIntervals counts intervals where the topology was not
+	// connected (the marking still runs per component).
+	DisconnectedIntervals int
+}
+
+// Run executes one lifetime simulation.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals <= 0 {
+		maxIntervals = 100000
+	}
+	rng := xrand.New(cfg.Seed)
+	placeRNG := rng.Split(1)
+	moveRNG := rng.Split(2)
+
+	ucfg := udg.Config{N: cfg.N, Field: cfg.Field, Radius: cfg.Radius}
+	var inst *udg.Instance
+	var err error
+	if cfg.ConnectedStart {
+		inst, err = udg.RandomConnected(ucfg, placeRNG, 5000)
+	} else {
+		inst, err = udg.Random(ucfg, placeRNG)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	levels := energy.NewLevels(cfg.N, cfg.InitialEnergy)
+	if cfg.InitialLevels != nil {
+		for v, e := range cfg.InitialLevels {
+			levels.SetLevel(v, e)
+		}
+	}
+	el := make([]float64, cfg.N)
+	m := &Metrics{FirstDead: -1}
+
+	for interval := 1; ; interval++ {
+		for v := 0; v < cfg.N; v++ {
+			el[v] = levels.Level(v)
+		}
+		res, err := cds.Compute(inst.Graph, cfg.Policy, el)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Verify {
+			if err := cds.VerifyCDS(inst.Graph, res.Gateway); err != nil {
+				return nil, fmt.Errorf("sim: interval %d: %w", interval, err)
+			}
+		}
+		if !inst.Graph.IsConnected() {
+			m.DisconnectedIntervals++
+		}
+		m.GatewayCounts = append(m.GatewayCounts, res.NumGateways())
+
+		energy.ApplyInterval(levels, res.Gateway, cfg.Drain, cfg.NonGatewayDrain)
+		if cfg.Observer != nil {
+			cfg.Observer(interval, res, levels)
+		}
+		if levels.AnyDead() {
+			m.Intervals = interval
+			for v := 0; v < cfg.N; v++ {
+				if !levels.Alive(v) {
+					m.FirstDead = v
+					break
+				}
+			}
+			break
+		}
+		if interval >= maxIntervals {
+			m.Intervals = interval
+			m.Truncated = true
+			break
+		}
+		if cfg.Mobility != nil {
+			cfg.Mobility.Step(inst.Positions, cfg.Field, moveRNG)
+			inst.Rebuild()
+		}
+	}
+
+	total := 0
+	for _, c := range m.GatewayCounts {
+		total += c
+	}
+	if len(m.GatewayCounts) > 0 {
+		m.MeanGateways = float64(total) / float64(len(m.GatewayCounts))
+	}
+	m.ResidualEnergy = levels.Total()
+	m.ResidualVariance = levels.Variance()
+	return m, nil
+}
+
+// TrialStats aggregates metrics across independent trials.
+type TrialStats struct {
+	Trials        int
+	Lifetime      []float64 // intervals per trial
+	MeanGateways  []float64 // mean |G'| per trial
+	TruncatedRuns int
+}
+
+// RunTrials executes trials independent runs of cfg, deriving per-trial
+// seeds from cfg.Seed.
+func RunTrials(cfg Config, trials int) (*TrialStats, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	seedRNG := xrand.New(cfg.Seed)
+	ts := &TrialStats{Trials: trials}
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = seedRNG.Uint64()
+		m, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		ts.Lifetime = append(ts.Lifetime, float64(m.Intervals))
+		ts.MeanGateways = append(ts.MeanGateways, m.MeanGateways)
+		if m.Truncated {
+			ts.TruncatedRuns++
+		}
+	}
+	return ts, nil
+}
+
+// GatewayCountSample computes the gateway count of each policy on `trials`
+// fresh connected random instances with uniform energy — the paper's first
+// experiment (Figure 10). With uniform energy EL2 coincides with ND by
+// construction (energy ties fall through to node degree then ID); EL1
+// tracks ID closely but not exactly, because its generalized three-case
+// Rule 2 prunes cases the original min-ID Rule 2 does not.
+func GatewayCountSample(n int, field geom.Rect, radius float64, initialEnergy float64,
+	trials int, seed uint64) (map[cds.Policy][]float64, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	rng := xrand.New(seed)
+	out := make(map[cds.Policy][]float64, len(cds.Policies))
+	el := make([]float64, n)
+	for i := range el {
+		el[i] = initialEnergy
+	}
+	cfgU := udg.Config{N: n, Field: field, Radius: radius}
+	for t := 0; t < trials; t++ {
+		inst, err := udg.RandomConnected(cfgU, rng, 5000)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cds.Policies {
+			res, err := cds.Compute(inst.Graph, p, el)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = append(out[p], float64(res.NumGateways()))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pacds/internal/xrand"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almostEq(s.Mean, 5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample variance with n-1: sum sq dev = 32; 32/7.
+	if !almostEq(s.StdDev, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+	if s.Min != 42 || s.Max != 42 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	want := 1.96 * s.StdDev / math.Sqrt(10)
+	if !almostEq(s.CI95(), want) {
+		t.Fatalf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	out := Summarize([]float64{1, 2, 3}).String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.000") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := xrand.New(5)
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		acc.Add(xs[i])
+	}
+	want := Summarize(xs)
+	got := acc.Summary()
+	if got.N != want.N || !almostEq(got.Mean, want.Mean) ||
+		math.Abs(got.StdDev-want.StdDev) > 1e-9 ||
+		got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("accumulator %+v != summarize %+v", got, want)
+	}
+	if acc.N() != 1000 {
+		t.Fatalf("N() = %d", acc.N())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	s := acc.Summary()
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty accumulator summary = %+v", s)
+	}
+}
+
+func TestAccumulatorProperty(t *testing.T) {
+	// For any sample, the accumulator and the batch computation agree.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes modest to avoid float cancellation noise in
+			// the comparison itself.
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		var acc Accumulator
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		a, b := acc.Summary(), Summarize(xs)
+		if a.N != b.N {
+			return false
+		}
+		if a.N == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(b.Mean) + b.StdDev)
+		return math.Abs(a.Mean-b.Mean) < tol && math.Abs(a.StdDev-b.StdDev) < tol &&
+			a.Min == b.Min && a.Max == b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{-5, 15},
+		{120, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks: p=10 over 5 elements -> rank 0.4.
+	if got := Percentile(xs, 10); !almostEq(got, 15+(20-15)*0.4) {
+		t.Errorf("Percentile(10) = %v", got)
+	}
+}
+
+func TestPercentileEdge(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile nonzero")
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Fatal("singleton percentile wrong")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("median wrong")
+	}
+	if Min([]float64{3, 1, 2}) != 1 || Max([]float64{3, 1, 2}) != 3 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated the sample")
+	}
+}

@@ -1,0 +1,138 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("N", "policy", "mean")
+	tb.AddRow(10, "ID", 3.14159)
+	tb.AddRow(100, "EL1", 12.5)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "policy") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "3.14") {
+		t.Fatalf("float not rendered to 2dp: %q", lines[2])
+	}
+	// All data lines share the same width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("with\"quote", "with\nnewline")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("x")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tb.AddRow(1)
+	tb.AddRow(2)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tb := New("v")
+	tb.AddRow(float32(1.5))
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.50") {
+		t.Fatalf("float32 formatting: %q", buf.String())
+	}
+}
+
+// failWriter fails after n bytes to exercise error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestRenderWriteFailure(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow(1, 2)
+	tb.AddRow(3, 4)
+	var full, fullCSV bytes.Buffer
+	if err := tb.Render(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RenderCSV(&fullCSV); err != nil {
+		t.Fatal(err)
+	}
+	// Any budget strictly below the full output must surface the error.
+	for budget := 0; budget < full.Len(); budget += 4 {
+		if err := tb.Render(&failWriter{left: budget}); err == nil {
+			t.Fatalf("Render with %d-byte budget succeeded (full %d)", budget, full.Len())
+		}
+	}
+	for budget := 0; budget < fullCSV.Len(); budget += 3 {
+		if err := tb.RenderCSV(&failWriter{left: budget}); err == nil {
+			t.Fatalf("RenderCSV with %d-byte budget succeeded (full %d)", budget, fullCSV.Len())
+		}
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tb := New("only", "header")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Fatal("header missing")
+	}
+}

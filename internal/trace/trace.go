@@ -1,0 +1,62 @@
+// Package trace records per-interval time series from simulation runs and
+// writes them as CSV. It plugs into sim.Config.Observer, so the engine
+// stays oblivious to what is being recorded.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+)
+
+// Row is one interval's snapshot.
+type Row struct {
+	Interval    int
+	Gateways    int
+	MinEnergy   float64
+	TotalEnergy float64
+	Variance    float64
+	Alive       int
+}
+
+// Recorder accumulates rows; attach its Observe method to a sim.Config.
+type Recorder struct {
+	rows []Row
+}
+
+// Observe implements the sim observer signature.
+func (r *Recorder) Observe(interval int, res *cds.Result, levels *energy.Levels) {
+	r.rows = append(r.rows, Row{
+		Interval:    interval,
+		Gateways:    res.NumGateways(),
+		MinEnergy:   levels.Min(),
+		TotalEnergy: levels.Total(),
+		Variance:    levels.Variance(),
+		Alive:       levels.NumAlive(),
+	})
+}
+
+// Rows returns the recorded snapshots.
+func (r *Recorder) Rows() []Row { return r.rows }
+
+// Len returns the number of recorded intervals.
+func (r *Recorder) Len() int { return len(r.rows) }
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() { r.rows = r.rows[:0] }
+
+// WriteCSV emits the recorded series with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "interval,gateways,min_energy,total_energy,variance,alive"); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f,%d\n",
+			row.Interval, row.Gateways, row.MinEnergy, row.TotalEnergy, row.Variance, row.Alive); err != nil {
+			return err
+		}
+	}
+	return nil
+}

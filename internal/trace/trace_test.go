@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/energy"
+	"pacds/internal/sim"
+)
+
+func TestRecorderCapturesRun(t *testing.T) {
+	var rec Recorder
+	cfg := sim.PaperConfig(15, cds.ND, energy.Linear{}, 3)
+	cfg.Observer = rec.Observe
+	m, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != m.Intervals {
+		t.Fatalf("recorded %d rows for %d intervals", rec.Len(), m.Intervals)
+	}
+	rows := rec.Rows()
+	// Total energy strictly decreases; intervals increase by one.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Interval != rows[i-1].Interval+1 {
+			t.Fatalf("interval sequence broken at %d", i)
+		}
+		if rows[i].TotalEnergy >= rows[i-1].TotalEnergy {
+			t.Fatalf("total energy did not decrease at %d", i)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.MinEnergy != 0 {
+		t.Fatalf("final min energy = %v, want 0", last.MinEnergy)
+	}
+	if last.Alive != 14 {
+		t.Fatalf("final alive = %d, want 14", last.Alive)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var rec Recorder
+	cfg := sim.PaperConfig(10, cds.ID, energy.Linear{}, 5)
+	cfg.Observer = rec.Observe
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "interval,gateways,min_energy,total_energy,variance,alive" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != rec.Len()+1 {
+		t.Fatalf("csv has %d lines for %d rows", len(lines), rec.Len())
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Fatalf("first data row = %q", lines[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	var rec Recorder
+	rec.Observe(1, &cds.Result{}, energy.NewLevels(2, 10))
+	if rec.Len() != 1 {
+		t.Fatal("observe did not record")
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errSynthetic
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errSynthetic
+	}
+	return n, nil
+}
+
+var errSynthetic = &syntheticError{}
+
+type syntheticError struct{}
+
+func (*syntheticError) Error() string { return "synthetic write failure" }
+
+func TestWriteCSVFailure(t *testing.T) {
+	var rec Recorder
+	rec.Observe(1, &cds.Result{}, energy.NewLevels(1, 5))
+	if err := rec.WriteCSV(&failWriter{left: 0}); err == nil {
+		t.Fatal("header write failure not reported")
+	}
+	if err := rec.WriteCSV(&failWriter{left: 60}); err == nil {
+		t.Fatal("row write failure not reported")
+	}
+}

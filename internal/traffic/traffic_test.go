@@ -1,0 +1,221 @@
+package traffic
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/mobility"
+)
+
+func TestValidate(t *testing.T) {
+	good := PaperConfig(20, cds.ID, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 0, Radius: 25, InitialEnergy: 100},
+		{N: 10, Radius: 0, InitialEnergy: 100},
+		{N: 10, Radius: 25, InitialEnergy: 0},
+		{N: 10, Radius: 25, InitialEnergy: 100, NumFlows: -1},
+		{N: 10, Radius: 25, InitialEnergy: 100, TxCost: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	m, err := Run(PaperConfig(25, cds.ND, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered != m.Delivered+m.Dropped {
+		t.Fatalf("offered %d != delivered %d + dropped %d", m.Offered, m.Delivered, m.Dropped)
+	}
+	if m.Offered == 0 {
+		t.Fatal("no packets offered")
+	}
+	ratio := m.DeliveryRatio()
+	if ratio < 0 || ratio > 1 {
+		t.Fatalf("delivery ratio %v", ratio)
+	}
+}
+
+func TestRunEndsAtFirstDeathByDefault(t *testing.T) {
+	m, err := Run(PaperConfig(20, cds.ID, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Truncated {
+		t.Fatal("run truncated before any death")
+	}
+	if m.FirstDeathInterval != m.Intervals {
+		t.Fatalf("stopped at interval %d but first death was %d", m.Intervals, m.FirstDeathInterval)
+	}
+	if m.AliveAtEnd >= 20 {
+		t.Fatal("no host died")
+	}
+}
+
+func TestContinueAfterDeath(t *testing.T) {
+	cfg := PaperConfig(20, cds.ID, 5)
+	cfg.ContinueAfterDeath = true
+	cfg.StopWhenAliveBelow = 0.5
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals <= m.FirstDeathInterval {
+		t.Fatalf("continued run stopped at first death (%d vs %d)", m.Intervals, m.FirstDeathInterval)
+	}
+	if m.AliveAtEnd >= 10 {
+		t.Fatalf("alive at end = %d, want < half", m.AliveAtEnd)
+	}
+}
+
+func TestMeanHopsSane(t *testing.T) {
+	m, err := Run(PaperConfig(30, cds.ND, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := m.MeanHops()
+	// In a 100x100 field with radius 25 routes are 1-8 hops typically.
+	if hops < 1 || hops > 10 {
+		t.Fatalf("mean hops = %v", hops)
+	}
+}
+
+func TestGatewayForwardsPositive(t *testing.T) {
+	m, err := Run(PaperConfig(30, cds.ND, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GatewayForwards == 0 {
+		t.Fatal("no gateway ever forwarded a packet")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(PaperConfig(20, cds.EL1, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(PaperConfig(20, cds.EL1, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Intervals != b.Intervals || a.Delivered != b.Delivered || a.Dropped != b.Dropped {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroLoad(t *testing.T) {
+	cfg := PaperConfig(15, cds.ID, 19)
+	cfg.NumFlows = 0
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered != 0 || m.DeliveryRatio() != 1 {
+		t.Fatalf("zero load metrics: %+v", m)
+	}
+	// Only idle drain: lifetime = InitialEnergy / IdleCost.
+	want := int(cfg.InitialEnergy / cfg.IdleCost)
+	if m.Intervals != want {
+		t.Fatalf("idle-only lifetime = %d, want %d", m.Intervals, want)
+	}
+}
+
+func TestStaticNetwork(t *testing.T) {
+	cfg := PaperConfig(20, cds.ND, 23)
+	cfg.Mobility = mobility.Static{}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals <= 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestEnergyPoliciesExtendTrafficLifetime(t *testing.T) {
+	// The packet-level version of the paper's claim: with forwarding
+	// charged to the hosts that do it, rotating gateway duty toward
+	// high-energy hosts delays the first death. Aggregate over seeds.
+	var idSum, elSum int
+	for seed := uint64(0); seed < 8; seed++ {
+		mi, err := Run(PaperConfig(30, cds.ID, 100+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idSum += mi.FirstDeathInterval
+		me, err := Run(PaperConfig(30, cds.EL1, 100+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		elSum += me.FirstDeathInterval
+	}
+	if elSum <= idSum {
+		t.Fatalf("EL1 total lifetime %d should exceed ID total %d under packet-level accounting",
+			elSum, idSum)
+	}
+}
+
+func TestDeliveryDegradesAfterDeaths(t *testing.T) {
+	cfg := PaperConfig(20, cds.ID, 29)
+	cfg.ContinueAfterDeath = true
+	cfg.StopWhenAliveBelow = 0.3
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With flows anchored at (possibly dead) endpoints, some drops must
+	// occur by the end of a run that killed most of the network.
+	if m.Dropped == 0 {
+		t.Fatal("no drops despite host deaths")
+	}
+}
+
+func TestEnergyAwareRoutingRuns(t *testing.T) {
+	cfg := PaperConfig(25, cds.ND, 41)
+	cfg.EnergyAwareRouting = true
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered != m.Delivered+m.Dropped {
+		t.Fatalf("conservation: %+v", m)
+	}
+	if m.FirstDeathInterval <= 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestEnergyAwareRoutingExtendsLifetime(t *testing.T) {
+	// Max-min route selection spreads forwarding load away from weak
+	// relays, delaying the first death relative to hop-count routing.
+	// Aggregate across seeds; assert aggregate improvement.
+	var hopSum, mmSum int
+	for seed := uint64(0); seed < 8; seed++ {
+		base := PaperConfig(30, cds.ND, 500+seed)
+		mh, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hopSum += mh.FirstDeathInterval
+
+		ea := base
+		ea.EnergyAwareRouting = true
+		me, err := Run(ea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mmSum += me.FirstDeathInterval
+	}
+	if mmSum <= hopSum {
+		t.Fatalf("energy-aware routing total lifetime %d should exceed hop routing %d", mmSum, hopSum)
+	}
+	t.Logf("hop-count total %d vs max-min total %d over 8 seeds", hopSum, mmSum)
+}

@@ -1,0 +1,79 @@
+package udg
+
+import (
+	"pacds/internal/geom"
+	"pacds/internal/xrand"
+)
+
+// Clustered placement — an extension beyond the paper's uniform
+// deployment. Real ad hoc deployments cluster around points of interest;
+// CDS behaviour differs sharply between the dense cores (heavy pruning
+// opportunity) and the sparse bridges between clusters (every connector
+// is critical). ClusteredPositions places hosts around k uniformly chosen
+// cluster centers with Gaussian scatter, clamped to the field.
+
+// ClusterConfig parameterizes hotspot placement.
+type ClusterConfig struct {
+	// Clusters is the number of hotspots (k >= 1).
+	Clusters int
+	// Spread is the Gaussian standard deviation of scatter around a
+	// hotspot center, in field units.
+	Spread float64
+}
+
+// ClusteredPositions places c.N hosts: each host picks one of k hotspot
+// centers uniformly and scatters around it.
+func ClusteredPositions(c Config, cc ClusterConfig, rng *xrand.RNG) []geom.Point {
+	k := cc.Clusters
+	if k < 1 {
+		k = 1
+	}
+	spread := cc.Spread
+	if spread <= 0 {
+		spread = c.Radius / 2
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: c.Field.MinX + rng.Float64()*c.Field.Width(),
+			Y: c.Field.MinY + rng.Float64()*c.Field.Height(),
+		}
+	}
+	pts := make([]geom.Point, c.N)
+	for i := range pts {
+		ctr := centers[rng.Intn(k)]
+		pts[i] = c.Field.Clamp(ctr.Add(rng.NormFloat64()*spread, rng.NormFloat64()*spread))
+	}
+	return pts
+}
+
+// RandomClustered generates an instance with hotspot placement (not
+// necessarily connected — sparse inter-cluster gaps are the point).
+func RandomClustered(c Config, cc ClusterConfig, rng *xrand.RNG) (*Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	pos := ClusteredPositions(c, cc, rng)
+	return &Instance{Config: c, Positions: pos, Graph: Build(pos, c.Field, c.Radius)}, nil
+}
+
+// RandomClusteredConnected samples clustered instances until one is
+// connected, up to maxAttempts tries.
+func RandomClusteredConnected(c Config, cc ClusterConfig, rng *xrand.RNG, maxAttempts int) (*Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 1000
+	}
+	for i := 0; i < maxAttempts; i++ {
+		inst, err := RandomClustered(c, cc, rng)
+		if err != nil {
+			return nil, err
+		}
+		if inst.Graph.IsConnected() {
+			return inst, nil
+		}
+	}
+	return nil, ErrNoConnectedInstance
+}

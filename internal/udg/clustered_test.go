@@ -1,0 +1,100 @@
+package udg
+
+import (
+	"testing"
+
+	"pacds/internal/geom"
+	"pacds/internal/xrand"
+)
+
+func TestClusteredPositionsInField(t *testing.T) {
+	cfg := PaperConfig(200)
+	pos := ClusteredPositions(cfg, ClusterConfig{Clusters: 4, Spread: 10}, xrand.New(1))
+	if len(pos) != 200 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	for i, p := range pos {
+		if !cfg.Field.Contains(p) {
+			t.Fatalf("position %d outside field: %v", i, p)
+		}
+	}
+}
+
+func TestClusteredIsActuallyClustered(t *testing.T) {
+	// Hosts scattered around 2 tight hotspots must have a much smaller
+	// mean nearest-neighbor distance than a uniform deployment.
+	cfg := PaperConfig(100)
+	uniform := RandomPositions(cfg, xrand.New(5))
+	clustered := ClusteredPositions(cfg, ClusterConfig{Clusters: 2, Spread: 5}, xrand.New(5))
+	if meanNN(clustered) >= meanNN(uniform) {
+		t.Fatalf("clustered meanNN %.2f not below uniform %.2f",
+			meanNN(clustered), meanNN(uniform))
+	}
+}
+
+func meanNN(pos []geom.Point) float64 {
+	sum := 0.0
+	for i, p := range pos {
+		best := -1.0
+		for j, q := range pos {
+			if i == j {
+				continue
+			}
+			d := p.Dist(q)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(pos))
+}
+
+func TestClusteredDefaults(t *testing.T) {
+	cfg := PaperConfig(50)
+	// Zero clusters and spread fall back to sane defaults.
+	pos := ClusteredPositions(cfg, ClusterConfig{}, xrand.New(3))
+	if len(pos) != 50 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+}
+
+func TestRandomClustered(t *testing.T) {
+	inst, err := RandomClustered(PaperConfig(60), ClusterConfig{Clusters: 3, Spread: 8}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Graph.NumNodes() != 60 {
+		t.Fatalf("nodes = %d", inst.Graph.NumNodes())
+	}
+	// Dense hotspots: average degree should be well above the uniform
+	// deployment's at the same N.
+	uni, err := Random(PaperConfig(60), xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Graph.AverageDegree() <= uni.Graph.AverageDegree() {
+		t.Fatalf("clustered avg degree %.1f not above uniform %.1f",
+			inst.Graph.AverageDegree(), uni.Graph.AverageDegree())
+	}
+}
+
+func TestRandomClusteredConnected(t *testing.T) {
+	inst, err := RandomClusteredConnected(PaperConfig(60), ClusterConfig{Clusters: 2, Spread: 12},
+		xrand.New(11), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Graph.IsConnected() {
+		t.Fatal("disconnected instance returned")
+	}
+}
+
+func TestRandomClusteredValidation(t *testing.T) {
+	if _, err := RandomClustered(Config{N: 5, Radius: 0}, ClusterConfig{}, xrand.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := RandomClusteredConnected(Config{N: 5, Radius: 0}, ClusterConfig{}, xrand.New(1), 10); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

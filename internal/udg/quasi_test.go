@@ -1,0 +1,109 @@
+package udg
+
+import (
+	"testing"
+
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+	"pacds/internal/xrand"
+)
+
+func TestQuasiValidate(t *testing.T) {
+	if err := PaperQuasiConfig(30).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []QuasiConfig{
+		{N: -1, Field: geom.Square(100), RMin: 20, RMax: 30, PZone: 0.5},
+		{N: 10, Field: geom.Square(100), RMin: 0, RMax: 30, PZone: 0.5},
+		{N: 10, Field: geom.Square(100), RMin: 30, RMax: 20, PZone: 0.5},
+		{N: 10, Field: geom.Square(100), RMin: 20, RMax: 30, PZone: 1.5},
+		{N: 10, Field: geom.Square(100), RMin: 20, RMax: 30, PZone: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestQuasiLinkRules(t *testing.T) {
+	// Every edge must be within RMax; every pair within RMin must be an
+	// edge.
+	c := PaperQuasiConfig(80)
+	inst, err := RandomQuasi(c, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMin2 := c.RMin * c.RMin
+	rMax2 := c.RMax * c.RMax
+	g := inst.Graph
+	for v := 0; v < 80; v++ {
+		for u := v + 1; u < 80; u++ {
+			d2 := inst.Positions[v].Dist2(inst.Positions[u])
+			has := g.HasEdge(graph.NodeID(v), graph.NodeID(u))
+			if d2 <= rMin2 && !has {
+				t.Fatalf("pair %d-%d within RMin but not linked", v, u)
+			}
+			if d2 > rMax2 && has {
+				t.Fatalf("pair %d-%d beyond RMax but linked", v, u)
+			}
+		}
+	}
+}
+
+func TestQuasiZoneProbability(t *testing.T) {
+	// With PZone = 0 the quasi graph equals the RMin disk graph; with
+	// PZone = 1 it equals the RMax disk graph.
+	base := PaperQuasiConfig(60)
+	for _, pz := range []float64{0, 1} {
+		c := base
+		c.PZone = pz
+		rng := xrand.New(11)
+		inst, err := RandomQuasi(c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c.RMin
+		if pz == 1 {
+			r = c.RMax
+		}
+		want := BuildBrute(inst.Positions, r)
+		if !graph.Equal(inst.Graph, want) {
+			t.Fatalf("PZone=%v: quasi graph differs from disk graph at radius %v", pz, r)
+		}
+	}
+}
+
+func TestQuasiDeterministic(t *testing.T) {
+	c := PaperQuasiConfig(50)
+	a, err := RandomQuasi(c, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomQuasi(c, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(a.Graph, b.Graph) {
+		t.Fatal("same seed produced different quasi graphs")
+	}
+}
+
+func TestQuasiConnectedSampling(t *testing.T) {
+	inst, err := RandomQuasiConnected(PaperQuasiConfig(60), xrand.New(17), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Graph.IsConnected() {
+		t.Fatal("disconnected instance returned")
+	}
+}
+
+func TestQuasiInvalidRejected(t *testing.T) {
+	if _, err := RandomQuasi(QuasiConfig{N: 5, RMin: -1, RMax: 10}, xrand.New(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := RandomQuasiConnected(QuasiConfig{N: 5, RMin: -1, RMax: 10}, xrand.New(1), 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

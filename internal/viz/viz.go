@@ -1,0 +1,149 @@
+// Package viz renders network snapshots as SVG: host positions, wireless
+// links, the gateway backbone, and (optionally) per-host energy levels.
+// Pure stdlib; the output opens in any browser.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Size is the square canvas side in pixels (default 640).
+	Size int
+	// Labels draws host ids next to the nodes.
+	Labels bool
+	// Title is drawn in the top-left corner when non-empty.
+	Title string
+}
+
+// SVG renders a snapshot. gateway may be nil (no backbone highlighting);
+// energy may be nil (uniform node fill). positions must cover every node
+// of g, and field must contain the positions for sensible scaling.
+func SVG(w io.Writer, g *graph.Graph, positions []geom.Point, field geom.Rect,
+	gateway []bool, energy []float64, opt Options) error {
+	if len(positions) != g.NumNodes() {
+		return fmt.Errorf("viz: %d positions for %d nodes", len(positions), g.NumNodes())
+	}
+	if gateway != nil && len(gateway) != g.NumNodes() {
+		return fmt.Errorf("viz: %d gateway entries for %d nodes", len(gateway), g.NumNodes())
+	}
+	if energy != nil && len(energy) != g.NumNodes() {
+		return fmt.Errorf("viz: %d energy entries for %d nodes", len(energy), g.NumNodes())
+	}
+	size := opt.Size
+	if size <= 0 {
+		size = 640
+	}
+	const margin = 24
+	scaleX := float64(size-2*margin) / nonzero(field.Width())
+	scaleY := float64(size-2*margin) / nonzero(field.Height())
+	px := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip so the field reads like a plot.
+		return margin + (p.X-field.MinX)*scaleX,
+			float64(size) - margin - (p.Y-field.MinY)*scaleY
+	}
+
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	pr(`<rect width="%d" height="%d" fill="#fafafa"/>`+"\n", size, size)
+
+	// Links first, so nodes draw on top. Backbone links (both endpoints
+	// gateways) are emphasized.
+	g.Edges(func(u, v graph.NodeID) {
+		x1, y1 := px(positions[u])
+		x2, y2 := px(positions[v])
+		if gateway != nil && gateway[u] && gateway[v] {
+			pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d4553a" stroke-width="2.2"/>`+"\n",
+				x1, y1, x2, y2)
+		} else {
+			pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#c9c9c9" stroke-width="0.8"/>`+"\n",
+				x1, y1, x2, y2)
+		}
+	})
+
+	for v := 0; v < g.NumNodes(); v++ {
+		x, y := px(positions[v])
+		fill := "#6b7fbf"
+		r := 5.0
+		if gateway != nil && gateway[v] {
+			fill = "#d4553a"
+			r = 7.0
+		}
+		pr(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333" stroke-width="0.7"/>`+"\n",
+			x, y, r, fill)
+		if energy != nil {
+			// Energy arc: a ring whose opacity tracks the remaining level
+			// relative to the maximum level present.
+			frac := energyFraction(energy, v)
+			pr(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#2a9d4e" stroke-width="2" stroke-opacity="%.2f"/>`+"\n",
+				x, y, r+3, frac)
+		}
+		if opt.Labels {
+			pr(`<text x="%.1f" y="%.1f" font-size="9" fill="#222">%d</text>`+"\n",
+				x+r+2, y-2, v)
+		}
+	}
+	if opt.Title != "" {
+		pr(`<text x="%d" y="%d" font-size="13" fill="#111">%s</text>`+"\n", margin, 16, xmlEscape(opt.Title))
+	}
+	pr("</svg>\n")
+	return err
+}
+
+func nonzero(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+func energyFraction(energy []float64, v int) float64 {
+	max := 0.0
+	for _, e := range energy {
+		if e > max {
+			max = e
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	f := energy[v] / max
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

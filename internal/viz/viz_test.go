@@ -1,0 +1,133 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+func testInstance(t *testing.T) *udg.Instance {
+	t.Helper()
+	inst, err := udg.RandomConnected(udg.PaperConfig(25), xrand.New(3), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	inst := testInstance(t)
+	res := cds.MustCompute(inst.Graph, cds.ND, nil)
+	var buf bytes.Buffer
+	err := SVG(&buf, inst.Graph, inst.Positions, inst.Config.Field, res.Gateway, nil,
+		Options{Title: "test <render>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("not an svg document: %.80s ... %.40s", out, out[len(out)-40:])
+	}
+	// One circle per node (no energy rings requested).
+	if got := strings.Count(out, "<circle "); got != inst.Graph.NumNodes() {
+		t.Fatalf("circles = %d, want %d", got, inst.Graph.NumNodes())
+	}
+	if got := strings.Count(out, "<line "); got != inst.Graph.NumEdges() {
+		t.Fatalf("lines = %d, want %d", got, inst.Graph.NumEdges())
+	}
+	if !strings.Contains(out, "&lt;render&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGEnergyRings(t *testing.T) {
+	inst := testInstance(t)
+	energy := make([]float64, inst.Graph.NumNodes())
+	for i := range energy {
+		energy[i] = 100
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, inst.Graph, inst.Positions, inst.Config.Field, nil, energy, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Two circles per node now: body + energy ring.
+	if got := strings.Count(buf.String(), "<circle "); got != 2*inst.Graph.NumNodes() {
+		t.Fatalf("circles = %d, want %d", got, 2*inst.Graph.NumNodes())
+	}
+}
+
+func TestSVGBackboneEmphasis(t *testing.T) {
+	// A P3 with the middle node a gateway has no gateway-gateway edge;
+	// making both ends gateways creates none either — use a P3 with two
+	// adjacent gateways.
+	g := graph.Path(3)
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}, {X: 100, Y: 100}}
+	gateway := []bool{false, true, true}
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, pos, geom.Square(100), gateway, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, `stroke="#d4553a" stroke-width="2.2"`) != 1 {
+		t.Fatalf("expected exactly one backbone link:\n%s", out)
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	g := graph.Path(3)
+	pos := []geom.Point{{X: 0, Y: 0}}
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, pos, geom.Square(100), nil, nil, Options{}); err == nil {
+		t.Fatal("short positions accepted")
+	}
+	pos3 := []geom.Point{{}, {}, {}}
+	if err := SVG(&buf, g, pos3, geom.Square(100), []bool{true}, nil, Options{}); err == nil {
+		t.Fatal("short gateway slice accepted")
+	}
+	if err := SVG(&buf, g, pos3, geom.Square(100), nil, []float64{1}, Options{}); err == nil {
+		t.Fatal("short energy slice accepted")
+	}
+}
+
+func TestSVGLabels(t *testing.T) {
+	g := graph.Path(2)
+	pos := []geom.Point{{X: 10, Y: 10}, {X: 90, Y: 90}}
+	var buf bytes.Buffer
+	if err := SVG(&buf, g, pos, geom.Square(100), nil, nil, Options{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<text ") != 2 {
+		t.Fatalf("labels missing:\n%s", buf.String())
+	}
+}
+
+func TestSVGDegenerateField(t *testing.T) {
+	g := graph.New(1)
+	pos := []geom.Point{{X: 5, Y: 5}}
+	var buf bytes.Buffer
+	// Zero-extent field must not divide by zero.
+	if err := SVG(&buf, g, pos, geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}, nil, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	inst := testInstance(t)
+	res := cds.MustCompute(inst.Graph, cds.ID, nil)
+	render := func() string {
+		var buf bytes.Buffer
+		if err := SVG(&buf, inst.Graph, inst.Positions, inst.Config.Field, res.Gateway, nil, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("nondeterministic rendering")
+	}
+}

@@ -1,0 +1,161 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Reproducibility is a first-class requirement for the experiments in this
+// repository: every figure series must be regenerable from a single master
+// seed. math/rand's global state is unsuitable (shared, lockable, and its
+// seeding behaviour changed across Go releases), so we implement an explicit
+// generator: xoshiro256** seeded via splitmix64, following the reference
+// algorithms by Blackman and Vigna. Streams can be split deterministically
+// with Split, so that independent components (placement, mobility, traffic)
+// draw from statistically independent sequences derived from one seed.
+package xrand
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator. It is NOT safe for
+// concurrent use; create one RNG per goroutine via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used both to expand seeds and to derive child stream seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Any seed value, including zero,
+// yields a well-mixed internal state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256** must not start from the all-zero state; splitmix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's sequence is a
+// deterministic function of the parent's current state and the label, and
+// the parent is advanced so successive Splits yield distinct children.
+func (r *RNG) Split(label uint64) *RNG {
+	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// multiply-then-reject method, which avoids modulo bias.
+func (r *RNG) boundedUint64(bound uint64) uint64 {
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return hi
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b, returning high and low
+// 64-bit halves. Implemented manually to keep the package dependency-free
+// beyond math (math/bits would also work; this spells out the arithmetic).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	c := t >> 32
+	t = a1*b0 + c
+	mid := t & mask
+	c = t >> 32
+	t = a0*b1 + mid
+	lo |= (t & mask) << 32
+	hi = a1*b1 + c + (t >> 32)
+	return hi, lo
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1, using the Marsaglia polar method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

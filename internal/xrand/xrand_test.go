@@ -1,0 +1,278 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(13)
+	counts := map[int]int{}
+	for i := 0; i < 8000; i++ {
+		v := r.IntRange(1, 8)
+		if v < 1 || v > 8 {
+			t.Fatalf("IntRange(1,8) = %d", v)
+		}
+		counts[v]++
+	}
+	for v := 1; v <= 8; v++ {
+		if counts[v] < 700 {
+			t.Fatalf("IntRange(1,8): value %d appeared only %d/8000 times", v, counts[v])
+		}
+	}
+}
+
+func TestIntRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(5,4) did not panic")
+		}
+	}()
+	New(1).IntRange(5, 4)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared style sanity check: with 10 buckets and 100k draws each
+	// bucket should hold close to 10k.
+	r := New(17)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if c < 9500 || c > 10500 {
+			t.Fatalf("bucket %d has %d draws, want ~10000", b, c)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split(1)
+	c2 := parent.Split(1) // same label, later parent state -> different stream
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling splits share %d/100 outputs", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	mk := func() *RNG { return New(5).Split(3) }
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at %d", i)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(21)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) is not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Fatalf("Perm(0) = %v, want empty", p)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatalf("Shuffle lost elements: %v (orig %v)", xs, orig)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(31)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(37)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestMul64AgainstBigProducts(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 1, 0, math.MaxUint64},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{0xdeadbeefcafebabe, 0x123456789abcdef0, 0x0fd5bdeeeb2a01d7, 0xeb689f4ea447d620},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%#x, %#x) = (%#x, %#x), want (%#x, %#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Property(t *testing.T) {
+	// Property: (a*b) mod 2^64 computed via mul64's low half must agree with
+	// Go's native wrapping multiplication.
+	f := func(a, b uint64) bool {
+		_, lo := mul64(a, b)
+		return lo == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnNoModuloBias(t *testing.T) {
+	// For a bound that does not divide 2^64, Lemire rejection must still be
+	// uniform. Use bound 3 and check counts are balanced.
+	r := New(41)
+	const n = 90000
+	counts := [3]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Intn(3)]++
+	}
+	for i, c := range counts {
+		if c < 29000 || c > 31000 {
+			t.Fatalf("Intn(3): bucket %d = %d, want ~30000", i, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(100)
+	}
+}

@@ -1,0 +1,458 @@
+// Package pacds is the public API of this repository: a library for
+// computing power-aware connected dominating sets (CDS) in ad hoc wireless
+// networks, after
+//
+//	Jie Wu, Ming Gao, Ivan Stojmenovic.
+//	"On Calculating Power-Aware Connected Dominating Sets for Efficient
+//	Routing in Ad Hoc Wireless Networks." ICPP 2001.
+//
+// The package re-exports the implementation packages' user-facing types
+// and functions so downstream code needs a single import:
+//
+//	g := pacds.FromEdges(5, [][2]pacds.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+//	res, err := pacds.Compute(g, pacds.ND, nil)
+//	// res.Gateway is a connected dominating set of g.
+//
+// Functional areas:
+//
+//   - Graphs: NewGraph, FromEdges, ReadGraph, WriteGraph and the Graph
+//     methods (Neighbors, BFS, connectivity, induced subgraphs).
+//   - CDS: Mark (the Wu-Li marking process), Compute / ApplyRules with the
+//     five policies NR, ID, ND, EL1, EL2, invariant checkers VerifyCDS and
+//     VerifyProperty3, and IncrementalMarker for localized updates.
+//   - Random networks: RandomNetwork / RandomConnectedNetwork build
+//     unit-disk topologies; mobility models move hosts.
+//   - Energy: battery Levels and the drain models of the paper's three
+//     traffic assumptions (plus premise-consistent per-gateway variants).
+//   - Routing: NewRouter builds gateway membership lists and routing
+//     tables and answers Route/Stretch queries (paper Section 2.1).
+//   - Simulation: SimConfig / RunSim / RunSimTrials reproduce the paper's
+//     lifetime experiment; the experiments subcommands regenerate every
+//     figure.
+//   - Distributed execution: RunDistributed executes the marking process
+//     and rules as a message-passing protocol and reports its cost;
+//     NewMaintenanceSession maintains the CDS across topology changes with
+//     localized traffic; RunAsync studies unserialized rule application.
+//   - Extensions: Rule-k pruning, packet-level traffic with per-hop
+//     energy accounting, max-min energy routing, broadcast via CDS,
+//     quasi-UDG and clustered deployments, SVG rendering.
+package pacds
+
+import (
+	"io"
+
+	"pacds/internal/broadcast"
+	"pacds/internal/cds"
+	"pacds/internal/des"
+	"pacds/internal/distributed"
+	"pacds/internal/energy"
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+	"pacds/internal/mobility"
+	"pacds/internal/routing"
+	"pacds/internal/sim"
+	"pacds/internal/traffic"
+	"pacds/internal/udg"
+	"pacds/internal/viz"
+	"pacds/internal/xrand"
+)
+
+// --- Graphs ---
+
+// Graph is an undirected simple graph over nodes [0, n).
+type Graph = graph.Graph
+
+// NodeID identifies a vertex.
+type NodeID = graph.NodeID
+
+// NewGraph returns a graph with n isolated nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// FromEdges builds a graph with n nodes and the given undirected edges.
+func FromEdges(n int, edges [][2]NodeID) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadGraph decodes a graph from the textual edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph encodes a graph in the textual edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// --- CDS policies and computation ---
+
+// Policy selects the pruning rule set.
+type Policy = cds.Policy
+
+// The five policies of the paper's evaluation.
+const (
+	NR  = cds.NR  // marking process only, no rules
+	ID  = cds.ID  // original Wu-Li Rules 1 and 2 (node ID)
+	ND  = cds.ND  // Rules 1a/2a (node degree)
+	EL1 = cds.EL1 // Rules 1b/2b (energy level, ID tie-break)
+	EL2 = cds.EL2 // Rules 1b'/2b' (energy level, degree then ID tie-break)
+)
+
+// Policies lists all policies in the paper's order.
+var Policies = cds.Policies
+
+// PolicyByName parses a policy label ("NR", "ID", "ND", "EL1", "EL2").
+func PolicyByName(name string) (Policy, error) { return cds.ByName(name) }
+
+// CDSResult is the outcome of the marking process plus rule application.
+type CDSResult = cds.Result
+
+// Mark runs the Wu-Li marking process and returns the markers.
+func Mark(g *Graph) []bool { return cds.Mark(g) }
+
+// Compute runs the marking process and the policy's pruning rules. energy
+// is required for EL1/EL2 (one level per node) and ignored otherwise.
+func Compute(g *Graph, p Policy, energy []float64) (*CDSResult, error) {
+	return cds.Compute(g, p, energy)
+}
+
+// ApplyRules applies a policy's rules to an existing marking snapshot.
+func ApplyRules(g *Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	return cds.ApplyRules(g, p, marked, energy)
+}
+
+// VerifyCDS checks that gateway is a connected dominating set of g.
+func VerifyCDS(g *Graph, gateway []bool) error { return cds.VerifyCDS(g, gateway) }
+
+// VerifyProperty3 checks the paper's Property 3 for a marking: every pair
+// of hosts has a shortest path whose interior is marked.
+func VerifyProperty3(g *Graph, marked []bool) error { return cds.VerifyProperty3(g, marked) }
+
+// IncrementalMarker maintains markers under edge updates, recomputing only
+// the affected hosts (the paper's locality property).
+type IncrementalMarker = cds.IncrementalMarker
+
+// NewIncrementalMarker starts incremental tracking for g.
+func NewIncrementalMarker(g *Graph) *IncrementalMarker { return cds.NewIncrementalMarker(g) }
+
+// CDSReport summarizes backbone quality (size, diameter, cut vertices,
+// first-hop redundancy).
+type CDSReport = cds.Report
+
+// AnalyzeCDS computes a quality report for a gateway assignment.
+func AnalyzeCDS(g *Graph, gateway []bool) (*CDSReport, error) { return cds.Analyze(g, gateway) }
+
+// --- Geometry and random networks ---
+
+// Point is a 2-D location.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Square returns the square [0, side] x [0, side].
+func Square(side float64) Rect { return geom.Square(side) }
+
+// Network is a generated unit-disk network instance: host positions plus
+// the induced connectivity graph.
+type Network = udg.Instance
+
+// NetworkConfig describes a random unit-disk network.
+type NetworkConfig = udg.Config
+
+// PaperNetworkConfig returns the paper's parameters (100x100 field,
+// radius 25) for n hosts.
+func PaperNetworkConfig(n int) NetworkConfig { return udg.PaperConfig(n) }
+
+// RNG is the deterministic random number generator used across the
+// library.
+type RNG = xrand.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// RandomNetwork places hosts uniformly at random and builds the unit-disk
+// graph.
+func RandomNetwork(c NetworkConfig, rng *RNG) (*Network, error) { return udg.Random(c, rng) }
+
+// RandomConnectedNetwork samples random networks until one is connected.
+func RandomConnectedNetwork(c NetworkConfig, rng *RNG, maxAttempts int) (*Network, error) {
+	return udg.RandomConnected(c, rng, maxAttempts)
+}
+
+// BuildUnitDiskGraph constructs the unit-disk graph over fixed positions.
+func BuildUnitDiskGraph(positions []Point, field Rect, radius float64) *Graph {
+	return udg.Build(positions, field, radius)
+}
+
+// --- Mobility ---
+
+// MobilityModel advances host positions by one update interval.
+type MobilityModel = mobility.Model
+
+// PaperMobility is the paper's 8-direction probabilistic hop model.
+type PaperMobility = mobility.Paper
+
+// NewPaperMobility returns the model with the paper's parameters
+// (c = 0.5, l in [1..6], clamped boundaries).
+func NewPaperMobility() *PaperMobility { return mobility.NewPaper() }
+
+// RandomWalk and RandomWaypoint are extension mobility models.
+type (
+	RandomWalk     = mobility.RandomWalk
+	RandomWaypoint = mobility.RandomWaypoint
+	StaticHosts    = mobility.Static
+)
+
+// --- Energy ---
+
+// DrainModel computes the per-gateway drain per update interval.
+type DrainModel = energy.DrainModel
+
+// Literal drain models from the paper (total traffic split across |G'|).
+type (
+	ConstantDrain  = energy.Constant
+	LinearDrain    = energy.Linear
+	QuadraticDrain = energy.Quadratic
+)
+
+// Premise-consistent per-gateway variants (see package energy).
+type (
+	ConstantPerGWDrain  = energy.ConstantPerGW
+	LinearPerGWDrain    = energy.LinearPerGW
+	QuadraticPerGWDrain = energy.QuadraticPerGW
+)
+
+// DrainByName parses a drain model name ("const", "linear", "quadratic",
+// or a "-pergw" variant).
+func DrainByName(name string) (DrainModel, error) { return energy.ByName(name) }
+
+// EnergyLevels tracks per-host battery levels.
+type EnergyLevels = energy.Levels
+
+// NewEnergyLevels returns batteries for n hosts at the given initial
+// level.
+func NewEnergyLevels(n int, initial float64) *EnergyLevels { return energy.NewLevels(n, initial) }
+
+// --- Routing ---
+
+// Router answers dominating-set-based routing queries (paper Section 2.1).
+type Router = routing.Router
+
+// RoutingTableEntry is one row of a gateway routing table (Figure 2c).
+type RoutingTableEntry = routing.TableEntry
+
+// NewRouter builds a router for a topology and gateway assignment.
+func NewRouter(g *Graph, gateway []bool) (*Router, error) { return routing.New(g, gateway) }
+
+// DVStats reports the cost of distributed routing-table construction.
+type DVStats = routing.DVStats
+
+// BuildTablesDistanceVector constructs the gateway routing tables the
+// distributed way — distance-vector exchange over backbone links — and
+// returns the pairwise gateway distances plus protocol cost. The result
+// equals the centrally-built tables (tested exhaustively).
+func BuildTablesDistanceVector(g *Graph, gateway []bool) ([][]int, DVStats, error) {
+	return routing.BuildTablesDistanceVector(g, gateway)
+}
+
+// --- Simulation ---
+
+// SimConfig parameterizes a lifetime simulation run.
+type SimConfig = sim.Config
+
+// SimMetrics reports the outcome of one run.
+type SimMetrics = sim.Metrics
+
+// SimTrialStats aggregates metrics across trials.
+type SimTrialStats = sim.TrialStats
+
+// PaperSimConfig returns the paper's lifetime-simulation parameters.
+func PaperSimConfig(n int, p Policy, drain DrainModel, seed uint64) SimConfig {
+	return sim.PaperConfig(n, p, drain, seed)
+}
+
+// RunSim executes one lifetime simulation.
+func RunSim(cfg SimConfig) (*SimMetrics, error) { return sim.Run(cfg) }
+
+// RunSimTrials executes several independent runs and aggregates them.
+func RunSimTrials(cfg SimConfig, trials int) (*SimTrialStats, error) {
+	return sim.RunTrials(cfg, trials)
+}
+
+// --- Distributed execution ---
+
+// DistributedStats reports message-passing protocol costs.
+type DistributedStats = distributed.Stats
+
+// RunDistributed executes the marking process and rules as a synchronous
+// message-passing protocol, using only per-host local knowledge, and
+// returns the gateway assignment plus protocol costs. The result always
+// equals Compute's (tested exhaustively in the distributed package).
+func RunDistributed(g *Graph, p Policy, energy []float64) ([]bool, DistributedStats, error) {
+	return distributed.Run(g, p, energy)
+}
+
+// --- Extensions beyond the paper ---
+
+// ApplyRuleK applies the Rule-k generalization (coverage by any connected
+// set of higher-priority marked neighbors) — the lineage of the paper's
+// future work. See internal/cds/rulek.go.
+func ApplyRuleK(g *Graph, p Policy, marked []bool, energy []float64) ([]bool, error) {
+	return cds.ApplyRuleK(g, p, marked, energy)
+}
+
+// RunSimTrialsParallel is RunSimTrials across a worker pool; results are
+// bit-identical to the sequential version for the same configuration.
+func RunSimTrialsParallel(cfg SimConfig, trials, workers int) (*SimTrialStats, error) {
+	return sim.RunTrialsParallel(cfg, trials, workers)
+}
+
+// TrafficConfig parameterizes the packet-level simulation, where
+// forwarding work (per-hop tx/rx costs) drains the hosts that perform it.
+type TrafficConfig = traffic.Config
+
+// TrafficMetrics reports a packet-level run's outcome.
+type TrafficMetrics = traffic.Metrics
+
+// TrafficFlow is one constant-bit-rate conversation.
+type TrafficFlow = traffic.Flow
+
+// PaperTrafficConfig returns a packet-level configuration on the paper's
+// field with a moderate constant-bit-rate load.
+func PaperTrafficConfig(n int, p Policy, seed uint64) TrafficConfig {
+	return traffic.PaperConfig(n, p, seed)
+}
+
+// RunTraffic executes one packet-level simulation.
+func RunTraffic(cfg TrafficConfig) (*TrafficMetrics, error) { return traffic.Run(cfg) }
+
+// ApplyRulesFixpoint iterates a policy's rules to a fixpoint (the
+// sequential single pass is empirically already a fixpoint; see
+// internal/cds/fixpoint.go).
+func ApplyRulesFixpoint(g *Graph, p Policy, marked []bool, energy []float64) ([]bool, int, error) {
+	return cds.ApplyRulesFixpoint(g, p, marked, energy)
+}
+
+// ExtendedSimMetrics reports a lifetime run continued past the first
+// death (death timeline, half-death interval).
+type ExtendedSimMetrics = sim.ExtendedMetrics
+
+// RunSimExtended continues a lifetime simulation until the alive fraction
+// drops below stopAliveFrac, with dead hosts removed from the topology.
+func RunSimExtended(cfg SimConfig, stopAliveFrac float64) (*ExtendedSimMetrics, error) {
+	return sim.RunExtended(cfg, stopAliveFrac)
+}
+
+// MaintenanceSession maintains a CDS across topology changes with
+// localized message traffic (paper Section 2.2).
+type MaintenanceSession = distributed.Session
+
+// EdgeChange is one link-layer event fed to a MaintenanceSession.
+type EdgeChange = distributed.EdgeChange
+
+// NewMaintenanceSession bootstraps a maintenance session with the full
+// protocol; subsequent topology changes cost only localized messages.
+func NewMaintenanceSession(g *Graph, p Policy, energy []float64) (*MaintenanceSession, error) {
+	return distributed.NewSession(g, p, energy)
+}
+
+// ClusterConfig parameterizes hotspot (non-uniform) host placement.
+type ClusterConfig = udg.ClusterConfig
+
+// RandomClusteredNetwork generates a hotspot-deployed instance.
+func RandomClusteredNetwork(c NetworkConfig, cc ClusterConfig, rng *RNG) (*Network, error) {
+	return udg.RandomClustered(c, cc, rng)
+}
+
+// RandomClusteredConnectedNetwork samples hotspot instances until one is
+// connected.
+func RandomClusteredConnectedNetwork(c NetworkConfig, cc ClusterConfig, rng *RNG, maxAttempts int) (*Network, error) {
+	return udg.RandomClusteredConnected(c, cc, rng, maxAttempts)
+}
+
+// RenderSVG draws a network snapshot (positions, links, gateway backbone,
+// optional energy rings) as SVG.
+func RenderSVG(w io.Writer, g *Graph, positions []Point, field Rect,
+	gateway []bool, energy []float64, opt RenderOptions) error {
+	return viz.SVG(w, g, positions, field, gateway, energy, opt)
+}
+
+// RenderOptions controls RenderSVG.
+type RenderOptions = viz.Options
+
+// BroadcastMetrics reports one network-wide dissemination.
+type BroadcastMetrics = broadcast.Metrics
+
+// Flood disseminates a message from src with every host relaying (blind
+// flooding).
+func Flood(g *Graph, src NodeID) BroadcastMetrics { return broadcast.Flood(g, src) }
+
+// BroadcastViaCDS disseminates from src with only gateway hosts relaying —
+// the canonical CDS application; reaches the same coverage with |G'| + 1
+// transmissions instead of N.
+func BroadcastViaCDS(g *Graph, src NodeID, gateway []bool) (BroadcastMetrics, error) {
+	return broadcast.ViaCDS(g, src, gateway)
+}
+
+// BroadcastSaving returns the fraction of transmissions the CDS broadcast
+// avoids relative to flooding.
+func BroadcastSaving(flood, cds BroadcastMetrics) float64 { return broadcast.Saving(flood, cds) }
+
+// QuasiNetworkConfig describes a quasi unit-disk network (reliable inner
+// radius, probabilistic transition zone, hard outer radius).
+type QuasiNetworkConfig = udg.QuasiConfig
+
+// PaperQuasiNetworkConfig brackets the paper's radius 25 with RMin=20,
+// RMax=30, zone probability 0.5.
+func PaperQuasiNetworkConfig(n int) QuasiNetworkConfig { return udg.PaperQuasiConfig(n) }
+
+// RandomQuasiNetwork generates a quasi unit-disk instance.
+func RandomQuasiNetwork(c QuasiNetworkConfig, rng *RNG) (*Network, error) {
+	return udg.RandomQuasi(c, rng)
+}
+
+// RandomQuasiConnectedNetwork samples quasi instances until one is
+// connected.
+func RandomQuasiConnectedNetwork(c QuasiNetworkConfig, rng *RNG, maxAttempts int) (*Network, error) {
+	return udg.RandomQuasiConnected(c, rng, maxAttempts)
+}
+
+// ApplyRulesOrdered applies a policy's rules under an explicit processing
+// order (any permutation yields a valid CDS; see internal/cds/order.go).
+func ApplyRulesOrdered(g *Graph, p Policy, marked []bool, energy []float64, order []NodeID) ([]bool, error) {
+	return cds.ApplyRulesOrdered(g, p, marked, energy, order)
+}
+
+// AsyncConfig parameterizes a fully asynchronous (discrete-event) rule
+// application with random evaluation times and transmission delays.
+type AsyncConfig = des.Config
+
+// AsyncResult reports an asynchronous execution, including whether the
+// final set violated the CDS property (the failure mode the serialized
+// semantics prevents).
+type AsyncResult = des.Result
+
+// DefaultAsyncConfig returns the adversarial-delay asynchronous setup.
+func DefaultAsyncConfig(p Policy, seed uint64) AsyncConfig { return des.DefaultConfig(p, seed) }
+
+// RunAsync executes the rule phase asynchronously over g.
+func RunAsync(g *Graph, cfg AsyncConfig, energy []float64) (*AsyncResult, error) {
+	return des.Run(g, cfg, energy)
+}
+
+// DistributedSimMetrics reports a lifetime simulation executed end-to-end
+// through the message-passing maintenance session, including the
+// cumulative protocol cost.
+type DistributedSimMetrics = sim.DistributedMetrics
+
+// RunSimDistributed runs the paper's lifetime experiment through the
+// distributed maintenance session; the maintained gateway set is checked
+// against the centralized computation every interval.
+func RunSimDistributed(cfg SimConfig) (*DistributedSimMetrics, error) {
+	return sim.RunDistributed(cfg)
+}
+
+// ChurnSimConfig adds on/off switching (the paper's "special form of
+// mobility") to a lifetime simulation.
+type ChurnSimConfig = sim.ChurnConfig
+
+// ChurnSimMetrics reports a churn run.
+type ChurnSimMetrics = sim.ChurnMetrics
+
+// RunSimChurn executes a lifetime simulation where hosts power down and
+// return probabilistically, saving battery while off.
+func RunSimChurn(cfg ChurnSimConfig) (*ChurnSimMetrics, error) { return sim.RunChurn(cfg) }

@@ -1,0 +1,408 @@
+package pacds
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The facade tests double as end-to-end exercises of the public API: they
+// touch only identifiers exported by this package.
+
+func TestFacadeComputeCDS(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3}})
+	res, err := Compute(g, NR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGateways() != 2 {
+		t.Fatalf("gateways = %v", res.GatewayIDs())
+	}
+	if err := VerifyCDS(g, res.Gateway); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProperty3(g, res.Marked); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Generate network -> compute CDS -> route -> simulate.
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(30), NewRNG(1), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(net.Graph, ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(net.Graph, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := router.Route(0, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 1 || path[0] != 0 {
+		t.Fatalf("path = %v", path)
+	}
+
+	cfg := PaperSimConfig(20, EL1, LinearDrain{}, 9)
+	m, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(25), NewRNG(2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, stats, err := RunDistributed(net.Graph, ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages == 0 || stats.Rounds == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	want, err := Compute(net.Graph, ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gw {
+		if gw[v] != want.Gateway[v] {
+			t.Fatalf("distributed != centralized at node %d", v)
+		}
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 4 || got.NumEdges() != 3 {
+		t.Fatalf("round trip: %d nodes %d edges", got.NumNodes(), got.NumEdges())
+	}
+}
+
+func TestFacadeNames(t *testing.T) {
+	p, err := PolicyByName("EL2")
+	if err != nil || p != EL2 {
+		t.Fatalf("PolicyByName: %v %v", p, err)
+	}
+	d, err := DrainByName("quadratic-pergw")
+	if err != nil || d.Name() != "quadratic-pergw" {
+		t.Fatalf("DrainByName: %v %v", d, err)
+	}
+}
+
+func TestFacadeIncrementalMarker(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	im := NewIncrementalMarker(g)
+	before := append([]bool(nil), im.Marked()...)
+	im.AddEdge(0, 3)
+	after := im.Marked()
+	same := true
+	for i := range after {
+		if after[i] != before[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("closing the cycle should change some markers")
+	}
+}
+
+func TestFacadeRuleK(t *testing.T) {
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(30), NewRNG(5), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := Mark(net.Graph)
+	gw, err := ApplyRuleK(net.Graph, ND, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCDS(net.Graph, gw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTraffic(t *testing.T) {
+	cfg := PaperTrafficConfig(15, ND, 9)
+	m, err := RunTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered != m.Delivered+m.Dropped {
+		t.Fatalf("conservation: %+v", m)
+	}
+}
+
+func TestFacadeParallelTrials(t *testing.T) {
+	cfg := PaperSimConfig(12, ND, LinearDrain{}, 3)
+	seq, err := RunSimTrials(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSimTrialsParallel(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Lifetime {
+		if seq.Lifetime[i] != par.Lifetime[i] {
+			t.Fatal("parallel trials diverged from sequential")
+		}
+	}
+}
+
+func TestFacadeEnergyAndMobility(t *testing.T) {
+	levels := NewEnergyLevels(5, 100)
+	if levels.N() != 5 {
+		t.Fatal("levels wrong")
+	}
+	var m MobilityModel = NewPaperMobility()
+	pts := []Point{{X: 50, Y: 50}}
+	m.Step(pts, Square(100), NewRNG(3))
+	// Static model compiles through the alias too.
+	var s MobilityModel = StaticHosts{}
+	s.Step(pts, Square(100), NewRNG(4))
+}
+
+func TestFacadeMaintenanceSession(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	s, err := NewMaintenanceSession(g, ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyChanges([]EdgeChange{{A: 0, B: 4, Up: true}}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 4)
+	want, err := Compute(g, ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Gateways()
+	for v := range got {
+		if got[v] != want.Gateway[v] {
+			t.Fatalf("session diverged at node %d", v)
+		}
+	}
+}
+
+func TestFacadeExtendedSim(t *testing.T) {
+	cfg := PaperSimConfig(15, ND, LinearDrain{}, 7)
+	m, err := RunSimExtended(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FirstDeath <= 0 || m.HalfDeath < m.FirstDeath {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFacadeFixpointAndClustered(t *testing.T) {
+	net, err := RandomClusteredConnectedNetwork(PaperNetworkConfig(40),
+		ClusterConfig{Clusters: 3, Spread: 10}, NewRNG(13), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := Mark(net.Graph)
+	gw, passes, err := ApplyRulesFixpoint(net.Graph, ND, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 1 {
+		t.Fatalf("passes = %d", passes)
+	}
+	if err := VerifyCDS(net.Graph, gw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRenderSVG(t *testing.T) {
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(12), NewRNG(17), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(net.Graph, ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = RenderSVG(&buf, net.Graph, net.Positions, net.Config.Field,
+		res.Gateway, nil, RenderOptions{Title: "facade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("</svg>")) {
+		t.Fatal("no svg output")
+	}
+}
+
+func TestFacadeBroadcast(t *testing.T) {
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(30), NewRNG(19), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(net.Graph, ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood := Flood(net.Graph, 0)
+	via, err := BroadcastViaCDS(net.Graph, 0, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.Reached != 30 || flood.Reached != 30 {
+		t.Fatalf("coverage: flood %d cds %d", flood.Reached, via.Reached)
+	}
+	if BroadcastSaving(flood, via) <= 0 {
+		t.Fatal("CDS broadcast saved nothing")
+	}
+}
+
+func TestFacadeMaxMinRouting(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	r, err := NewRouter(g, []bool{false, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.RouteMaxMin(0, 3, []float64{100, 10, 90, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("path = %v, want relay 2", path)
+	}
+}
+
+func TestFacadeRemainingSurface(t *testing.T) {
+	// Exercise the remaining thin wrappers end to end.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	marked := Mark(g)
+	gw, err := ApplyRules(g, ND, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCDS(g, gw); err != nil {
+		t.Fatal(err)
+	}
+	order := []NodeID{3, 2, 1, 0}
+	gwo, err := ApplyRulesOrdered(g, ND, marked, nil, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCDS(g, gwo); err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := RandomNetwork(PaperNetworkConfig(20), NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := BuildUnitDiskGraph(net.Positions, net.Config.Field, net.Config.Radius)
+	if rebuilt.NumEdges() != net.Graph.NumEdges() {
+		t.Fatal("BuildUnitDiskGraph disagrees with instance graph")
+	}
+
+	cnet, err := RandomClusteredNetwork(PaperNetworkConfig(20), ClusterConfig{Clusters: 2, Spread: 8}, NewRNG(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnet.Graph.NumNodes() != 20 {
+		t.Fatal("clustered network wrong size")
+	}
+
+	qc := PaperQuasiNetworkConfig(25)
+	qnet, err := RandomQuasiNetwork(qc, NewRNG(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qnet.Graph.NumNodes() != 25 {
+		t.Fatal("quasi network wrong size")
+	}
+	qconn, err := RandomQuasiConnectedNetwork(PaperQuasiNetworkConfig(40), NewRNG(37), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qconn.Graph.IsConnected() {
+		t.Fatal("quasi connected sampler returned disconnected graph")
+	}
+
+	r, err := RunAsync(qconn.Graph, DefaultAsyncConfig(ID, 41), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violation != nil {
+		t.Fatalf("ID async run violated CDS: %v", r.Violation)
+	}
+}
+
+func TestFacadeDistributedSim(t *testing.T) {
+	cfg := PaperSimConfig(15, ND, ConstantPerGWDrain{}, 7)
+	cfg.Verify = true
+	dm, err := RunSimDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Intervals <= 0 || dm.Messages == 0 || dm.Mismatches != 0 {
+		t.Fatalf("metrics = %+v", dm)
+	}
+}
+
+func TestFacadeAnalyzeCDS(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3}})
+	res, err := Compute(g, ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := AnalyzeCDS(g, res.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Valid != nil || report.Gateways != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestFacadeChurn(t *testing.T) {
+	cfg := ChurnSimConfig{
+		Config:  PaperSimConfig(15, ND, ConstantPerGWDrain{}, 3),
+		OffProb: 0.2,
+		OnProb:  0.5,
+	}
+	m, err := RunSimChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals <= 0 || m.MeanOn <= 0 || m.MeanOn > 15 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFacadeDistanceVector(t *testing.T) {
+	g := FromEdges(7, [][2]NodeID{{0, 2}, {1, 2}, {2, 5}, {3, 5}, {4, 5}, {6, 5}})
+	gw := []bool{false, false, true, false, false, true, false}
+	dv, stats, err := BuildTablesDistanceVector(g, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dv) != 2 || dv[0][1] != 1 || stats.Messages == 0 {
+		t.Fatalf("dv=%v stats=%+v", dv, stats)
+	}
+}
