@@ -19,6 +19,7 @@ import (
 	"pacds/internal/sim"
 	"pacds/internal/stats"
 	"pacds/internal/trace"
+	"pacds/internal/xrand"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func run(args []string, stdout io.Writer) error {
 	static := fs.Bool("static", false, "disable mobility")
 	timeseries := fs.String("timeseries", "", "write per-interval CSV time series to this file (single trial only)")
 	extended := fs.Bool("extended", false, "continue past the first death until half the hosts die; report the death timeline")
+	drop := fs.Float64("drop", 0, "per-delivery radio loss probability in [0, 1]; nonzero runs the hardened distributed protocol")
+	crash := fs.Int("crash", 0, "number of hosts that fail permanently during the run (hardened protocol)")
+	faultSeed := fs.Uint64("faultseed", 0, "seed for the fault schedule (0 derives it from -seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,11 +56,27 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *drop < 0 || *drop > 1 {
+		return fmt.Errorf("-drop %v outside [0, 1]", *drop)
+	}
+	if *crash < 0 || (*n > 0 && *crash >= *n) {
+		return fmt.Errorf("-crash %d out of range for %d hosts (need 0 <= crash < n)", *crash, *n)
+	}
 
 	cfg := sim.PaperConfig(*n, policy, drain, *seed)
 	cfg.Verify = *verify
 	if *static {
 		cfg.Mobility = nil
+	}
+	cfg.Drop = *drop
+	cfg.Crashes = *crash
+	cfg.FaultSeed = *faultSeed
+
+	if *drop > 0 || *crash > 0 {
+		if *extended {
+			return fmt.Errorf("-extended is not supported together with -drop/-crash")
+		}
+		return runFaulty(cfg, *trials, *timeseries, stdout)
 	}
 
 	if *extended {
@@ -126,6 +146,70 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "gateways:  %s\n", gws)
 	if ts.TruncatedRuns > 0 {
 		fmt.Fprintf(stdout, "truncated runs: %d\n", ts.TruncatedRuns)
+	}
+	return nil
+}
+
+// runFaulty executes the lifetime simulation through the hardened
+// fault-tolerant protocol and reports radio-fault costs alongside the
+// usual lifetime metrics.
+func runFaulty(cfg sim.Config, trials int, timeseries string, stdout io.Writer) error {
+	banner := fmt.Sprintf("policy=%v drain=%s n=%d drop=%.2f crash=%d",
+		cfg.Policy, cfg.Drain.Name(), cfg.N, cfg.Drop, cfg.Crashes)
+	if trials <= 1 {
+		var rec trace.FaultRecorder
+		if timeseries != "" {
+			cfg.FaultObserver = rec.Observe
+		}
+		m, err := sim.RunDistributed(cfg)
+		if err != nil {
+			return err
+		}
+		if timeseries != "" {
+			f, err := os.Create(timeseries)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s (%d intervals)\n", timeseries, rec.Len())
+		}
+		fmt.Fprintf(stdout, "%s seed=%d\n", banner, cfg.Seed)
+		fmt.Fprintf(stdout, "lifetime: %d update intervals (truncated=%v)\n", m.Intervals, m.Truncated)
+		fmt.Fprintf(stdout, "mean gateways: %.2f\n", m.MeanGateways)
+		fmt.Fprintf(stdout, "faults: drops=%d duplicates=%d retransmissions=%d evictions=%d\n",
+			m.Drops, m.Duplicates, m.Retransmissions, m.Evictions)
+		fmt.Fprintf(stdout, "crashed hosts: %d; degraded intervals: %d\n",
+			m.HostCrashes, m.DegradedIntervals)
+		return nil
+	}
+	seedRNG := xrand.New(cfg.Seed)
+	var lifetimes, gateways []float64
+	truncated := 0
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = seedRNG.Uint64()
+		c.FaultSeed = seedRNG.Uint64()
+		m, err := sim.RunDistributed(c)
+		if err != nil {
+			return err
+		}
+		lifetimes = append(lifetimes, float64(m.Intervals))
+		gateways = append(gateways, m.MeanGateways)
+		if m.Truncated {
+			truncated++
+		}
+	}
+	fmt.Fprintf(stdout, "%s trials=%d\n", banner, trials)
+	fmt.Fprintf(stdout, "lifetime:  %s\n", stats.Summarize(lifetimes))
+	fmt.Fprintf(stdout, "gateways:  %s\n", stats.Summarize(gateways))
+	if truncated > 0 {
+		fmt.Fprintf(stdout, "truncated runs: %d\n", truncated)
 	}
 	return nil
 }

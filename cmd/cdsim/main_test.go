@@ -105,3 +105,78 @@ func TestTimeseriesOutput(t *testing.T) {
 		t.Fatalf("csv: %.60s", data)
 	}
 }
+
+func TestFaultyRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "15", "-policy", "ND", "-drain", "linear",
+		"-drop", "0.1", "-crash", "2", "-verify", "-seed", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"drop=0.10 crash=2", "faults: drops=", "crashed hosts: 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestFaultyTrialsRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "12", "-drain", "linear", "-drop", "0.05", "-trials", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trials=3") || !strings.Contains(out.String(), "drop=0.05") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFaultyTimeseries(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/faults.csv"
+	var out bytes.Buffer
+	err := run([]string{"-n", "12", "-drain", "linear", "-drop", "0.1", "-timeseries", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "interval,rounds,messages,retransmissions,") {
+		t.Fatalf("csv: %.80s", data)
+	}
+}
+
+func TestFaultyDeterministicOutput(t *testing.T) {
+	args := []string{"-n", "14", "-policy", "EL2", "-drain", "linear",
+		"-drop", "0.15", "-crash", "1", "-faultseed", "8", "-seed", "2"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seeds produced different faulty output")
+	}
+}
+
+func TestBadFaultFlags(t *testing.T) {
+	cases := [][]string{
+		{"-drop", "-0.1"},
+		{"-drop", "1.5"},
+		{"-crash", "-1"},
+		{"-n", "10", "-crash", "10"},
+		{"-n", "10", "-crash", "11"},
+		{"-drop", "0.1", "-extended"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}

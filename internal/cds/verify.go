@@ -126,6 +126,33 @@ func bfsMarkedInterior(g *graph.Graph, src graph.NodeID, marked []bool) []int {
 	return dist
 }
 
+// VerifySurvivorCDS checks the graceful-degradation invariant of the
+// hardened distributed protocol: restricted to the surviving hosts
+// (alive[v] true), the gateway set must dominate every surviving
+// component and its induced subgraph must be connected within each — the
+// CDS contract evaluated on the post-crash subgraph. Crashed hosts must
+// not be reported as gateways.
+func VerifySurvivorCDS(g *graph.Graph, alive, gateway []bool) error {
+	n := g.NumNodes()
+	if len(alive) != n || len(gateway) != n {
+		return fmt.Errorf("cds: alive/gateway slices (%d, %d entries) for %d nodes", len(alive), len(gateway), n)
+	}
+	for v := 0; v < n; v++ {
+		if gateway[v] && !alive[v] {
+			return fmt.Errorf("cds: crashed host %d reported as gateway", v)
+		}
+	}
+	sub, toOld := g.InducedSubgraph(alive)
+	subGW := make([]bool, sub.NumNodes())
+	for s, v := range toOld {
+		subGW[s] = gateway[v]
+	}
+	if err := VerifyCDS(sub, subGW); err != nil {
+		return fmt.Errorf("cds: surviving subgraph: %w", err)
+	}
+	return nil
+}
+
 // CountGateways returns the number of true entries.
 func CountGateways(gateway []bool) int {
 	n := 0

@@ -1,0 +1,60 @@
+package distributed
+
+import (
+	"errors"
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+)
+
+func TestErrStaleSentinel(t *testing.T) {
+	g := graph.Path(4)
+	s, err := NewSession(g, cds.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Gateways()
+
+	// Out-of-range link events are stale (assembled against a different
+	// topology) and must be recoverable.
+	_, err = s.ApplyChanges([]EdgeChange{{A: 0, B: 9, Up: true}})
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("out-of-range link: got %v, want ErrStale", err)
+	}
+	_, err = s.ApplyChanges([]EdgeChange{{A: -1, B: 2, Up: false}})
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("negative host id: got %v, want ErrStale", err)
+	}
+	// A batch with a valid prefix and a stale tail must be rejected whole:
+	// the valid edge must NOT have been applied.
+	_, err = s.ApplyChanges([]EdgeChange{{A: 0, B: 2, Up: true}, {A: 1, B: 99, Up: true}})
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("mixed batch: got %v, want ErrStale", err)
+	}
+	if s.Graph().HasEdge(0, 2) {
+		t.Fatal("rejected batch partially applied")
+	}
+	after := s.Gateways()
+	for v := range before {
+		if before[v] != after[v] {
+			t.Fatal("rejected batch changed gateway state")
+		}
+	}
+
+	// Wrong-length energy snapshots are stale too.
+	if err := s.UpdateEnergy([]float64{1, 2}); !errors.Is(err, ErrStale) {
+		t.Fatalf("short energy: got %v, want ErrStale", err)
+	}
+
+	// A self link is a caller bug, not staleness: error, but not ErrStale.
+	_, err = s.ApplyChanges([]EdgeChange{{A: 1, B: 1, Up: true}})
+	if err == nil || errors.Is(err, ErrStale) {
+		t.Fatalf("self link: got %v, want a non-stale error", err)
+	}
+
+	// The session must still be fully usable after recoverable errors.
+	if _, err := s.ApplyChanges([]EdgeChange{{A: 0, B: 2, Up: true}}); err != nil {
+		t.Fatalf("session unusable after recoverable errors: %v", err)
+	}
+}

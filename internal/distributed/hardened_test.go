@@ -1,0 +1,278 @@
+package distributed
+
+import (
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/faults"
+	"pacds/internal/graph"
+	"pacds/internal/xrand"
+)
+
+// rulePolicies are the four pruning policies (everything but NR).
+var rulePolicies = []cds.Policy{cds.ID, cds.ND, cds.EL1, cds.EL2}
+
+func TestHardenedZeroFaultMatchesCentralized(t *testing.T) {
+	// The hardened protocol on a reliable radio must be bit-identical to
+	// the centralized computation — both with a nil plan and with an
+	// explicitly constructed zero-fault plan.
+	zero, err := faults.NewPlan(faults.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(11)
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(40)
+		g := connectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng.Uint64())
+		for _, p := range cds.Policies {
+			want := cds.MustCompute(g, p, energy)
+			for _, plan := range []*faults.Plan{nil, zero} {
+				res, err := RunHardened(g, p, energy, HardenedConfig{Faults: plan})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range res.Gateway {
+					if !res.Alive[v] {
+						t.Fatalf("policy %v: host %d not alive without faults", p, v)
+					}
+					if res.Gateway[v] != want.Gateway[v] {
+						t.Fatalf("trial %d n=%d policy %v plan=%v: node %d hardened=%v centralized=%v",
+							trial, n, p, plan != nil, v, res.Gateway[v], want.Gateway[v])
+					}
+				}
+				s := res.Stats
+				if s.Retransmissions != 0 || s.Drops != 0 || s.Duplicates != 0 ||
+					s.Evictions != 0 || s.Revocations != 0 || s.Repairs != 0 {
+					t.Fatalf("policy %v: fault counters nonzero on reliable radio: %+v", p, s)
+				}
+			}
+		}
+	}
+}
+
+// hardenedBudget mirrors the schedule arithmetic so tests can place
+// crashes relative to the final healing epoch.
+func hardenedBudget(n int, cfg HardenedConfig) (finalEpochStart, budget int) {
+	cfg = cfg.withDefaults()
+	firstEp := 7
+	epochLen := (2*n + 1) * cfg.SlotLen
+	finalEpochStart = firstEp + (cfg.Epochs-1)*epochLen
+	budget = firstEp + cfg.Epochs*epochLen + cfg.SlotLen
+	return
+}
+
+// TestHardenedPropertyUnderLossAndCrash is the tentpole property test:
+// 50 seeded trials x all 4 rule policies x drop rates {0, 0.05, 0.2}.
+// Every run must terminate within the round budget; the finalized
+// gateway set must dominate the surviving subgraph and connect every
+// surviving component; and zero-fault runs must byte-match the
+// centralized gateway assignment.
+func TestHardenedPropertyUnderLossAndCrash(t *testing.T) {
+	trials := 50
+	if testing.Short() {
+		trials = 12
+	}
+	rng := xrand.New(20260806)
+	for trial := 0; trial < trials; trial++ {
+		n := 8 + rng.Intn(11)
+		g := connectedUDG(t, n, rng.Uint64())
+		energy := randomEnergy(n, rng.Uint64())
+		faultSeed := rng.Uint64()
+		for _, drop := range []float64{0, 0.05, 0.2} {
+			for _, p := range rulePolicies {
+				cfg := HardenedConfig{}
+				fcfg := faults.Config{Seed: faultSeed, Drop: drop}
+				if drop > 0 {
+					// Loss, duplication, reordering, transient link
+					// down-time below the HELLO timeout, and crashes
+					// scheduled to quiesce before the final healing epoch.
+					fcfg.Duplicate = drop / 2
+					fcfg.MaxDelay = 2
+					fcfg.LinkDown = drop / 4
+					fcfg.LinkDownTime = 2
+					finalEp, _ := hardenedBudget(n, cfg)
+					if trial%3 == 0 {
+						victim := trial % n
+						fcfg.Crashes = append(fcfg.Crashes,
+							faults.Crash{Node: victim, AtRound: 10 + trial%20})
+						if trial%6 == 0 {
+							second := (victim + 3) % n
+							fcfg.Crashes = append(fcfg.Crashes,
+								faults.Crash{Node: second, AtRound: 15, RecoverAt: finalEp - 10})
+						}
+					}
+				}
+				plan, err := faults.NewPlan(fcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunHardened(g, p, energy, HardenedConfig{Faults: plan})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, budget := hardenedBudget(n, cfg)
+				if res.Stats.Rounds > budget {
+					t.Fatalf("trial %d drop=%v policy %v: %d rounds exceeds budget %d",
+						trial, drop, p, res.Stats.Rounds, budget)
+				}
+				if err := cds.VerifySurvivorCDS(g, res.Alive, res.Gateway); err != nil {
+					t.Fatalf("trial %d n=%d drop=%v policy %v seed=%d: %v",
+						trial, n, drop, p, faultSeed, err)
+				}
+				if drop == 0 {
+					want := cds.MustCompute(g, p, energy)
+					for v := range res.Gateway {
+						if res.Gateway[v] != want.Gateway[v] {
+							t.Fatalf("trial %d policy %v: zero-fault node %d hardened=%v centralized=%v",
+								trial, p, v, res.Gateway[v], want.Gateway[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHardenedStatsUnderFaults(t *testing.T) {
+	g := connectedUDG(t, 25, 99)
+	plan, err := faults.NewPlan(faults.Config{
+		Seed: 5, Drop: 0.2, Duplicate: 0.1, MaxDelay: 2,
+		Crashes: []faults.Crash{{Node: 3, AtRound: 12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHardened(g, cds.ND, nil, HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Drops == 0 || s.Duplicates == 0 {
+		t.Fatalf("lossy radio reported no loss: %+v", s)
+	}
+	if s.Retransmissions == 0 {
+		t.Fatalf("no retransmissions at drop=0.2: %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("crashed host never evicted: %+v", s)
+	}
+	if res.Alive[3] {
+		t.Fatal("crashed host reported alive")
+	}
+	if s.ConvergenceRound == 0 || s.ConvergenceRound > s.Rounds {
+		t.Fatalf("implausible convergence round %d of %d", s.ConvergenceRound, s.Rounds)
+	}
+	if err := cds.VerifySurvivorCDS(g, res.Alive, res.Gateway); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardenedCrashRecovery(t *testing.T) {
+	g := connectedUDG(t, 20, 41)
+	// The victim crashes early and returns well before the final epoch;
+	// it must be reintegrated: alive at the end and the invariant intact.
+	plan, err := faults.NewPlan(faults.Config{
+		Seed:    17,
+		Drop:    0.1,
+		Crashes: []faults.Crash{{Node: 4, AtRound: 9, RecoverAt: 120}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHardened(g, cds.ID, nil, HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Alive[4] {
+		t.Fatal("recovered host not alive at finalization")
+	}
+	if err := cds.VerifySurvivorCDS(g, res.Alive, res.Gateway); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardenedCrashSplitsNetwork(t *testing.T) {
+	// A path 0-1-2-3-4: crashing the middle host splits the survivors in
+	// two components; each must end up dominated and internally connected.
+	g := graph.Path(5)
+	plan, err := faults.NewPlan(faults.Config{
+		Seed:    3,
+		Crashes: []faults.Crash{{Node: 2, AtRound: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHardened(g, cds.ID, nil, HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alive[2] {
+		t.Fatal("crashed host alive")
+	}
+	if err := cds.VerifySurvivorCDS(g, res.Alive, res.Gateway); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardenedRoundBudgetTruncation(t *testing.T) {
+	// A budget too small for the schedule must still terminate cleanly
+	// at exactly the budget.
+	g := connectedUDG(t, 15, 8)
+	for _, budget := range []int{1, 5, 40} {
+		res, err := RunHardened(g, cds.ND, nil, HardenedConfig{RoundBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Rounds != budget {
+			t.Fatalf("budget %d: ran %d rounds", budget, res.Stats.Rounds)
+		}
+	}
+}
+
+func TestHardenedTinyGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.New(1), graph.Path(2), graph.Complete(3)} {
+		for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
+			res, err := RunHardened(g, p, nil, HardenedConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, gw := range res.Gateway {
+				if gw {
+					t.Fatalf("tiny graph (%d nodes) policy %v: node %d marked", g.NumNodes(), p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHardenedEnergyRequired(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := RunHardened(g, cds.EL1, nil, HardenedConfig{}); err == nil {
+		t.Fatal("EL1 without energy accepted")
+	}
+	if _, err := RunHardened(g, cds.EL2, []float64{1}, HardenedConfig{}); err == nil {
+		t.Fatal("EL2 with short energy accepted")
+	}
+}
+
+func TestHardenedDeterministic(t *testing.T) {
+	g := connectedUDG(t, 18, 13)
+	plan, _ := faults.NewPlan(faults.Config{Seed: 4, Drop: 0.15, Duplicate: 0.05, MaxDelay: 1})
+	a, err := RunHardened(g, cds.EL2, randomEnergy(18, 2), HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHardened(g, cds.EL2, randomEnergy(18, 2), HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	for v := range a.Gateway {
+		if a.Gateway[v] != b.Gateway[v] {
+			t.Fatalf("same seed, different gateway at %d", v)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package distributed
 import (
 	"fmt"
 
+	"pacds/internal/faults"
 	"pacds/internal/graph"
 )
 
@@ -36,6 +37,11 @@ const (
 	// StatusUpdate announces that the sender unmarked itself during rule
 	// application.
 	StatusUpdate
+	// Ack acknowledges receipt of a sequence-numbered message (hardened
+	// protocol only). Unicast back to the original sender.
+	Ack
+
+	numKinds = int(Ack) + 1
 )
 
 // String implements fmt.Stringer.
@@ -49,22 +55,32 @@ func (k Kind) String() string {
 		return "status"
 	case StatusUpdate:
 		return "status-update"
+	case Ack:
+		return "ack"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Message is a single radio transmission, delivered to every neighbor of
-// the sender (broadcast medium).
+// Message is a single radio transmission. Broadcasts reach every neighbor
+// of the sender; unicasts (Unicast set) reach only To. Seq and AckFor are
+// used by the hardened protocol's reliable-transfer layer and stay zero on
+// the idealized radio.
 type Message struct {
 	From      graph.NodeID
 	Kind      Kind
 	Neighbors []graph.NodeID // NeighborList payload (aliases sender state; receivers must not mutate)
 	Energy    float64        // NeighborList payload
 	Marked    bool           // Status / StatusUpdate payload
+	Seq       int            // sequence number for idempotent receive (hardened)
+	To        graph.NodeID   // unicast target (hardened Acks)
+	Unicast   bool           // deliver only to To instead of all neighbors
+	AckFor    Kind           // Ack payload: the kind being acknowledged
 }
 
-// Stats accumulates protocol cost metrics.
+// Stats accumulates protocol cost metrics. The fault-tolerance counters
+// (Retransmissions through ConvergenceRound) are populated only by the
+// hardened protocol and stay zero on the idealized reliable radio.
 type Stats struct {
 	Rounds        int // synchronous rounds executed
 	Messages      int // transmissions (one broadcast = one message)
@@ -75,6 +91,27 @@ type Stats struct {
 	// piggybacked energy level. Message counts alone understate the
 	// NeighborList phase, whose payload grows with node degree.
 	Bytes int
+
+	// Retransmissions counts re-sends of reliable messages whose ACKs did
+	// not arrive in time.
+	Retransmissions int
+	// Drops counts delivery attempts the radio lost (random loss, link
+	// down-time, or a crashed receiver).
+	Drops int
+	// Duplicates counts deliveries the radio duplicated.
+	Duplicates int
+	// Evictions counts neighbor-table entries removed because the peer
+	// missed HelloTimeout consecutive beacons.
+	Evictions int
+	// Revocations counts tentative unmarks rolled back because a neighbor
+	// never acknowledged the StatusUpdate within the rule slot.
+	Revocations int
+	// Repairs counts hosts that re-marked themselves at finalization
+	// because no gateway neighbor was visible (graceful degradation).
+	Repairs int
+	// ConvergenceRound is the last round at which any host's gateway
+	// status changed — the protocol's settling time under faults.
+	ConvergenceRound int
 }
 
 // payloadBytes estimates one message's size.
@@ -118,6 +155,87 @@ func (nw *network) deliver(nodes []*node) {
 			nodes[to].receive(m)
 			nw.stats.Deliveries++
 		}
+	}
+	nw.stats.Rounds++
+}
+
+// lossyNetwork is the fault-injected broadcast medium used by the
+// hardened protocol. Every delivery attempt consults the fault plan,
+// which may drop it, duplicate it, delay it into a later round, declare
+// the link in transient down-time, or report either endpoint crashed.
+// A nil plan yields exactly-once same-round delivery (reliable radio).
+type lossyNetwork struct {
+	g     *graph.Graph
+	plan  *faults.Plan
+	queue map[int][]Message // deliveries keyed by due round
+	stats Stats
+	txid  int // per-attempt id feeding the plan's deterministic hash
+}
+
+func newLossyNetwork(g *graph.Graph, plan *faults.Plan) *lossyNetwork {
+	return &lossyNetwork{g: g, plan: plan, queue: make(map[int][]Message)}
+}
+
+// send transmits m during round r. Broadcasts fan out to every neighbor
+// of the sender; unicasts target m.To only. Each per-receiver attempt is
+// subjected to the fault plan independently, as on a real radio where
+// collisions and fading hit receivers independently.
+func (nw *lossyNetwork) send(r int, m Message) {
+	nw.stats.Messages++
+	nw.stats.Bytes += payloadBytes(m)
+	if m.Unicast {
+		if nw.g.HasEdge(m.From, m.To) {
+			nw.attempt(r, m, m.To)
+		}
+		return
+	}
+	for _, to := range nw.g.Neighbors(m.From) {
+		nw.attempt(r, m, to)
+	}
+}
+
+func (nw *lossyNetwork) attempt(r int, m Message, to graph.NodeID) {
+	nw.txid++
+	if nw.plan == nil {
+		nw.enqueue(r, m, to)
+		return
+	}
+	if !nw.plan.Alive(int(to), r) || !nw.plan.LinkUp(int(m.From), int(to), r) {
+		nw.stats.Drops++
+		return
+	}
+	fate := nw.plan.Delivery(int(m.From), int(to), r, nw.txid)
+	if fate.Copies == 0 {
+		nw.stats.Drops++
+		return
+	}
+	if fate.Copies > 1 {
+		nw.stats.Duplicates++
+	}
+	for i := 0; i < fate.Copies; i++ {
+		nw.enqueue(r+fate.Delay[i], m, to)
+	}
+}
+
+func (nw *lossyNetwork) enqueue(due int, m Message, to graph.NodeID) {
+	m.To = to
+	m.Unicast = true // delivery is always point-to-point by now
+	nw.queue[due] = append(nw.queue[due], m)
+}
+
+// flush hands round r's due deliveries to the hosts. Crashed receivers
+// lose frames that were in flight when they went down.
+func (nw *lossyNetwork) flush(r int, nodes []*hnode) {
+	msgs := nw.queue[r]
+	delete(nw.queue, r)
+	for _, m := range msgs {
+		rcv := nodes[m.To]
+		if !rcv.alive {
+			nw.stats.Drops++
+			continue
+		}
+		rcv.receiveHardened(m, r, nw)
+		nw.stats.Deliveries++
 	}
 	nw.stats.Rounds++
 }

@@ -1,11 +1,22 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 
 	"pacds/internal/cds"
 	"pacds/internal/graph"
 )
+
+// ErrStale reports that an input batch no longer matches the session's
+// host population — a link event naming a host outside the session, or an
+// energy snapshot with the wrong number of readings. These arise when the
+// caller assembled the batch against an outdated topology snapshot; they
+// are recoverable (re-snapshot via Graph and resubmit) and leave the
+// session unchanged. Test with errors.Is(err, ErrStale); errors that do
+// not match the sentinel (e.g. a self link) indicate caller bugs and are
+// fatal.
+var ErrStale = errors.New("distributed: stale session input")
 
 // Session maintains a connected dominating set across topology changes
 // with localized message traffic — the paper's Section 2.2 claim made
@@ -96,7 +107,7 @@ func (s *Session) Graph() *graph.Graph { return s.g.Clone() }
 // ND) never need this.
 func (s *Session) UpdateEnergy(energy []float64) error {
 	if len(energy) != len(s.nodes) {
-		return fmt.Errorf("distributed: %d energy values for %d hosts", len(energy), len(s.nodes))
+		return fmt.Errorf("%w: %d energy values for %d hosts", ErrStale, len(energy), len(s.nodes))
 	}
 	for v, nd := range s.nodes {
 		nd.energy = energy[v]
@@ -116,6 +127,16 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 		runRulePhase(s.nw, s.nodes, s.policy)
 		return 0, nil
 	}
+	// Validate the whole batch before touching any state, so a rejected
+	// batch leaves the session unchanged (the ErrStale contract).
+	for _, ch := range changes {
+		if ch.A == ch.B {
+			return 0, fmt.Errorf("distributed: self link %d", ch.A)
+		}
+		if int(ch.A) >= len(s.nodes) || int(ch.B) >= len(s.nodes) || ch.A < 0 || ch.B < 0 {
+			return 0, fmt.Errorf("%w: link %d-%d out of range for %d hosts", ErrStale, ch.A, ch.B, len(s.nodes))
+		}
+	}
 	// The set of hosts whose own link set changed, and the set whose
 	// marker could change (endpoints ∪ common neighbors, computed before
 	// and after each toggle — membership of the common-neighbor set is
@@ -123,12 +144,6 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 	linkChanged := map[graph.NodeID]bool{}
 	affected := map[graph.NodeID]bool{}
 	for _, ch := range changes {
-		if ch.A == ch.B {
-			return 0, fmt.Errorf("distributed: self link %d", ch.A)
-		}
-		if int(ch.A) >= len(s.nodes) || int(ch.B) >= len(s.nodes) || ch.A < 0 || ch.B < 0 {
-			return 0, fmt.Errorf("distributed: link %d-%d out of range", ch.A, ch.B)
-		}
 		if ch.Up {
 			if s.g.HasEdge(ch.A, ch.B) {
 				continue

@@ -1,0 +1,202 @@
+// Package faults builds deterministic fault plans for the distributed
+// protocol's radio layer. A plan answers, for every transmission attempt,
+// whether the radio dropped it, duplicated it, or delayed it, whether a
+// link is in a transient down-time window, and whether a host is crashed
+// at a given round.
+//
+// Every answer is a pure function of the plan's seed and the query
+// coordinates (link endpoints, round, transmission id), computed by
+// hashing them through splitmix64 into an internal/xrand stream. Two runs
+// with the same seed and the same protocol execution therefore see the
+// identical fault sequence — the property the repository's seeded
+// experiments and property tests rely on.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"pacds/internal/xrand"
+)
+
+// Crash schedules one host outage. The host stops sending and receiving
+// at AtRound (inclusive) and, if RecoverAt > 0, resumes with fresh local
+// state at RecoverAt; RecoverAt == 0 means the host never returns.
+type Crash struct {
+	Node      int
+	AtRound   int
+	RecoverAt int
+}
+
+// Config parameterizes a fault plan. The zero value is a perfectly
+// reliable radio.
+type Config struct {
+	// Seed drives every probabilistic decision in the plan.
+	Seed uint64
+	// Drop is the per-delivery loss probability.
+	Drop float64
+	// Duplicate is the per-delivery probability that the receiver hears
+	// the frame twice.
+	Duplicate float64
+	// MaxDelay bounds per-delivery extra latency: each delivered copy is
+	// delayed by a uniform 0..MaxDelay rounds, which reorders messages
+	// across rounds.
+	MaxDelay int
+	// LinkDown is the per-link per-round probability that the link enters
+	// a transient down-time window of LinkDownTime rounds, during which
+	// nothing crosses it in either direction.
+	LinkDown float64
+	// LinkDownTime is the length of a down-time window in rounds; it
+	// defaults to 2 when LinkDown > 0. Keep it below the protocol's
+	// HELLO-timeout so transient outages degrade links without evicting
+	// live neighbors.
+	LinkDownTime int
+	// Crashes schedules host outages.
+	Crashes []Crash
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.Drop}, {"duplicate", c.Duplicate}, {"linkdown", c.LinkDown}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("faults: negative max delay %d", c.MaxDelay)
+	}
+	if c.LinkDownTime < 0 {
+		return fmt.Errorf("faults: negative link down-time %d", c.LinkDownTime)
+	}
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("faults: crash of negative node %d", cr.Node)
+		}
+		if cr.AtRound < 1 {
+			return fmt.Errorf("faults: crash of node %d at round %d (rounds are 1-based)", cr.Node, cr.AtRound)
+		}
+		if cr.RecoverAt != 0 && cr.RecoverAt <= cr.AtRound {
+			return fmt.Errorf("faults: node %d recovers at round %d, not after its crash at %d",
+				cr.Node, cr.RecoverAt, cr.AtRound)
+		}
+	}
+	return nil
+}
+
+// Fate is the outcome of one delivery attempt: Copies is 0 (dropped),
+// 1, or 2 (duplicated); Delay holds each copy's extra latency in rounds.
+type Fate struct {
+	Copies int
+	Delay  [2]int
+}
+
+// Plan is an immutable, deterministic fault oracle. Safe for concurrent
+// readers.
+type Plan struct {
+	cfg     Config
+	crashes map[int][]Crash // per node, sorted by AtRound
+}
+
+// NewPlan validates cfg and builds a plan.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LinkDown > 0 && cfg.LinkDownTime == 0 {
+		cfg.LinkDownTime = 2
+	}
+	p := &Plan{cfg: cfg, crashes: make(map[int][]Crash)}
+	for _, cr := range cfg.Crashes {
+		p.crashes[cr.Node] = append(p.crashes[cr.Node], cr)
+	}
+	for _, list := range p.crashes {
+		sort.Slice(list, func(i, j int) bool { return list[i].AtRound < list[j].AtRound })
+	}
+	return p, nil
+}
+
+// Config returns the plan's (normalized) configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Zero reports whether the plan injects no faults at all.
+func (p *Plan) Zero() bool {
+	return p.cfg.Drop == 0 && p.cfg.Duplicate == 0 && p.cfg.MaxDelay == 0 &&
+		p.cfg.LinkDown == 0 && len(p.cfg.Crashes) == 0
+}
+
+// Alive reports whether node is up at round (1-based).
+func (p *Plan) Alive(node, round int) bool {
+	for _, cr := range p.crashes[node] {
+		if round >= cr.AtRound && (cr.RecoverAt == 0 || round < cr.RecoverAt) {
+			return false
+		}
+	}
+	return true
+}
+
+// hash derives an independent RNG from the plan seed and up to four query
+// coordinates, so decisions are independent of query order.
+func (p *Plan) hash(a, b, c, d uint64) *xrand.RNG {
+	s := p.cfg.Seed
+	for _, x := range [...]uint64{a, b, c, d} {
+		s += 0x9e3779b97f4a7c15
+		z := (s ^ x) * 0xbf58476d1ce4e5b9
+		s = z ^ (z >> 27)
+	}
+	return xrand.New(s)
+}
+
+// LinkUp reports whether link {a, b} is usable at round. Down-time windows
+// are symmetric: both directions fail together.
+func (p *Plan) LinkUp(a, b, round int) bool {
+	if p.cfg.LinkDown == 0 {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	for s := round - p.cfg.LinkDownTime + 1; s <= round; s++ {
+		if s < 1 {
+			continue
+		}
+		if p.hash(1, uint64(a), uint64(b), uint64(s)).Float64() < p.cfg.LinkDown {
+			return false
+		}
+	}
+	return true
+}
+
+// Delivery returns the fate of one delivery attempt, identified by the
+// link direction, the send round, and the network's transmission id.
+func (p *Plan) Delivery(from, to, round, txid int) Fate {
+	if p.cfg.Drop == 0 && p.cfg.Duplicate == 0 && p.cfg.MaxDelay == 0 {
+		return Fate{Copies: 1}
+	}
+	rng := p.hash(2, uint64(from)<<32|uint64(uint32(to)), uint64(round), uint64(txid))
+	if p.cfg.Drop > 0 && rng.Float64() < p.cfg.Drop {
+		return Fate{}
+	}
+	f := Fate{Copies: 1}
+	if p.cfg.Duplicate > 0 && rng.Float64() < p.cfg.Duplicate {
+		f.Copies = 2
+	}
+	if p.cfg.MaxDelay > 0 {
+		for i := 0; i < f.Copies; i++ {
+			f.Delay[i] = rng.Intn(p.cfg.MaxDelay + 1)
+		}
+	}
+	return f
+}
+
+// CrashedAt reports the set of nodes (as a mask of length n) that are
+// down at round.
+func (p *Plan) CrashedAt(n, round int) []bool {
+	down := make([]bool, n)
+	for v := range down {
+		down[v] = !p.Alive(v, round)
+	}
+	return down
+}

@@ -1,0 +1,131 @@
+package faults
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Drop: -0.1},
+		{Drop: 1.5},
+		{Duplicate: 2},
+		{LinkDown: -1},
+		{MaxDelay: -1},
+		{LinkDownTime: -2},
+		{Crashes: []Crash{{Node: -1, AtRound: 3}}},
+		{Crashes: []Crash{{Node: 0, AtRound: 0}}},
+		{Crashes: []Crash{{Node: 0, AtRound: 5, RecoverAt: 5}}},
+	}
+	for _, c := range bad {
+		if _, err := NewPlan(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := NewPlan(Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestZeroPlanIsReliable(t *testing.T) {
+	p, err := NewPlan(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Zero() {
+		t.Fatal("zero config not reported as Zero")
+	}
+	for txid := 0; txid < 500; txid++ {
+		f := p.Delivery(1, 2, txid%7+1, txid)
+		if f.Copies != 1 || f.Delay[0] != 0 {
+			t.Fatalf("txid %d: fate %+v", txid, f)
+		}
+	}
+	if !p.LinkUp(3, 4, 10) || !p.Alive(5, 10) {
+		t.Fatal("zero plan degraded a link or host")
+	}
+}
+
+func TestDeliveryDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.3, Duplicate: 0.2, MaxDelay: 3}
+	a, _ := NewPlan(cfg)
+	b, _ := NewPlan(cfg)
+	// Query b in reverse order: answers must match a's per coordinate.
+	type q struct{ from, to, round, txid int }
+	var qs []q
+	for i := 0; i < 200; i++ {
+		qs = append(qs, q{i % 5, (i + 1) % 5, i%11 + 1, i})
+	}
+	want := make([]Fate, len(qs))
+	for i, x := range qs {
+		want[i] = a.Delivery(x.from, x.to, x.round, x.txid)
+	}
+	for i := len(qs) - 1; i >= 0; i-- {
+		x := qs[i]
+		if got := b.Delivery(x.from, x.to, x.round, x.txid); got != want[i] {
+			t.Fatalf("query %d: %+v != %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestDropRateRoughlyMatches(t *testing.T) {
+	p, _ := NewPlan(Config{Seed: 7, Drop: 0.2})
+	dropped := 0
+	const total = 20000
+	for txid := 0; txid < total; txid++ {
+		if p.Delivery(0, 1, txid/100+1, txid).Copies == 0 {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / total
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("empirical drop rate %.3f far from configured 0.2", rate)
+	}
+}
+
+func TestCrashWindows(t *testing.T) {
+	p, err := NewPlan(Config{Crashes: []Crash{
+		{Node: 3, AtRound: 10, RecoverAt: 20},
+		{Node: 3, AtRound: 30},
+		{Node: 5, AtRound: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		node, round int
+		alive       bool
+	}{
+		{3, 9, true}, {3, 10, false}, {3, 19, false}, {3, 20, true},
+		{3, 29, true}, {3, 30, false}, {3, 1000, false},
+		{5, 1, true}, {5, 2, false}, {5, 99, false},
+		{0, 50, true},
+	}
+	for _, c := range cases {
+		if got := p.Alive(c.node, c.round); got != c.alive {
+			t.Errorf("Alive(%d, %d) = %v, want %v", c.node, c.round, got, c.alive)
+		}
+	}
+	down := p.CrashedAt(6, 15)
+	if !down[3] || !down[5] || down[0] {
+		t.Fatalf("CrashedAt(6, 15) = %v", down)
+	}
+}
+
+func TestLinkDownWindows(t *testing.T) {
+	p, _ := NewPlan(Config{Seed: 11, LinkDown: 0.1, LinkDownTime: 2})
+	downRounds := 0
+	const total = 5000
+	for r := 1; r <= total; r++ {
+		up := p.LinkUp(2, 7, r)
+		if up != p.LinkUp(7, 2, r) {
+			t.Fatalf("round %d: link down-time not symmetric", r)
+		}
+		if !up {
+			downRounds++
+		}
+	}
+	// A window opens with probability 0.1 per round and lasts 2 rounds, so
+	// roughly 19% of rounds should be down.
+	rate := float64(downRounds) / total
+	if rate < 0.12 || rate > 0.27 {
+		t.Fatalf("down-time fraction %.3f implausible for LinkDown=0.1 x 2 rounds", rate)
+	}
+}

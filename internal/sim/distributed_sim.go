@@ -6,6 +6,7 @@ import (
 	"pacds/internal/cds"
 	"pacds/internal/distributed"
 	"pacds/internal/energy"
+	"pacds/internal/faults"
 	"pacds/internal/graph"
 	"pacds/internal/udg"
 	"pacds/internal/xrand"
@@ -38,8 +39,22 @@ type DistributedMetrics struct {
 	LinkEvents int
 	// Mismatches counts intervals where the session's gateway set
 	// differed from the centralized computation (always 0; asserted by
-	// tests, reported for visibility).
+	// tests, reported for visibility). Reliable path only.
 	Mismatches int
+
+	// The remaining fields are populated only when the run operates under
+	// faults (Config.Drop > 0 or Config.Crashes > 0), where every interval
+	// executes the hardened protocol end to end.
+	//
+	// Retransmissions, Drops, Duplicates, and Evictions are the cumulative
+	// radio/fault costs across all intervals (see distributed.Stats).
+	Retransmissions, Drops, Duplicates, Evictions int
+	// HostCrashes is the number of hosts that failed permanently.
+	HostCrashes int
+	// DegradedIntervals counts intervals whose hardened run needed at
+	// least one unmark revocation or finalization repair — the intervals
+	// where fault tolerance visibly earned its keep.
+	DegradedIntervals int
 }
 
 // RunDistributed executes the lifetime simulation through the
@@ -49,6 +64,9 @@ type DistributedMetrics struct {
 func RunDistributed(cfg Config) (*DistributedMetrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Drop > 0 || cfg.Crashes > 0 {
+		return runDistributedFaulty(cfg)
 	}
 	maxIntervals := cfg.MaxIntervals
 	if maxIntervals <= 0 {
@@ -162,4 +180,163 @@ func RunDistributed(cfg Config) (*DistributedMetrics, error) {
 	m.Deliveries = stats.Deliveries
 	m.MeanGateways = float64(gwSum) / float64(m.Intervals)
 	return m, nil
+}
+
+// runDistributedFaulty is the lifetime simulation over a faulty radio:
+// every interval re-runs the hardened protocol from scratch (a session
+// cannot carry state across intervals when hosts crash mid-protocol) with
+// a fresh deterministic fault plan. Hosts crash permanently — one victim
+// every third interval until Config.Crashes are down — and the crash round
+// is always placed early enough that the protocol's healing epoch runs
+// after the fault quiesces, so the graceful-degradation guarantee applies.
+// LinkEvents stays zero on this path: there is no incremental session to
+// feed link diffs to.
+func runDistributedFaulty(cfg Config) (*DistributedMetrics, error) {
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals <= 0 {
+		maxIntervals = 100000
+	}
+	rng := xrand.New(cfg.Seed)
+	placeRNG := rng.Split(1)
+	moveRNG := rng.Split(2)
+	faultSeed := cfg.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = cfg.Seed ^ 0x9e3779b97f4a7c15
+	}
+	faultRNG := xrand.New(faultSeed)
+
+	ucfg := udg.Config{N: cfg.N, Field: cfg.Field, Radius: cfg.Radius}
+	var inst *udg.Instance
+	var err error
+	if cfg.ConnectedStart {
+		inst, err = udg.RandomConnected(ucfg, placeRNG, 5000)
+	} else {
+		inst, err = udg.Random(ucfg, placeRNG)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	levels := energy.NewLevels(cfg.N, cfg.InitialEnergy)
+	if cfg.InitialLevels != nil {
+		for v, e := range cfg.InitialLevels {
+			levels.SetLevel(v, e)
+		}
+	}
+	el := make([]float64, cfg.N)
+	snapshotLevels := func() []float64 {
+		for v := 0; v < cfg.N; v++ {
+			el[v] = levels.Level(v)
+		}
+		return el
+	}
+
+	crashed := make([]bool, cfg.N)
+	crashesLeft := cfg.Crashes
+	saved := make([]float64, cfg.N)
+	m := &DistributedMetrics{}
+	gwSum := 0
+	for interval := 1; ; interval++ {
+		// Assemble this interval's fault plan: hosts already down carry
+		// over as round-1 crashes; every third interval a fresh victim
+		// fails mid-protocol (early enough to quiesce before the healing
+		// epoch).
+		fcfg := faults.Config{Seed: faultRNG.Uint64(), Drop: cfg.Drop}
+		for v, down := range crashed {
+			if down {
+				fcfg.Crashes = append(fcfg.Crashes, faults.Crash{Node: v, AtRound: 1})
+			}
+		}
+		if crashesLeft > 0 && interval >= 2 && (interval-2)%3 == 0 {
+			victim := pickSurvivor(faultRNG, crashed)
+			fcfg.Crashes = append(fcfg.Crashes,
+				faults.Crash{Node: victim, AtRound: 5 + faultRNG.Intn(20)})
+			crashed[victim] = true
+			crashesLeft--
+			m.HostCrashes++
+		}
+		plan, err := faults.NewPlan(fcfg)
+		if err != nil {
+			return nil, err
+		}
+
+		res, err := distributed.RunHardened(inst.Graph, cfg.Policy, snapshotLevels(),
+			distributed.HardenedConfig{Faults: plan})
+		if err != nil {
+			return nil, err
+		}
+		stats := res.Stats
+		m.Messages += stats.Messages
+		m.Deliveries += stats.Deliveries
+		m.Retransmissions += stats.Retransmissions
+		m.Drops += stats.Drops
+		m.Duplicates += stats.Duplicates
+		m.Evictions += stats.Evictions
+		if stats.Revocations > 0 || stats.Repairs > 0 {
+			m.DegradedIntervals++
+		}
+		if cfg.Verify {
+			if err := cds.VerifySurvivorCDS(inst.Graph, res.Alive, res.Gateway); err != nil {
+				return nil, fmt.Errorf("sim: interval %d: %w", interval, err)
+			}
+		}
+		if cfg.FaultObserver != nil {
+			cfg.FaultObserver(interval, stats)
+		}
+		count := 0
+		for _, gw := range res.Gateway {
+			if gw {
+				count++
+			}
+		}
+		gwSum += count
+
+		// Drain the survivors only: a crashed host is powered off, so its
+		// residual energy is frozen (and its death never ends the run).
+		for v, down := range crashed {
+			if down {
+				saved[v] = levels.Level(v)
+			}
+		}
+		energy.ApplyInterval(levels, res.Gateway, cfg.Drain, cfg.NonGatewayDrain)
+		for v, down := range crashed {
+			if down {
+				levels.SetLevel(v, saved[v])
+			}
+		}
+		dead := false
+		for v := 0; v < cfg.N; v++ {
+			if !crashed[v] && !levels.Alive(v) {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			m.Intervals = interval
+			break
+		}
+		if interval >= maxIntervals {
+			m.Intervals = interval
+			m.Truncated = true
+			break
+		}
+		if cfg.Mobility != nil {
+			cfg.Mobility.Step(inst.Positions, cfg.Field, moveRNG)
+			inst.Rebuild()
+		}
+	}
+	m.MeanGateways = float64(gwSum) / float64(m.Intervals)
+	return m, nil
+}
+
+// pickSurvivor deterministically selects a not-yet-crashed host.
+// Config.Validate guarantees Crashes < N, so one always exists.
+func pickSurvivor(rng *xrand.RNG, crashed []bool) int {
+	var alive []int
+	for v, down := range crashed {
+		if !down {
+			alive = append(alive, v)
+		}
+	}
+	return alive[rng.Intn(len(alive))]
 }

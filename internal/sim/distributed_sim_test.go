@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pacds/internal/cds"
+	"pacds/internal/distributed"
 	"pacds/internal/energy"
 )
 
@@ -88,5 +89,102 @@ func TestRunDistributedInvalidConfig(t *testing.T) {
 	cfg.N = 0
 	if _, err := RunDistributed(cfg); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunDistributedFaulty(t *testing.T) {
+	cfg := PaperConfig(20, cds.ND, energy.LinearPerGW{}, 910)
+	cfg.Drop = 0.1
+	cfg.Crashes = 2
+	cfg.Verify = true // fail on any surviving-subgraph CDS violation
+	observed := 0
+	var obsRetrans int
+	cfg.FaultObserver = func(interval int, stats distributed.Stats) {
+		observed++
+		obsRetrans += stats.Retransmissions
+	}
+	dm, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Intervals < 1 {
+		t.Fatal("no intervals completed")
+	}
+	if observed != dm.Intervals {
+		t.Fatalf("observer called %d times over %d intervals", observed, dm.Intervals)
+	}
+	if dm.Drops == 0 || dm.Retransmissions == 0 {
+		t.Fatalf("lossy lifetime run recorded no radio faults: %+v", dm)
+	}
+	if obsRetrans != dm.Retransmissions {
+		t.Fatalf("observer saw %d retransmissions, metrics %d", obsRetrans, dm.Retransmissions)
+	}
+	wantCrashes := 2
+	if dm.Intervals < 5 {
+		wantCrashes = 1 // second victim falls at interval 5
+		if dm.Intervals < 2 {
+			wantCrashes = 0
+		}
+	}
+	if dm.HostCrashes != wantCrashes {
+		t.Fatalf("lifetime %d intervals: %d crashes, want %d", dm.Intervals, dm.HostCrashes, wantCrashes)
+	}
+	if dm.HostCrashes > 0 && dm.Evictions == 0 {
+		t.Fatalf("crashed hosts never evicted: %+v", dm)
+	}
+}
+
+func TestRunDistributedFaultyDeterministic(t *testing.T) {
+	cfg := PaperConfig(15, cds.EL2, energy.LinearPerGW{}, 12)
+	cfg.Drop = 0.15
+	cfg.Crashes = 1
+	cfg.MaxIntervals = 25
+	a, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same config, different metrics:\n%+v\n%+v", *a, *b)
+	}
+}
+
+func TestRunDistributedReliablePathUnchangedByFaultFields(t *testing.T) {
+	// Drop == 0 and Crashes == 0 must keep the incremental session path
+	// byte-identical: FaultSeed alone must not change anything.
+	base := PaperConfig(15, cds.ID, energy.LinearPerGW{}, 321)
+	a, err := RunDistributed(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSeed := base
+	withSeed.FaultSeed = 999
+	b, err := RunDistributed(withSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("fault seed leaked into reliable path:\n%+v\n%+v", *a, *b)
+	}
+	if a.Retransmissions != 0 || a.Drops != 0 || a.Evictions != 0 || a.HostCrashes != 0 {
+		t.Fatalf("reliable run reported fault activity: %+v", *a)
+	}
+}
+
+func TestRunDistributedFaultConfigValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Drop = -0.1 },
+		func(c *Config) { c.Drop = 1.01 },
+		func(c *Config) { c.Crashes = -1 },
+		func(c *Config) { c.Crashes = c.N },
+	} {
+		cfg := PaperConfig(10, cds.ID, energy.Linear{}, 1)
+		mutate(&cfg)
+		if _, err := RunDistributed(cfg); err == nil {
+			t.Fatalf("invalid fault config accepted: %+v", cfg)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"pacds/internal/cds"
+	"pacds/internal/distributed"
 	"pacds/internal/energy"
 	"pacds/internal/geom"
 	"pacds/internal/mobility"
@@ -69,6 +70,24 @@ type Config struct {
 	// callback must not retain the result or levels beyond the call. Use
 	// it to record time series without modifying the engine.
 	Observer func(interval int, res *cds.Result, levels *energy.Levels)
+
+	// Drop is the per-delivery loss probability of the radio. Nonzero
+	// values route RunDistributed through the hardened fault-tolerant
+	// protocol (see internal/faults); Run ignores it. Must be in [0, 1].
+	Drop float64
+	// Crashes is the number of hosts that fail permanently while the
+	// network operates (RunDistributed only). Victims are chosen
+	// deterministically from FaultSeed, one every few intervals. Must be
+	// in [0, N).
+	Crashes int
+	// FaultSeed drives all fault randomness independently of Seed, so the
+	// same deployment can be replayed under different fault schedules.
+	// Zero derives it from Seed.
+	FaultSeed uint64
+	// FaultObserver, when non-nil, receives each interval's hardened
+	// protocol statistics (RunDistributed under faults only). The Stats
+	// value is per interval, not cumulative.
+	FaultObserver func(interval int, stats distributed.Stats)
 }
 
 // PaperConfig returns the paper's parameters for a lifetime run: 100x100
@@ -114,6 +133,12 @@ func (c Config) Validate() error {
 				return fmt.Errorf("sim: non-positive initial level %v for host %d", e, v)
 			}
 		}
+	}
+	if c.Drop < 0 || c.Drop > 1 {
+		return fmt.Errorf("sim: drop probability %v outside [0, 1]", c.Drop)
+	}
+	if c.Crashes < 0 || c.Crashes >= c.N {
+		return fmt.Errorf("sim: %d crashes for %d hosts (need 0 <= crashes < N)", c.Crashes, c.N)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"pacds/internal/cds"
+	"pacds/internal/distributed"
 	"pacds/internal/energy"
 )
 
@@ -55,6 +56,66 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	for _, row := range r.rows {
 		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f,%d\n",
 			row.Interval, row.Gateways, row.MinEnergy, row.TotalEnergy, row.Variance, row.Alive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultRow is one interval's hardened-protocol fault statistics.
+type FaultRow struct {
+	Interval        int
+	Rounds          int
+	Messages        int
+	Retransmissions int
+	Drops           int
+	Duplicates      int
+	Evictions       int
+	Revocations     int
+	Repairs         int
+	Convergence     int
+}
+
+// FaultRecorder accumulates per-interval fault statistics; attach its
+// Observe method to sim.Config.FaultObserver.
+type FaultRecorder struct {
+	rows []FaultRow
+}
+
+// Observe implements the sim fault-observer signature.
+func (r *FaultRecorder) Observe(interval int, stats distributed.Stats) {
+	r.rows = append(r.rows, FaultRow{
+		Interval:        interval,
+		Rounds:          stats.Rounds,
+		Messages:        stats.Messages,
+		Retransmissions: stats.Retransmissions,
+		Drops:           stats.Drops,
+		Duplicates:      stats.Duplicates,
+		Evictions:       stats.Evictions,
+		Revocations:     stats.Revocations,
+		Repairs:         stats.Repairs,
+		Convergence:     stats.ConvergenceRound,
+	})
+}
+
+// Rows returns the recorded snapshots.
+func (r *FaultRecorder) Rows() []FaultRow { return r.rows }
+
+// Len returns the number of recorded intervals.
+func (r *FaultRecorder) Len() int { return len(r.rows) }
+
+// Reset clears the recorder for reuse.
+func (r *FaultRecorder) Reset() { r.rows = r.rows[:0] }
+
+// WriteCSV emits the recorded fault series with a header row.
+func (r *FaultRecorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "interval,rounds,messages,retransmissions,drops,duplicates,evictions,revocations,repairs,convergence_round"); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			row.Interval, row.Rounds, row.Messages, row.Retransmissions, row.Drops,
+			row.Duplicates, row.Evictions, row.Revocations, row.Repairs, row.Convergence); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pacds/internal/cds"
+	"pacds/internal/distributed"
 	"pacds/internal/energy"
 	"pacds/internal/sim"
 )
@@ -106,5 +107,68 @@ func TestWriteCSVFailure(t *testing.T) {
 	}
 	if err := rec.WriteCSV(&failWriter{left: 60}); err == nil {
 		t.Fatal("row write failure not reported")
+	}
+}
+
+func TestFaultRecorder(t *testing.T) {
+	var rec FaultRecorder
+	rec.Observe(1, distributed.Stats{Rounds: 40, Messages: 100, Retransmissions: 3, Drops: 7, ConvergenceRound: 22})
+	rec.Observe(2, distributed.Stats{Rounds: 40, Messages: 90, Evictions: 1, Revocations: 2, Repairs: 1})
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	var buf strings.Builder
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %d", len(lines))
+	}
+	if lines[0] != "interval,rounds,messages,retransmissions,drops,duplicates,evictions,revocations,repairs,convergence_round" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "1,40,100,3,7,0,0,0,0,22" {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if lines[2] != "2,40,90,0,0,0,1,2,1,0" {
+		t.Fatalf("row 2: %q", lines[2])
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("Reset did not clear rows")
+	}
+}
+
+func TestFaultRecorderCSVFailure(t *testing.T) {
+	var rec FaultRecorder
+	rec.Observe(1, distributed.Stats{})
+	if err := rec.WriteCSV(&failWriter{left: 0}); err == nil {
+		t.Fatal("header write failure not reported")
+	}
+	if err := rec.WriteCSV(&failWriter{left: 80}); err == nil {
+		t.Fatal("row write failure not reported")
+	}
+}
+
+func TestFaultRecorderCapturesRun(t *testing.T) {
+	var rec FaultRecorder
+	cfg := sim.PaperConfig(12, cds.ID, energy.Linear{}, 6)
+	cfg.Drop = 0.1
+	cfg.MaxIntervals = 5
+	cfg.FaultObserver = rec.Observe
+	m, err := sim.RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != m.Intervals {
+		t.Fatalf("recorded %d intervals, run had %d", rec.Len(), m.Intervals)
+	}
+	totalDrops := 0
+	for _, row := range rec.Rows() {
+		totalDrops += row.Drops
+	}
+	if totalDrops != m.Drops {
+		t.Fatalf("recorded %d drops, metrics %d", totalDrops, m.Drops)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"pacds/internal/des"
 	"pacds/internal/distributed"
 	"pacds/internal/energy"
+	"pacds/internal/faults"
 	"pacds/internal/geom"
 	"pacds/internal/graph"
 	"pacds/internal/mobility"
@@ -456,3 +457,48 @@ type ChurnSimMetrics = sim.ChurnMetrics
 // RunSimChurn executes a lifetime simulation where hosts power down and
 // return probabilistically, saving battery while off.
 func RunSimChurn(cfg ChurnSimConfig) (*ChurnSimMetrics, error) { return sim.RunChurn(cfg) }
+
+// --- Fault tolerance ---
+
+// FaultConfig declares a deterministic fault plan: message loss,
+// duplication, delay/reordering, transient link down-time, and scheduled
+// host crashes. See internal/faults.
+type FaultConfig = faults.Config
+
+// Crash schedules one host failure (and optional recovery) by round.
+type Crash = faults.Crash
+
+// FaultPlan is a compiled, replayable fault schedule.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan validates cfg and compiles it into a plan. Every fault is
+// a pure function of the seed and the delivery coordinates, so a failing
+// run replays exactly.
+func NewFaultPlan(cfg FaultConfig) (*FaultPlan, error) { return faults.NewPlan(cfg) }
+
+// HardenedConfig parameterizes the fault-tolerant distributed protocol.
+type HardenedConfig = distributed.HardenedConfig
+
+// HardenedResult is the finalized outcome of a hardened run.
+type HardenedResult = distributed.HardenedResult
+
+// RunDistributedHardened executes the marking process and rules over a
+// faulty radio: sequence-numbered messages with ACK/retransmission,
+// HELLO-timeout neighbor eviction, commit-on-ACK unmarks, and healing
+// epochs. With zero faults the result is bit-identical to Compute; under
+// faults the finalized set is a CDS of the surviving subgraph (verify
+// with VerifySurvivorCDS).
+func RunDistributedHardened(g *Graph, p Policy, energy []float64, cfg HardenedConfig) (*HardenedResult, error) {
+	return distributed.RunHardened(g, p, energy, cfg)
+}
+
+// ErrStale reports a maintenance-session input assembled against an
+// outdated topology snapshot; recoverable (re-snapshot and resubmit).
+// Test with errors.Is.
+var ErrStale = distributed.ErrStale
+
+// VerifySurvivorCDS checks the graceful-degradation invariant: gateway
+// restricted to the alive hosts is a CDS of the surviving subgraph.
+func VerifySurvivorCDS(g *Graph, alive, gateway []bool) error {
+	return cds.VerifySurvivorCDS(g, alive, gateway)
+}

@@ -406,3 +406,30 @@ func TestFacadeDistanceVector(t *testing.T) {
 		t.Fatalf("dv=%v stats=%+v", dv, stats)
 	}
 }
+
+func TestFacadeHardened(t *testing.T) {
+	net, err := RandomConnectedNetwork(PaperNetworkConfig(20), NewRNG(3), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewFaultPlan(FaultConfig{
+		Seed: 5, Drop: 0.1,
+		Crashes: []Crash{{Node: 2, AtRound: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDistributedHardened(net.Graph, ND, nil, HardenedConfig{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alive[2] {
+		t.Fatal("crashed host alive")
+	}
+	if err := VerifySurvivorCDS(net.Graph, res.Alive, res.Gateway); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retransmissions == 0 {
+		t.Fatal("no retransmissions at drop=0.1")
+	}
+}
