@@ -1,0 +1,35 @@
+# Development targets for pacds. `make verify` is the tier-1 gate every
+# PR must keep green (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench fuzz clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-sensitive packages: the message-passing protocol layers and the
+# concurrent serving subsystem.
+race:
+	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Short fuzz pass over the edge-list parser and encoder round-trip.
+fuzz:
+	$(GO) test -fuzz FuzzRead$$ -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzReadWrite -fuzztime 30s ./internal/graph/
+
+clean:
+	$(GO) clean ./...

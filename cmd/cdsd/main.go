@@ -1,0 +1,114 @@
+// Command cdsd is the CDS-computation daemon: it serves the library's
+// marking + pruning pipeline over HTTP/JSON with a bounded worker pool,
+// an LRU result cache keyed on the canonical graph digest, coalescing of
+// identical in-flight requests, and a Prometheus metrics endpoint.
+//
+// Usage:
+//
+//	cdsd -addr :8080 [-workers 8] [-queue 128] [-cache 1024]
+//	     [-timeout 10s] [-drain 5s] [-quantum 1.0] [-maxnodes 100000]
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight requests complete,
+// new requests are refused with 503, and the listener closes within the
+// drain deadline.
+//
+//	curl -s localhost:8080/v1/compute -d '{
+//	  "graph": {"nodes": 4, "edges": [[0,1],[1,2],[2,3]]},
+//	  "policy": "ND"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pacds/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (signal) and
+// the graceful drain completes. It prints the bound address on startup so
+// callers (and tests) can use ":0".
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdsd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "job queue depth before load shedding (0 = default 128)")
+	cache := fs.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
+	timeout := fs.Duration("timeout", 0, "per-request computation deadline (0 = default 10s)")
+	drain := fs.Duration("drain", 0, "graceful shutdown deadline (0 = default 5s)")
+	quantum := fs.Float64("quantum", 0, "cache-key energy quantization step (0 = default 1.0)")
+	maxNodes := fs.Int("maxnodes", 0, "largest accepted topology (0 = default 100000)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		EnergyQuantum:  *quantum,
+		MaxNodes:       *maxNodes,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stdout, "cdsd listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new API requests first, then let the HTTP
+	// layer close idle connections and wait for active handlers, bounded
+	// by the drain deadline, then stop the worker pool.
+	drainDeadline := *drain
+	if drainDeadline <= 0 {
+		drainDeadline = 5 * time.Second
+	}
+	fmt.Fprintf(stdout, "cdsd draining (deadline %s)\n", drainDeadline)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+	httpErr := hs.Shutdown(shutdownCtx)
+	drainErr := srv.Shutdown(shutdownCtx)
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return fmt.Errorf("listener shutdown: %w", httpErr)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(stdout, "cdsd stopped")
+	return nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a stop function that triggers the graceful drain and waits for
+// run to return.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out lockedBuffer
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(ctx, args, &out) }()
+
+	re := regexp.MustCompile(`cdsd listening on (\S+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var stopOnce sync.Once
+	var stopErr error
+	stop := func() error {
+		stopOnce.Do(func() {
+			cancel()
+			select {
+			case stopErr = <-done:
+			case <-time.After(10 * time.Second):
+				stopErr = errors.New("daemon did not stop")
+			}
+		})
+		return stopErr
+	}
+	t.Cleanup(func() { stop() })
+	return "http://" + addr, stop
+}
+
+// lockedBuffer is a goroutine-safe bytes.Buffer (run writes, test reads).
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestDaemonServesAndStopsGracefully(t *testing.T) {
+	base, stop := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"graph":{"nodes":4,"edges":[[0,1],[1,2],[2,3]]},"policy":"ND"}`)
+	resp, err = http.Post(base+"/v1/compute", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), `"gateways":[1,2]`) {
+		t.Fatalf("compute = %d: %s", resp.StatusCode, buf.String())
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	// The listener must be closed after the drain.
+	addr := strings.TrimPrefix(base, "http://")
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after graceful stop")
+	}
+}
+
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	base, _ := startDaemon(t, "-workers", "2", "-cache", "8")
+	body := `{"graph":{"nodes":3,"edges":[[0,1],[1,2]]},"policy":"ID"}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/compute", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	out := buf.String()
+	for _, want := range []string{
+		"cdsd_cache_hits_total 1",
+		"cdsd_cache_misses_total 1",
+		`cdsd_requests_total{endpoint="compute"} 2`,
+		"cdsd_service_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-addr"}, &out); err == nil {
+		t.Fatal("dangling -addr accepted")
+	}
+	if err := run(ctx, []string{"stray"}, &out); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if err := run(ctx, []string{"-addr", "999.999.999.999:1"}, &out); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"pacds/internal/cds"
@@ -55,6 +56,11 @@ func run(args []string, stdout io.Writer) error {
 	drain, err := energy.ByName(*drainName)
 	if err != nil {
 		return err
+	}
+	// NaN compares false against every bound, so reject it explicitly or
+	// it silently reaches the fault plan as a "valid" probability.
+	if math.IsNaN(*drop) || math.IsInf(*drop, 0) {
+		return fmt.Errorf("-drop %v is not a probability (need a finite value in [0, 1])", *drop)
 	}
 	if *drop < 0 || *drop > 1 {
 		return fmt.Errorf("-drop %v outside [0, 1]", *drop)

@@ -168,6 +168,10 @@ func TestBadFaultFlags(t *testing.T) {
 	cases := [][]string{
 		{"-drop", "-0.1"},
 		{"-drop", "1.5"},
+		{"-drop", "NaN"},
+		{"-drop", "nan"},
+		{"-drop", "+Inf"},
+		{"-drop", "-Inf"},
 		{"-crash", "-1"},
 		{"-n", "10", "-crash", "10"},
 		{"-n", "10", "-crash", "11"},
@@ -178,5 +182,19 @@ func TestBadFaultFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v succeeded", args)
 		}
+	}
+}
+
+func TestBadFaultFlagErrorsAreClear(t *testing.T) {
+	// The error message must name the flag and the constraint, not just
+	// fail downstream with a cryptic internal error.
+	var out bytes.Buffer
+	err := run([]string{"-drop", "NaN"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-drop") || !strings.Contains(err.Error(), "[0, 1]") {
+		t.Fatalf("NaN drop error = %v", err)
+	}
+	err = run([]string{"-n", "10", "-crash", "12"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-crash") || !strings.Contains(err.Error(), "10 hosts") {
+		t.Fatalf("crash range error = %v", err)
 	}
 }

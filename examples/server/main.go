@@ -1,0 +1,110 @@
+// Server example: run the cdsd CDS-computation service in-process, drive
+// it with the typed client, and show the serving machinery at work — a
+// cold compute, a cache hit for the repeated request, a fault-scenario
+// query ("what does the surviving CDS look like under 10% loss?"), and
+// the Prometheus metrics the service exposes.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"pacds"
+)
+
+func main() {
+	// Start the service on an ephemeral local port.
+	srv := pacds.NewCDSServer(pacds.ServerConfig{Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("cdsd serving on %s\n\n", base)
+
+	client := pacds.NewCDSClient(base, nil)
+	ctx := context.Background()
+
+	// A unit-disk topology on the paper's field, sent over the wire.
+	netw, err := pacds.RandomConnectedNetwork(pacds.PaperNetworkConfig(60), pacds.NewRNG(7), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := pacds.ServerGraphSpec{Nodes: netw.Graph.NumNodes()}
+	netw.Graph.Edges(func(u, v pacds.NodeID) {
+		spec.Edges = append(spec.Edges, [2]int{int(u), int(v)})
+	})
+
+	energy := make([]float64, 60)
+	rng := pacds.NewRNG(8)
+	for i := range energy {
+		energy[i] = float64(rng.IntRange(1, 10)) * 10
+	}
+
+	// Cold request, then the identical request again: the second is
+	// served from the canonical-digest LRU cache.
+	req := pacds.ServerComputeRequest{Graph: spec, Policy: "EL2", Energy: energy}
+	cold, err := client.Compute(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := client.Compute(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EL2 backbone: %d of %d hosts are gateways\n", cold.NumGateways, cold.Nodes)
+	fmt.Printf("cold request cached=%v, repeated request cached=%v\n\n", cold.Cached, warm.Cached)
+
+	// Ask the service to check a (deliberately broken) gateway set.
+	verdict, err := client.Verify(ctx, pacds.ServerVerifyRequest{
+		Graph: spec, Gateways: cold.Gateways[:1],
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verify of a 1-gateway set: valid=%v (%s)\n\n", verdict.Valid, verdict.Reason)
+
+	// The opt-in fault field runs the hardened distributed protocol:
+	// what does the surviving CDS look like under 10% message loss and
+	// one host crash?
+	faulty, err := client.Compute(ctx, pacds.ServerComputeRequest{
+		Graph: spec, Policy: "ND",
+		Faults: &pacds.ServerFaultSpec{Drop: 0.1, Seed: 5,
+			Crashes: []pacds.ServerCrashSpec{{Node: 3, AtRound: 12}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("under 10%% loss + 1 crash: %d gateways over %d surviving hosts, %d retransmissions\n\n",
+		faulty.NumGateways, len(faulty.Alive), faulty.Retransmissions)
+
+	// The metrics endpoint, filtered to the serving counters.
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("metrics excerpt:")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "cdsd_cache") || strings.HasPrefix(line, "cdsd_requests_total") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Graceful drain, as SIGTERM would do in the daemon.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	hs.Shutdown(shutdownCtx)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndrained and stopped.")
+}

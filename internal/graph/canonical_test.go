@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCanonicalEqualGraphsAgree(t *testing.T) {
+	// Same edge set inserted in different orders must canonicalize
+	// identically.
+	a := New(5)
+	b := New(5)
+	edges := [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	for _, e := range edges {
+		a.AddEdge(e[0], e[1])
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		b.AddEdge(edges[i][1], edges[i][0])
+	}
+	if !bytes.Equal(Canonical(a), Canonical(b)) {
+		t.Fatal("insertion order changed the canonical encoding")
+	}
+	if Digest(a) != Digest(b) {
+		t.Fatal("insertion order changed the digest")
+	}
+}
+
+func TestCanonicalDistinguishes(t *testing.T) {
+	cases := map[string]*Graph{
+		"empty0":     New(0),
+		"empty3":     New(3),
+		"path3":      Path(3),
+		"path4":      Path(4),
+		"cycle4":     Cycle(4),
+		"star4":      Star(4),
+		"complete4":  Complete(4),
+		"singleEdge": FromEdges(4, [][2]NodeID{{0, 1}}),
+		"otherEdge":  FromEdges(4, [][2]NodeID{{2, 3}}),
+	}
+	seen := map[string]string{}
+	for name, g := range cases {
+		key := string(Canonical(g))
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("%s and %s share a canonical encoding", prev, name)
+		}
+		seen[key] = name
+	}
+}
+
+func TestCanonicalMutationChangesDigest(t *testing.T) {
+	g := Path(6)
+	d1 := Digest(g)
+	g.AddEdge(0, 5)
+	d2 := Digest(g)
+	if d1 == d2 {
+		t.Fatal("adding an edge did not change the digest")
+	}
+	g.RemoveEdge(0, 5)
+	if Digest(g) != d1 {
+		t.Fatal("digest did not return to original after undo")
+	}
+}
+
+func TestCanonicalStableAcrossClone(t *testing.T) {
+	g := Complete(7)
+	g.RemoveEdge(2, 5)
+	c := g.Clone()
+	if !bytes.Equal(Canonical(g), Canonical(c)) {
+		t.Fatal("clone canonicalizes differently")
+	}
+}

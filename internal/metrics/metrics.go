@@ -1,0 +1,295 @@
+// Package metrics is a small, allocation-light instrumentation registry
+// for the serving layer: monotonic counters, gauges, and fixed-bucket
+// latency histograms, rendered in the Prometheus text exposition format.
+//
+// The package is deliberately dependency-free (the container bakes no
+// Prometheus client library) and safe for concurrent use: counters and
+// gauges are single atomics, histograms are one atomic per bucket plus an
+// atomically-accumulated sum. Observation never takes a lock; rendering
+// takes a snapshot under the registry lock only to get a stable name
+// ordering.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed upper-bound buckets, the
+// Prometheus cumulative-histogram model. Quantiles are estimated at read
+// time by linear interpolation inside the winning bucket — accurate to
+// bucket resolution, which is what serving dashboards need.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds, excluding +Inf
+	buckets    []atomic.Uint64
+	inf        atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets are latency buckets in seconds, 100µs to ~100s.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1,
+	.25, .5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution, interpolating linearly within the winning bucket. It
+// returns 0 when nothing has been observed; observations beyond the last
+// finite bound clamp to that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	lower := 0.0
+	for i, bound := range h.bounds {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			lower = bound
+			continue
+		}
+		if float64(cum+n) >= rank {
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += n
+		lower = bound
+	}
+	return lower // everything beyond the last finite bound clamps
+}
+
+// Registry holds named metrics and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Repeated calls with the same name return the same counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds on first use. bounds must be sorted ascending;
+// nil means DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds not sorted")
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// baseName strips a trailing {label="..."} clause so HELP/TYPE lines use
+// the metric family name, as the exposition format requires.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeled splits name into (family, labelClause-with-braces-stripped).
+func labeled(name string) (string, string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name for deterministic output. Histograms also emit
+// derived _p50/_p99 gauges so quantiles are readable without a query
+// engine.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	var b strings.Builder
+	seenHeader := map[string]bool{}
+	header := func(name, typ, help string) {
+		fam := baseName(name)
+		if seenHeader[fam] {
+			return
+		}
+		seenHeader[fam] = true
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+	}
+	for _, c := range counters {
+		header(c.name, "counter", c.help)
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.Value())
+	}
+	for _, g := range gauges {
+		header(g.name, "gauge", g.help)
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.Value())
+	}
+	for _, h := range hists {
+		header(h.name, "histogram", h.help)
+		fam, labels := labeled(h.name)
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{%s%sle=%q} %d\n", fam, labels, sep, formatBound(bound), cum)
+		}
+		cum += h.inf.Load()
+		fmt.Fprintf(&b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", fam, labels, sep, cum)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", fam, braced(labels), h.Sum())
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, braced(labels), h.Count())
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.5}, {"_p99", 0.99}} {
+			dname := fam + q.suffix
+			header(dname, "gauge", "estimated quantile of "+fam)
+			fmt.Fprintf(&b, "%s%s %g\n", dname, braced(labels), h.Quantile(q.q))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

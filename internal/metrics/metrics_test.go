@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 0.2, 0.4, 0.8})
+	// 100 observations uniformly at 0.05 (below first bound) and 100 at
+	// 0.3 (third bucket).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+		h.Observe(0.3)
+	}
+	if h.Count() != 200 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-(100*0.05+100*0.3)) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within first bucket [0, 0.1]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.2 || p99 > 0.4 {
+		t.Fatalf("p99 = %v, want within (0.2, 0.4]", p99)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(100) // beyond last bound
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", q)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`hits_total{endpoint="compute"}`, "cache hits").Add(3)
+	r.Counter(`hits_total{endpoint="verify"}`, "cache hits").Add(1)
+	r.Gauge("queue_depth", "jobs queued").Set(2)
+	h := r.Histogram("svc_seconds", "service time", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hits_total counter",
+		`hits_total{endpoint="compute"} 3`,
+		`hits_total{endpoint="verify"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"# TYPE svc_seconds histogram",
+		`svc_seconds_bucket{le="0.5"} 1`,
+		`svc_seconds_bucket{le="+Inf"} 2`,
+		"svc_seconds_sum 1",
+		"svc_seconds_count 2",
+		"svc_seconds_p50",
+		"svc_seconds_p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family despite two labeled series.
+	if strings.Count(out, "# TYPE hits_total counter") != 1 {
+		t.Fatalf("duplicated family header:\n%s", out)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("count = %d / %d, want 8000", c.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-80) > 1e-6 {
+		t.Fatalf("sum = %v, want 80", h.Sum())
+	}
+}

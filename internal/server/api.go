@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"pacds/internal/cds"
+	"pacds/internal/faults"
+	"pacds/internal/graph"
+)
+
+// Wire types of the HTTP/JSON API. Field names are stable; additions must
+// be backward compatible (new optional fields only).
+
+// GraphSpec is the wire form of a topology: a node count and an
+// undirected edge list.
+type GraphSpec struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// build validates the spec and constructs the graph. maxNodes guards the
+// service against memory-exhaustion requests.
+func (s GraphSpec) build(maxNodes int) (*graph.Graph, error) {
+	if s.Nodes < 0 {
+		return nil, fmt.Errorf("nodes must be non-negative, got %d", s.Nodes)
+	}
+	if maxNodes > 0 && s.Nodes > maxNodes {
+		return nil, fmt.Errorf("nodes %d exceeds the service limit %d", s.Nodes, maxNodes)
+	}
+	g := graph.New(s.Nodes)
+	for i, e := range s.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= s.Nodes || v < 0 || v >= s.Nodes {
+			return nil, fmt.Errorf("edge %d: %d-%d out of range [0, %d)", i, u, v, s.Nodes)
+		}
+		if u == v {
+			return nil, fmt.Errorf("edge %d: self loop %d-%d", i, u, v)
+		}
+		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return g, nil
+}
+
+// CrashSpec schedules one host failure in a fault scenario.
+type CrashSpec struct {
+	Node      int `json:"node"`
+	AtRound   int `json:"at_round"`
+	RecoverAt int `json:"recover_at,omitempty"`
+}
+
+// FaultSpec asks the compute endpoint to run the hardened fault-tolerant
+// protocol instead of the centralized algorithm: "what does the surviving
+// CDS look like under drop rate p".
+type FaultSpec struct {
+	Drop      float64     `json:"drop"`
+	Duplicate float64     `json:"duplicate,omitempty"`
+	Seed      uint64      `json:"seed"`
+	Crashes   []CrashSpec `json:"crashes,omitempty"`
+}
+
+func (f *FaultSpec) plan() (*faults.Plan, error) {
+	cfg := faults.Config{Seed: f.Seed, Drop: f.Drop, Duplicate: f.Duplicate}
+	for _, c := range f.Crashes {
+		cfg.Crashes = append(cfg.Crashes, faults.Crash{Node: c.Node, AtRound: c.AtRound, RecoverAt: c.RecoverAt})
+	}
+	return faults.NewPlan(cfg)
+}
+
+// ComputeRequest asks for a CDS of the given topology under a policy.
+type ComputeRequest struct {
+	Graph  GraphSpec `json:"graph"`
+	Policy string    `json:"policy"`
+	// Energy is the per-node battery level, required for EL1/EL2.
+	Energy []float64 `json:"energy,omitempty"`
+	// IncludeMarked also returns the raw marking-process output.
+	IncludeMarked bool `json:"include_marked,omitempty"`
+	// Faults switches to the hardened distributed protocol over a faulty
+	// radio. Fault runs bypass the result cache (they are scenario
+	// explorations, not steady-state serving).
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// ComputeResponse reports the gateway set.
+type ComputeResponse struct {
+	Policy      string `json:"policy"`
+	Nodes       int    `json:"nodes"`
+	NumGateways int    `json:"num_gateways"`
+	Gateways    []int  `json:"gateways"`
+	Marked      []int  `json:"marked,omitempty"`
+	// Alive lists surviving hosts after a fault run (nil otherwise).
+	Alive []int `json:"alive,omitempty"`
+	// Retransmissions/Evictions are hardened-protocol costs (fault runs).
+	Retransmissions int `json:"retransmissions,omitempty"`
+	Evictions       int `json:"evictions,omitempty"`
+	// Cached reports a result served from the LRU cache; Coalesced one
+	// shared with a concurrent identical request.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// VerifyRequest asks whether a gateway set is a CDS of the topology.
+type VerifyRequest struct {
+	Graph    GraphSpec `json:"graph"`
+	Gateways []int     `json:"gateways"`
+}
+
+// VerifyResponse reports validity plus the backbone quality metrics of
+// cds.Analyze.
+type VerifyResponse struct {
+	Valid              bool    `json:"valid"`
+	Reason             string  `json:"reason,omitempty"`
+	NumGateways        int     `json:"num_gateways"`
+	BackboneDiameter   int     `json:"backbone_diameter"`
+	ArticulationPoints int     `json:"articulation_points"`
+	MeanRedundancy     float64 `json:"mean_redundancy"`
+}
+
+// SimulateRequest asks for a lifetime simulation on the paper's field.
+type SimulateRequest struct {
+	N      int    `json:"n"`
+	Policy string `json:"policy"`
+	Drain  string `json:"drain"`
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials,omitempty"`
+	Static bool   `json:"static,omitempty"`
+}
+
+// SimulateResponse reports lifetime metrics; aggregate fields are set
+// when Trials > 1.
+type SimulateResponse struct {
+	Policy        string  `json:"policy"`
+	Drain         string  `json:"drain"`
+	Trials        int     `json:"trials"`
+	Lifetime      float64 `json:"lifetime"`
+	LifetimeMin   float64 `json:"lifetime_min,omitempty"`
+	LifetimeMax   float64 `json:"lifetime_max,omitempty"`
+	MeanGateways  float64 `json:"mean_gateways"`
+	TruncatedRuns int     `json:"truncated_runs,omitempty"`
+}
+
+// PolicyInfo describes one pruning policy for /v1/policies.
+type PolicyInfo struct {
+	Name        string `json:"name"`
+	NeedsEnergy bool   `json:"needs_energy"`
+	Description string `json:"description"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// policyDescriptions matches cds.Policies order.
+var policyDescriptions = map[cds.Policy]string{
+	cds.NR:  "marking process only, no pruning rules",
+	cds.ID:  "original Wu-Li Rules 1 and 2 (node ID priority)",
+	cds.ND:  "Rules 1a/2a (node degree priority, smaller CDS)",
+	cds.EL1: "Rules 1b/2b (energy level priority, ID tie-break)",
+	cds.EL2: "Rules 1b'/2b' (energy level priority, degree then ID tie-break)",
+}
+
+// cacheKey derives the canonical cache key for a compute request: the
+// graph digest, the policy, and — only for energy-aware policies — the
+// energy vector quantized to quantum steps. Quantization makes the key
+// stable across the tiny per-interval drains that do not change the
+// computed CDS tier, which is what turns a continuously-draining serving
+// workload into a cacheable one.
+func cacheKey(g *graph.Graph, p cds.Policy, energy []float64, quantum float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], graph.Digest(g))
+	h.Write(buf[:])
+	h.Write([]byte{byte(p)})
+	if p.NeedsEnergy() {
+		if quantum <= 0 {
+			quantum = 1
+		}
+		for _, e := range energy {
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(math.Round(e/quantum))))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("c|%d|%x", g.NumNodes(), h.Sum64())
+}
+
+// boolsToIDs converts a membership slice to a sorted id list for the wire.
+func boolsToIDs(member []bool) []int {
+	ids := make([]int, 0, len(member))
+	for v, in := range member {
+		if in {
+			ids = append(ids, v)
+		}
+	}
+	return ids
+}
+
+// idsToBools converts a wire id list back to a membership slice.
+func idsToBools(n int, ids []int) ([]bool, error) {
+	member := make([]bool, n)
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("gateway id %d out of range [0, %d)", id, n)
+		}
+		member[id] = true
+	}
+	return member, nil
+}

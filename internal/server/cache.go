@@ -1,0 +1,73 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used result cache. Values
+// stored in it are treated as immutable by all readers (the handlers copy
+// nothing out; they serialize the shared response object), so a single
+// mutex around the map+list is all the synchronization needed. At serving
+// concurrency the critical section is two pointer moves — contention here
+// is far below the cost of one CDS computation.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRUCache returns a cache holding at most capacity entries.
+// capacity <= 0 disables caching (every Get misses, Add is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) add(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for a cdsd server. The zero value is not
+// usable; create with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for a default with a
+// 30s timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// apiError is a non-2xx response from the server.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("cdsd: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Compute requests a CDS computation.
+func (c *Client) Compute(ctx context.Context, req ComputeRequest) (*ComputeResponse, error) {
+	var resp ComputeResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/compute", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Verify checks a gateway set against a topology.
+func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse, error) {
+	var resp VerifyResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/verify", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Simulate runs a lifetime simulation on the server.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	var resp SimulateResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Policies lists the server's pruning policies.
+func (c *Client) Policies(ctx context.Context) ([]PolicyInfo, error) {
+	var resp []PolicyInfo
+	if err := c.call(ctx, http.MethodGet, "/v1/policies", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Health probes /healthz; nil means the server is up and accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("cdsd: metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(b), nil
+}

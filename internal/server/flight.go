@@ -1,0 +1,50 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical computations: the first
+// caller for a key runs fn, later callers for the same in-flight key
+// block and share the result (golang.org/x/sync/singleflight's core,
+// reimplemented because the container has no external modules).
+//
+// Coalescing matters under the serving workload the paper implies: every
+// host of a region asks for the CDS of the same topology snapshot at the
+// same time, and without coalescing a cache miss fans out into N
+// identical computations.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do invokes fn once per in-flight key. The bool result reports whether
+// this caller shared another caller's execution rather than running fn
+// itself.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,575 @@
+// Package server implements cdsd, the CDS-computation service: an
+// HTTP/JSON API over the library's marking + pruning pipeline with real
+// serving machinery — a bounded worker pool with per-request deadlines, an
+// LRU result cache keyed on the canonical graph digest, singleflight
+// coalescing of identical in-flight computations, graceful drain, and a
+// Prometheus-text metrics endpoint.
+//
+// Endpoints:
+//
+//	POST /v1/compute   marking + pruning under any policy (opt-in faults)
+//	POST /v1/simulate  lifetime simulation runs
+//	POST /v1/verify    CDS validity + backbone quality report
+//	GET  /v1/policies  the five policies and their priority keys
+//	GET  /healthz      liveness/readiness (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+//
+// The paper's policies are meant to be recomputed continuously as
+// topology and energy change; this package turns that into an online
+// serving workload. Caching works because the cache key quantizes the
+// energy vector: successive requests during one update interval collapse
+// onto one entry, and the marking recomputes only when topology or an
+// energy tier actually moves.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"pacds/internal/cds"
+	"pacds/internal/distributed"
+	"pacds/internal/energy"
+	"pacds/internal/metrics"
+	"pacds/internal/sim"
+	"pacds/internal/stats"
+)
+
+// Config parameterizes a Server. The zero value gets sensible serving
+// defaults from withDefaults.
+type Config struct {
+	// Workers bounds concurrent computations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond it
+	// are refused with 503 (load shedding, default 128).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default
+	// 1024; <0 disables caching, 0 means default).
+	CacheSize int
+	// RequestTimeout is the per-request computation deadline (default 10s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 5s); used by Close
+	// and cmd/cdsd.
+	DrainTimeout time.Duration
+	// EnergyQuantum is the cache-key quantization step for energy levels
+	// (default 1.0, the paper's non-gateway drain per interval).
+	EnergyQuantum float64
+	// MaxNodes rejects larger request topologies (default 100000).
+	MaxNodes int
+
+	// testDelay artificially lengthens every computation; tests use it
+	// to hold requests in flight deterministically. It must be set
+	// before New so workers observe it without synchronization.
+	testDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 1024
+	case c.CacheSize < 0:
+		c.CacheSize = 0 // disabled
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.EnergyQuantum <= 0 {
+		c.EnergyQuantum = 1
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 100000
+	}
+	return c
+}
+
+// Server is the cdsd service. Create with New, expose via Handler, stop
+// with Shutdown (graceful) or Close.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	jobs   chan *job
+	quit   chan struct{}
+	stopWk sync.Once
+	wkDone sync.WaitGroup
+
+	// drainMu makes the draining check and the inflight registration
+	// atomic with respect to BeginDrain, so Shutdown's Wait can never
+	// miss a request that passed the check: handlers register under the
+	// read lock, BeginDrain flips the flag under the write lock.
+	drainMu  sync.RWMutex
+	inflight sync.WaitGroup
+	draining bool
+
+	cache  *lruCache
+	flight *flightGroup
+
+	reg        *metrics.Registry
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mCoalesced *metrics.Counter
+	mShed      *metrics.Counter
+	gQueue     *metrics.Gauge
+	gInflight  *metrics.Gauge
+	gEntries   *metrics.Gauge
+}
+
+type job struct {
+	ctx  context.Context
+	fn   func() (any, error)
+	val  any
+	err  error
+	done chan struct{}
+}
+
+// Sentinel serving errors, mapped to HTTP statuses by the handlers.
+var (
+	errOverloaded = errors.New("server overloaded: job queue full")
+	errDraining   = errors.New("server draining: not accepting new requests")
+)
+
+// New starts a Server and its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		reg:    metrics.NewRegistry(),
+	}
+	s.mHits = s.reg.Counter("cdsd_cache_hits_total", "compute results served from the LRU cache")
+	s.mMisses = s.reg.Counter("cdsd_cache_misses_total", "compute requests that ran the full pipeline")
+	s.mCoalesced = s.reg.Counter("cdsd_coalesced_total", "compute requests coalesced onto an identical in-flight computation")
+	s.mShed = s.reg.Counter("cdsd_shed_total", "requests refused because the job queue was full")
+	s.gQueue = s.reg.Gauge("cdsd_queue_depth", "jobs waiting for a worker")
+	s.gInflight = s.reg.Gauge("cdsd_inflight_requests", "requests currently being served")
+	s.gEntries = s.reg.Gauge("cdsd_cache_entries", "entries in the result cache")
+
+	s.wkDone.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compute", s.endpoint("compute", s.handleCompute))
+	s.mux.HandleFunc("POST /v1/simulate", s.endpoint("simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/verify", s.endpoint("verify", s.handleVerify))
+	s.mux.HandleFunc("GET /v1/policies", s.endpoint("policies", s.handlePolicies))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry (shared, live).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+func (s *Server) worker() {
+	defer s.wkDone.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			s.gQueue.Add(-1)
+			if j.ctx.Err() != nil {
+				j.err = j.ctx.Err() // deadline passed while queued: skip the work
+			} else {
+				if s.cfg.testDelay > 0 {
+					select {
+					case <-time.After(s.cfg.testDelay):
+					case <-j.ctx.Done():
+					}
+				}
+				j.val, j.err = j.fn()
+			}
+			close(j.done)
+		}
+	}
+}
+
+// submit runs fn on the worker pool and waits for it under ctx. A full
+// queue sheds the request immediately rather than queueing unbounded
+// work.
+func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case s.jobs <- j:
+		s.gQueue.Add(1)
+	case <-s.quit:
+		return nil, errDraining
+	default:
+		s.mShed.Inc()
+		return nil, errOverloaded
+	}
+	select {
+	case <-j.done:
+		return j.val, j.err
+	case <-ctx.Done():
+		// The worker may still finish the job; the result is simply
+		// dropped. Computations are bounded by MaxNodes, so abandoned
+		// work cannot pile up.
+		return nil, ctx.Err()
+	}
+}
+
+// BeginDrain atomically switches the server into draining mode: every
+// subsequent API request is refused with 503 while in-flight requests run
+// to completion.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// tryEnter registers one in-flight request unless the server is draining.
+func (s *Server) tryEnter() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Shutdown gracefully stops the server: new requests are refused, then
+// Shutdown blocks until every in-flight request completes or ctx expires,
+// and finally the worker pool exits. It is safe to call concurrently with
+// request handling and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("cdsd: drain deadline exceeded: %w", ctx.Err())
+	}
+	s.stopWk.Do(func() { close(s.quit) })
+	s.wkDone.Wait()
+	return err
+}
+
+// Close is Shutdown with the configured DrainTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// endpoint wraps an API handler with the serving cross-cutting concerns:
+// drain refusal, in-flight accounting, request deadline, body limits, and
+// per-endpoint request/error/latency metrics.
+func (s *Server) endpoint(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
+	reqs := s.reg.Counter(fmt.Sprintf("cdsd_requests_total{endpoint=%q}", name), "API requests by endpoint")
+	errs := s.reg.Counter(fmt.Sprintf("cdsd_errors_total{endpoint=%q}", name), "API error responses by endpoint")
+	lat := s.reg.Histogram(fmt.Sprintf("cdsd_service_seconds{endpoint=%q}", name), "request service time in seconds", nil)
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		if !s.tryEnter() {
+			errs.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
+			return
+		}
+		s.gInflight.Add(1)
+		defer func() {
+			s.gInflight.Add(-1)
+			s.inflight.Done()
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+
+		start := time.Now()
+		status, err := h(ctx, w, r)
+		lat.Observe(time.Since(start).Seconds())
+		if err != nil {
+			errs.Inc()
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+		}
+	}
+}
+
+// statusFor maps serving errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errOverloaded), errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// --- Handlers ---
+
+func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req ComputeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	policy, err := cds.ByName(req.Policy)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	g, err := req.Graph.build(s.cfg.MaxNodes)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	if policy.NeedsEnergy() && len(req.Energy) != g.NumNodes() {
+		return http.StatusBadRequest,
+			fmt.Errorf("policy %v needs energy levels for all %d nodes, got %d", policy, g.NumNodes(), len(req.Energy))
+	}
+
+	// Fault-scenario runs bypass cache and coalescing: they are
+	// parameterized explorations, not steady-state serving traffic.
+	if req.Faults != nil {
+		plan, err := req.Faults.plan()
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		v, err := s.submit(ctx, func() (any, error) {
+			res, err := distributed.RunHardened(g, policy, req.Energy, distributed.HardenedConfig{Faults: plan})
+			if err != nil {
+				return nil, err
+			}
+			return &ComputeResponse{
+				Policy:          policy.String(),
+				Nodes:           g.NumNodes(),
+				NumGateways:     cds.CountGateways(res.Gateway),
+				Gateways:        boolsToIDs(res.Gateway),
+				Alive:           boolsToIDs(res.Alive),
+				Retransmissions: res.Stats.Retransmissions,
+				Evictions:       res.Stats.Evictions,
+			}, nil
+		})
+		if err != nil {
+			return statusFor(err), err
+		}
+		writeJSON(w, http.StatusOK, v)
+		return 0, nil
+	}
+
+	key := cacheKey(g, policy, req.Energy, s.cfg.EnergyQuantum)
+	if v, ok := s.cache.get(key); ok {
+		s.mHits.Inc()
+		resp := *v.(*ComputeResponse) // shallow copy; cached object is immutable
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+		return 0, nil
+	}
+	v, shared, err := s.flight.do(key, func() (any, error) {
+		return s.submit(ctx, func() (any, error) {
+			res, err := cds.Compute(g, policy, req.Energy)
+			if err != nil {
+				return nil, err
+			}
+			resp := &ComputeResponse{
+				Policy:      policy.String(),
+				Nodes:       g.NumNodes(),
+				NumGateways: res.NumGateways(),
+				Gateways:    boolsToIDs(res.Gateway),
+				Marked:      boolsToIDs(res.Marked),
+			}
+			s.cache.add(key, resp)
+			s.gEntries.Set(int64(s.cache.len()))
+			return resp, nil
+		})
+	})
+	if err != nil {
+		return statusFor(err), err
+	}
+	s.mMisses.Inc()
+	if shared {
+		s.mCoalesced.Inc()
+	}
+	resp := *v.(*ComputeResponse)
+	resp.Coalesced = shared
+	writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+	return 0, nil
+}
+
+// trimMarked drops the Marked list unless the client asked for it (it is
+// cached alongside the gateways, but most clients only route).
+func (s *Server) trimMarked(resp *ComputeResponse, include bool) *ComputeResponse {
+	if !include {
+		resp.Marked = nil
+	}
+	return resp
+}
+
+func (s *Server) handleVerify(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req VerifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	g, err := req.Graph.build(s.cfg.MaxNodes)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	gateway, err := idsToBools(g.NumNodes(), req.Gateways)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	v, err := s.submit(ctx, func() (any, error) {
+		report, err := cds.Analyze(g, gateway)
+		if err != nil {
+			return nil, err
+		}
+		resp := &VerifyResponse{
+			Valid:              report.Valid == nil,
+			NumGateways:        report.Gateways,
+			BackboneDiameter:   report.BackboneDiameter,
+			ArticulationPoints: report.ArticulationPoints,
+			MeanRedundancy:     report.MeanRedundancy,
+		}
+		if report.Valid != nil {
+			resp.Reason = report.Valid.Error()
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return statusFor(err), err
+	}
+	writeJSON(w, http.StatusOK, v)
+	return 0, nil
+}
+
+func (s *Server) handleSimulate(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	policy, err := cds.ByName(req.Policy)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	drainName := req.Drain
+	if drainName == "" {
+		drainName = "linear"
+	}
+	drain, err := energy.ByName(drainName)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.N <= 0 || req.N > s.cfg.MaxNodes {
+		return http.StatusBadRequest, fmt.Errorf("n %d out of range (0, %d]", req.N, s.cfg.MaxNodes)
+	}
+	cfg := sim.PaperConfig(req.N, policy, drain, req.Seed)
+	if req.Static {
+		cfg.Mobility = nil
+	}
+	trials := req.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	v, err := s.submit(ctx, func() (any, error) {
+		resp := &SimulateResponse{Policy: policy.String(), Drain: drain.Name(), Trials: trials}
+		if trials == 1 {
+			m, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			resp.Lifetime = float64(m.Intervals)
+			resp.MeanGateways = m.MeanGateways
+			if m.Truncated {
+				resp.TruncatedRuns = 1
+			}
+			return resp, nil
+		}
+		ts, err := sim.RunTrials(cfg, trials)
+		if err != nil {
+			return nil, err
+		}
+		life := stats.Summarize(ts.Lifetime)
+		gw := stats.Summarize(ts.MeanGateways)
+		resp.Lifetime = life.Mean
+		resp.LifetimeMin = life.Min
+		resp.LifetimeMax = life.Max
+		resp.MeanGateways = gw.Mean
+		resp.TruncatedRuns = ts.TruncatedRuns
+		return resp, nil
+	})
+	if err != nil {
+		return statusFor(err), err
+	}
+	writeJSON(w, http.StatusOK, v)
+	return 0, nil
+}
+
+func (s *Server) handlePolicies(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	infos := make([]PolicyInfo, 0, len(cds.Policies))
+	for _, p := range cds.Policies {
+		infos = append(infos, PolicyInfo{
+			Name:        p.String(),
+			NeedsEnergy: p.NeedsEnergy(),
+			Description: policyDescriptions[p],
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+	return 0, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.gEntries.Set(int64(s.cache.len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var err error
+	if err = s.reg.WritePrometheus(w); err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

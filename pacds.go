@@ -40,6 +40,7 @@ package pacds
 
 import (
 	"io"
+	"net/http"
 
 	"pacds/internal/broadcast"
 	"pacds/internal/cds"
@@ -51,6 +52,7 @@ import (
 	"pacds/internal/graph"
 	"pacds/internal/mobility"
 	"pacds/internal/routing"
+	"pacds/internal/server"
 	"pacds/internal/sim"
 	"pacds/internal/traffic"
 	"pacds/internal/udg"
@@ -502,3 +504,52 @@ var ErrStale = distributed.ErrStale
 func VerifySurvivorCDS(g *Graph, alive, gateway []bool) error {
 	return cds.VerifySurvivorCDS(g, alive, gateway)
 }
+
+// --- Serving (cdsd) ---
+
+// CanonicalGraph returns the canonical byte encoding of g: two graphs
+// are equal iff their canonical encodings are byte-identical. The serving
+// layer keys its result cache on a hash of this encoding.
+func CanonicalGraph(g *Graph) []byte { return graph.Canonical(g) }
+
+// GraphDigest returns the 64-bit FNV-1a fingerprint of g's canonical
+// encoding — a cheap topology cache key.
+func GraphDigest(g *Graph) uint64 { return graph.Digest(g) }
+
+// ServerConfig parameterizes the cdsd serving subsystem (worker pool
+// size, queue depth, cache capacity, deadlines, energy quantization).
+type ServerConfig = server.Config
+
+// CDSServer is the cdsd service: an HTTP/JSON API over Compute, RunSim,
+// and VerifyCDS with a bounded worker pool, an LRU result cache keyed on
+// the canonical graph digest, coalescing of identical in-flight requests,
+// graceful drain, and a Prometheus-text /metrics endpoint. See
+// cmd/cdsd for the standalone daemon.
+type CDSServer = server.Server
+
+// NewCDSServer starts the serving machinery (worker pool, cache); expose
+// it with its Handler method and stop it with Shutdown or Close.
+func NewCDSServer(cfg ServerConfig) *CDSServer { return server.New(cfg) }
+
+// CDSClient is a typed HTTP client for a cdsd server.
+type CDSClient = server.Client
+
+// NewCDSClient returns a client for the cdsd server at baseURL.
+// httpClient may be nil for a default with a 30s timeout.
+func NewCDSClient(baseURL string, httpClient *http.Client) *CDSClient {
+	return server.NewClient(baseURL, httpClient)
+}
+
+// Wire types of the cdsd HTTP/JSON API.
+type (
+	ServerGraphSpec        = server.GraphSpec
+	ServerComputeRequest   = server.ComputeRequest
+	ServerComputeResponse  = server.ComputeResponse
+	ServerVerifyRequest    = server.VerifyRequest
+	ServerVerifyResponse   = server.VerifyResponse
+	ServerSimulateRequest  = server.SimulateRequest
+	ServerSimulateResponse = server.SimulateResponse
+	ServerFaultSpec        = server.FaultSpec
+	ServerCrashSpec        = server.CrashSpec
+	ServerPolicyInfo       = server.PolicyInfo
+)

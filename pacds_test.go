@@ -2,6 +2,9 @@ package pacds
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -405,6 +408,126 @@ func TestFacadeDistanceVector(t *testing.T) {
 	if len(dv) != 2 || dv[0][1] != 1 || stats.Messages == 0 {
 		t.Fatalf("dv=%v stats=%+v", dv, stats)
 	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	// 0-1-2-3 path: {1, 2} is the CDS, {0} is neither dominating nor
+	// connected-covering.
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	cases := []struct {
+		name    string
+		do      func() error
+		wantSub string
+	}{
+		{"PolicyByName unknown", func() error {
+			_, err := PolicyByName("EL3")
+			return err
+		}, "unknown policy"},
+		{"PolicyByName wrong case", func() error {
+			_, err := PolicyByName("el1")
+			return err
+		}, "unknown policy"},
+		{"PolicyByName empty", func() error {
+			_, err := PolicyByName("")
+			return err
+		}, "unknown policy"},
+		{"Compute EL1 nil energy", func() error {
+			_, err := Compute(g, EL1, nil)
+			return err
+		}, "needs energy"},
+		{"Compute EL2 nil energy", func() error {
+			_, err := Compute(g, EL2, nil)
+			return err
+		}, "needs energy"},
+		{"Compute EL1 empty energy", func() error {
+			_, err := Compute(g, EL1, []float64{})
+			return err
+		}, "needs energy"},
+		{"Compute EL2 short energy", func() error {
+			_, err := Compute(g, EL2, []float64{1, 2})
+			return err
+		}, "needs energy"},
+		{"VerifyCDS non-dominating", func() error {
+			return VerifyCDS(g, []bool{true, false, false, false})
+		}, "not dominated"},
+		{"VerifyCDS empty set", func() error {
+			return VerifyCDS(g, []bool{false, false, false, false})
+		}, "not dominated"},
+		{"VerifyCDS wrong length", func() error {
+			return VerifyCDS(g, []bool{true})
+		}, "entries"},
+		{"VerifyCDS disconnected backbone", func() error {
+			// 0 and 3 dominate everything but are not adjacent.
+			return VerifyCDS(g, []bool{true, false, false, true})
+		}, "disconnected"},
+		{"DrainByName unknown", func() error {
+			_, err := DrainByName("cubic")
+			return err
+		}, "unknown"},
+	}
+	for _, tc := range cases {
+		err := tc.do()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// Nil energy is valid for topology-keyed policies — guard against
+	// over-tightening.
+	for _, p := range []Policy{NR, ID, ND} {
+		if _, err := Compute(g, p, nil); err != nil {
+			t.Errorf("Compute(%v, nil energy) = %v, want success", p, err)
+		}
+	}
+}
+
+func TestFacadeServing(t *testing.T) {
+	srv := NewCDSServer(ServerConfig{Workers: 2})
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := NewCDSClient(hs.URL, hs.Client())
+
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3}})
+	spec := ServerGraphSpec{Nodes: 5}
+	g.Edges(func(u, v NodeID) { spec.Edges = append(spec.Edges, [2]int{int(u), int(v)}) })
+
+	resp, err := client.Compute(context.Background(), ServerComputeRequest{Graph: spec, Policy: "ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustComputeGateways(t, g)
+	if resp.NumGateways != want {
+		t.Fatalf("served %d gateways, library computed %d", resp.NumGateways, want)
+	}
+	again, err := client.Compute(context.Background(), ServerComputeRequest{Graph: spec, Policy: "ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("repeated request not cached")
+	}
+	if GraphDigest(g) != GraphDigest(g.Clone()) {
+		t.Fatal("digest unstable across clone")
+	}
+	if len(CanonicalGraph(g)) == 0 {
+		t.Fatal("empty canonical encoding")
+	}
+}
+
+// MustComputeGateways is a test helper returning the ID-policy gateway
+// count.
+func MustComputeGateways(t *testing.T, g *Graph) int {
+	t.Helper()
+	res, err := Compute(g, ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.NumGateways()
 }
 
 func TestFacadeHardened(t *testing.T) {
