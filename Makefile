@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench fuzz clean
+.PHONY: all build test vet race verify bench bench-quick fuzz clean
 
 all: verify
 
@@ -16,14 +16,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-sensitive packages: the message-passing protocol layers and the
-# concurrent serving subsystem.
+# Race-sensitive packages: the message-passing protocol layers, the
+# concurrent serving subsystem, and the parallel experiment engine.
 race:
-	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/
+	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/experiments/
 
 verify: build vet test race
 
+# Perf-focused benchmarks behind the numbers in README.md's Performance
+# section. Writes the raw `go test -bench` stream to bench.out and a JSON
+# summary (mean ns/op, allocs/op and reported metrics per benchmark) to
+# BENCH_PR3.json.
+BENCH_PATTERN ?= ApplyRulesFixpoint|CoverageKernels|SweepWorkers|Marking$$|RuleAblation$$
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json bench.out
+
+# One-iteration smoke pass over every benchmark in the repository.
+bench-quick:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # Short fuzz pass over the edge-list parser and encoder round-trip.

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// summary keyed by benchmark name: for each benchmark, the mean of every
+// reported metric (ns/op, B/op, allocs/op, and any b.ReportMetric unit)
+// across the -count repetitions, plus the sample count.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 . | benchjson -o BENCH_PR3.json
+//	benchjson -o BENCH_PR3.json bench.out
+//
+// Lines that are not benchmark results (the goos/goarch header, PASS, ok)
+// are ignored, so the raw `go test` stream can be piped in unchanged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	acc := map[string]map[string][]float64{}
+	if fs.NArg() == 0 {
+		if err := parse(stdin, acc); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = parse(f, acc)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if len(acc) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+
+	summary := map[string]map[string]float64{}
+	for name, metrics := range acc {
+		m := map[string]float64{}
+		for unit, samples := range metrics {
+			sum := 0.0
+			for _, v := range samples {
+				sum += v
+			}
+			m[unit] = sum / float64(len(samples))
+			m["samples"] = float64(len(samples))
+		}
+		summary[name] = m
+	}
+
+	buf, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// resultLine matches one benchmark result: name (with the trailing
+// -GOMAXPROCS suffix), the iteration count, then value/unit pairs.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S.*)$`)
+
+// parse folds every benchmark result line of r into acc, keyed by
+// benchmark name then metric unit.
+func parse(r io.Reader, acc map[string]map[string][]float64) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return fmt.Errorf("odd value/unit fields in %q", sc.Text())
+		}
+		if acc[name] == nil {
+			acc[name] = map[string][]float64{}
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q in %q: %w", fields[i], sc.Text(), err)
+			}
+			unit := fields[i+1]
+			acc[name][unit] = append(acc[name][unit], v)
+		}
+	}
+	return sc.Err()
+}

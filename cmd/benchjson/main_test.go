@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pacds
+cpu: some CPU
+BenchmarkApplyRulesFixpoint/dirty-8     16920   70458 ns/op   12345 B/op   67 allocs/op   2.000 passes
+BenchmarkApplyRulesFixpoint/dirty-8     17000   70000 ns/op   12345 B/op   67 allocs/op   2.000 passes
+BenchmarkApplyRulesFixpoint/rescan-8     5000  200000 ns/op   45678 B/op  210 allocs/op   3.000 passes
+BenchmarkMarking-8                    1000000    1259 ns/op
+PASS
+ok      pacds   12.345s
+`
+
+func TestParseAndSummarize(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	err := run([]string{"-o", out}, strings.NewReader(sampleOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]map[string]float64
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	dirty := got["ApplyRulesFixpoint/dirty"]
+	if dirty == nil {
+		t.Fatalf("missing dirty entry; got keys %v", keys(got))
+	}
+	if want := (70458.0 + 70000.0) / 2; math.Abs(dirty["ns/op"]-want) > 1e-9 {
+		t.Fatalf("dirty ns/op = %v, want %v", dirty["ns/op"], want)
+	}
+	if dirty["allocs/op"] != 67 || dirty["samples"] != 2 {
+		t.Fatalf("dirty = %+v", dirty)
+	}
+	if got["ApplyRulesFixpoint/rescan"]["passes"] != 3 {
+		t.Fatalf("rescan = %+v", got["ApplyRulesFixpoint/rescan"])
+	}
+	if m := got["Marking"]; m["ns/op"] != 1259 {
+		t.Fatalf("Marking = %+v", m)
+	}
+	if _, ok := got["PASS"]; ok {
+		t.Fatal("non-benchmark line leaked into the summary")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\nok pacds 0.1s\n"), nil); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func keys(m map[string]map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

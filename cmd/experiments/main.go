@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	perGW := fs.Bool("pergw", false, "use premise-consistent per-gateway drain for lifetime figures")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV files into")
 	svgDir := fs.String("svg", "", "directory to write per-figure SVG line charts into")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial; any value yields identical output)")
 	list := fs.Bool("list", false, "list available experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed, PerGateway: *perGW}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, PerGateway: *perGW, Workers: *workers}
 	if *nsCSV != "" {
 		for _, part := range strings.Split(*nsCSV, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))

@@ -41,69 +41,24 @@ func ApplyRulesOrdered(g *graph.Graph, p Policy, marked []bool, energy []float64
 
 func applyRule1Ordered(g *graph.Graph, gw []bool, less Less, order []graph.NodeID) {
 	for _, vid := range order {
-		if !gw[vid] {
-			continue
-		}
-		for _, u := range g.Neighbors(vid) {
-			if !gw[u] {
-				continue
-			}
-			if less(vid, u) && g.ClosedSubset(vid, u) {
-				gw[vid] = false
-				break
-			}
+		if gw[vid] && rule1Eligible(g, gw, less, vid) {
+			gw[vid] = false
 		}
 	}
 }
 
 func applyRule2IDOrdered(g *graph.Graph, gw []bool, order []graph.NodeID) {
 	for _, vid := range order {
-		if !gw[vid] {
-			continue
-		}
-		nb := g.Neighbors(vid)
-	pairsID:
-		for i := 0; i < len(nb); i++ {
-			u := nb[i]
-			if !gw[u] || u < vid {
-				continue
-			}
-			for j := i + 1; j < len(nb); j++ {
-				w := nb[j]
-				if !gw[w] || w < vid {
-					continue
-				}
-				if g.OpenSubsetOfUnion(vid, u, w) {
-					gw[vid] = false
-					break pairsID
-				}
-			}
+		if gw[vid] && rule2IDEligible(g, gw, vid) {
+			gw[vid] = false
 		}
 	}
 }
 
 func applyRule2PriorityOrdered(g *graph.Graph, gw []bool, less Less, order []graph.NodeID) {
 	for _, vid := range order {
-		if !gw[vid] {
-			continue
-		}
-		nb := g.Neighbors(vid)
-	pairs:
-		for i := 0; i < len(nb); i++ {
-			u := nb[i]
-			if !gw[u] {
-				continue
-			}
-			for j := i + 1; j < len(nb); j++ {
-				w := nb[j]
-				if !gw[w] {
-					continue
-				}
-				if rule2Covered(g, vid, u, w, less) {
-					gw[vid] = false
-					break pairs
-				}
-			}
+		if gw[vid] && rule2PriorityEligible(g, gw, less, vid) {
+			gw[vid] = false
 		}
 	}
 }

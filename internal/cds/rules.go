@@ -41,58 +41,98 @@ import "pacds/internal/graph"
 //   - The original Rule 2 (ID) predates the three-case analysis: v unmarks
 //     itself iff N(v) ⊆ N(u) ∪ N(w) and id(v) = min{id(v), id(u), id(w)}.
 
+// rule1Eligible reports whether currently-marked v may unmark itself under
+// the Rule 1 template, evaluated against the current gateway state gw: some
+// marked neighbor u with less(v, u) has N[v] ⊆ N[u]. The rule is stated on
+// G', so the covering node u must currently be a gateway.
+func rule1Eligible(g *graph.Graph, gw []bool, less Less, v graph.NodeID) bool {
+	for _, u := range g.Neighbors(v) {
+		if gw[u] && less(v, u) && g.ClosedSubset(v, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// rule2IDEligible reports whether currently-marked v may unmark itself
+// under the original ID-keyed Rule 2: two currently-marked neighbors u, w
+// cover N(v) and v has the minimum ID of the three.
+func rule2IDEligible(g *graph.Graph, gw []bool, v graph.NodeID) bool {
+	nb := g.Neighbors(v)
+	for i := 0; i < len(nb); i++ {
+		u := nb[i]
+		if !gw[u] || u < v {
+			// id(v) must be the minimum of the three, so any marked
+			// neighbor with a smaller ID disqualifies the pair that
+			// includes it. Skipping u < v is not just an optimization:
+			// it enforces the min-ID condition for u.
+			continue
+		}
+		for j := i + 1; j < len(nb); j++ {
+			w := nb[j]
+			if !gw[w] || w < v {
+				continue
+			}
+			if g.OpenSubsetOfUnion(v, u, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rule2PriorityEligible reports whether currently-marked v may unmark
+// itself under the Rule 2a/2b/2b' template with the given priority order,
+// evaluated against the current gateway state gw.
+func rule2PriorityEligible(g *graph.Graph, gw []bool, less Less, v graph.NodeID) bool {
+	nb := g.Neighbors(v)
+	for i := 0; i < len(nb); i++ {
+		u := nb[i]
+		if !gw[u] {
+			continue
+		}
+		for j := i + 1; j < len(nb); j++ {
+			w := nb[j]
+			if !gw[w] {
+				continue
+			}
+			if rule2Covered(g, v, u, w, less) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ruleEligible reports whether marked v may unmark itself under either of
+// the policy's two rules — the per-node re-examination the dirty-queue
+// fixpoint performs.
+func ruleEligible(g *graph.Graph, p Policy, gw []bool, less Less, v graph.NodeID) bool {
+	if rule1Eligible(g, gw, less, v) {
+		return true
+	}
+	if p == ID {
+		return rule2IDEligible(g, gw, v)
+	}
+	return rule2PriorityEligible(g, gw, less, v)
+}
+
 // applyRule1 evaluates the Rule 1 template sequentially in ascending node
 // order, unmarking gw[v] in place. Premises are checked against the
 // current gateway state gw.
 func applyRule1(g *graph.Graph, gw []bool, less Less) {
 	for v := 0; v < g.NumNodes(); v++ {
-		if !gw[v] {
-			continue
-		}
-		vid := graph.NodeID(v)
-		for _, u := range g.Neighbors(vid) {
-			// The rule is stated on G': the covering node u must currently
-			// be a gateway.
-			if !gw[u] {
-				continue
-			}
-			if less(vid, u) && g.ClosedSubset(vid, u) {
-				gw[v] = false
-				break
-			}
+		if gw[v] && rule1Eligible(g, gw, less, graph.NodeID(v)) {
+			gw[v] = false
 		}
 	}
 }
 
-// applyRule2ID evaluates the original ID-keyed Rule 2 sequentially: v is
-// unmarked iff two currently-marked neighbors u, w cover N(v) and v has
-// the minimum ID of the three.
+// applyRule2ID evaluates the original ID-keyed Rule 2 sequentially.
 func applyRule2ID(g *graph.Graph, gw []bool) {
 	for v := 0; v < g.NumNodes(); v++ {
-		if !gw[v] {
-			continue
-		}
-		vid := graph.NodeID(v)
-		nb := g.Neighbors(vid)
-		for i := 0; i < len(nb) && gw[v]; i++ {
-			u := nb[i]
-			if !gw[u] || u < vid {
-				// id(v) must be the minimum of the three, so any marked
-				// neighbor with a smaller ID disqualifies the pair that
-				// includes it. Skipping u < vid is not just an optimization:
-				// it enforces the min-ID condition for u.
-				continue
-			}
-			for j := i + 1; j < len(nb); j++ {
-				w := nb[j]
-				if !gw[w] || w < vid {
-					continue
-				}
-				if g.OpenSubsetOfUnion(vid, u, w) {
-					gw[v] = false
-					break
-				}
-			}
+		if gw[v] && rule2IDEligible(g, gw, graph.NodeID(v)) {
+			gw[v] = false
 		}
 	}
 }
@@ -101,26 +141,8 @@ func applyRule2ID(g *graph.Graph, gw []bool) {
 // using the given priority order, against the current gateway state.
 func applyRule2Priority(g *graph.Graph, gw []bool, less Less) {
 	for v := 0; v < g.NumNodes(); v++ {
-		if !gw[v] {
-			continue
-		}
-		vid := graph.NodeID(v)
-		nb := g.Neighbors(vid)
-		for i := 0; i < len(nb) && gw[v]; i++ {
-			u := nb[i]
-			if !gw[u] {
-				continue
-			}
-			for j := i + 1; j < len(nb); j++ {
-				w := nb[j]
-				if !gw[w] {
-					continue
-				}
-				if rule2Covered(g, vid, u, w, less) {
-					gw[v] = false
-					break
-				}
-			}
+		if gw[v] && rule2PriorityEligible(g, gw, less, graph.NodeID(v)) {
+			gw[v] = false
 		}
 	}
 }

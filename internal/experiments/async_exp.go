@@ -20,7 +20,10 @@ import (
 // removal chain — while the generalized ND/EL rules fail at a rate that
 // grows with delay, because their case-1 removal has no ordering guard.
 func Async(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "async",
 		Title: "Asynchronous rule application: CDS violation rate vs mean delay (N=50)",

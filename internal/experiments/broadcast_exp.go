@@ -15,7 +15,10 @@ import (
 // transmissions saved by gateway-only rebroadcast versus blind flooding,
 // per policy, averaged over random sources.
 func Broadcast(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "broadcast",
 		Title: "Broadcast transmission saving vs flooding (fraction), per policy",

@@ -15,7 +15,10 @@ import (
 // This justifies the connected-instance sampling documented in
 // EXPERIMENTS.md.
 func Census(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "census",
 		Title: "Random-instance census (100x100 field, r=25)",
@@ -67,7 +70,10 @@ func Census(opt Options) (*FigureResult, error) {
 // tend to be more fragile; the experiment quantifies the robustness price
 // of aggressive pruning.
 func Fragility(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "fragility",
 		Title: "Backbone articulation points per policy (single points of failure)",

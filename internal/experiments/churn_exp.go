@@ -17,7 +17,10 @@ import (
 // fraction of intervals the ON subgraph was disconnected, at N=40 under
 // the ND policy.
 func Churn(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "churn",
 		Title: "On/off switching: lifetime, CDS size, disconnection vs off-probability (N=40, ND)",

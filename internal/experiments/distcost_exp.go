@@ -17,7 +17,10 @@ import (
 // fresh levels); topology-keyed policies pay only for mobility churn and
 // rule updates.
 func DistributedCost(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "distcost",
 		Title: "Distributed backbone operation cost: broadcasts per interval over a lifetime",

@@ -1,0 +1,157 @@
+package experiments
+
+// Parallel sweep engine.
+//
+// Every figure sweep is a grid of independent cells — one per (N, trial)
+// pair — and each cell's randomness is derived from CellSeed, a pure
+// function of (master seed, experiment salt, N, trial). That makes cell
+// execution order irrelevant: the engine can run the grid serially or fan
+// it out across a worker pool and the aggregated series are identical to
+// the byte (asserted by TestSerialParallelIdentical). This replaces the
+// pre-PR drivers, which threaded one RNG sequentially through the whole
+// sweep and were therefore unparallelizable without changing their output.
+//
+// Aggregation is also order-independent by construction: cell results land
+// in a slot indexed by cell position, and the final summaries consume the
+// samples in (label, N, trial) order regardless of which worker produced
+// them when.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pacds/internal/cds"
+	"pacds/internal/stats"
+	"pacds/internal/xrand"
+)
+
+// Experiment salts. Each sweep feeds its own salt into CellSeed so that no
+// two experiments draw overlapping random streams from one master seed.
+// The values are arbitrary but frozen: changing one changes that figure's
+// series.
+const (
+	saltFigure10 uint64 = 10
+	saltFigure11 uint64 = 11
+	saltFigure12 uint64 = 12
+	saltFigure13 uint64 = 13
+
+	saltBaselines  uint64 = 101
+	saltLocality   uint64 = 102
+	saltAblation   uint64 = 103
+	saltStretch    uint64 = 104
+	saltQuasi      uint64 = 105
+	saltOrderSense uint64 = 106
+	saltEARouting  uint64 = 107
+	saltTraffic    uint64 = 108
+	saltDelivery   uint64 = 109
+	saltRuleK      uint64 = 110
+)
+
+// CellSeed returns the random seed of sweep cell (n, trial) for the
+// experiment identified by salt, under the given master seed. It is a pure
+// function of its arguments, so any scheduling of the cells — one
+// goroutine or many — draws identical streams.
+func CellSeed(master, salt uint64, n, trial int) uint64 {
+	return xrand.Mix(master, salt, uint64(n), uint64(trial))
+}
+
+// cellFunc computes one (N, trial) cell of a sweep: one sample slice per
+// series label (a slice may hold zero, one, or many samples). All
+// randomness must come from seed; cells run concurrently, so they must not
+// share mutable state.
+type cellFunc func(n, trial int, seed uint64) ([][]float64, error)
+
+// runSweep evaluates the full Ns × Trials grid of an experiment across
+// opt.workerCount() workers and aggregates per-label samples into series.
+// opt must already be prepared (defaults applied, validated).
+func runSweep(opt Options, salt uint64, labels []string, cell cellFunc) ([]Series, error) {
+	nCells := len(opt.Ns) * opt.Trials
+	results := make([][][]float64, nCells)
+	errs := make([]error, nCells)
+	run := func(idx int) {
+		ni, trial := idx/opt.Trials, idx%opt.Trials
+		n := opt.Ns[ni]
+		samples, err := cell(n, trial, CellSeed(opt.Seed, salt, n, trial))
+		if err == nil && len(samples) != len(labels) {
+			err = fmt.Errorf("experiments: cell N=%d trial=%d returned %d sample sets for %d labels",
+				n, trial, len(samples), len(labels))
+		}
+		results[idx], errs[idx] = samples, err
+	}
+
+	if workers := min(opt.workerCount(), nCells); workers <= 1 {
+		for idx := 0; idx < nCells; idx++ {
+			run(idx)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range work {
+					run(idx)
+				}
+			}()
+		}
+		for idx := 0; idx < nCells; idx++ {
+			work <- idx
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Report the first failure in cell order, so the error is deterministic
+	// even when several cells fail under different worker interleavings.
+	for idx := 0; idx < nCells; idx++ {
+		if errs[idx] != nil {
+			return nil, errs[idx]
+		}
+	}
+
+	series := make([]Series, len(labels))
+	sample := make([]float64, 0, opt.Trials)
+	for li, label := range labels {
+		s := Series{Label: label}
+		for ni, n := range opt.Ns {
+			sample = sample[:0]
+			for trial := 0; trial < opt.Trials; trial++ {
+				sample = append(sample, results[ni*opt.Trials+trial][li]...)
+			}
+			sum := stats.Summarize(sample)
+			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
+		}
+		series[li] = s
+	}
+	return series, nil
+}
+
+// workerCount resolves Options.Workers: 0 selects GOMAXPROCS, anything
+// positive is used as given (Validate rejects negatives).
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// policyLabels returns the series labels of a per-policy sweep, in the
+// order the paper's figures plot them.
+func policyLabels() []string {
+	labels := make([]string, len(cds.Policies))
+	for i, p := range cds.Policies {
+		labels[i] = p.String()
+	}
+	return labels
+}
+
+// uniformEnergy returns n hosts at the given initial level.
+func uniformEnergy(n int, level float64) []float64 {
+	el := make([]float64, n)
+	for i := range el {
+		el[i] = level
+	}
+	return el
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenOpts keeps the determinism tests fast while still spanning several
+// cells per (label, N) bucket.
+var goldenOpts = Options{Ns: []int{20, 40}, Trials: 4, Seed: 7}
+
+// rewiredFigures lists every driver that runs on the sweep engine; each is
+// asserted byte-identical between the serial and parallel paths.
+var rewiredFigures = []string{
+	"figure10", "figure11", "figure12", "figure13",
+	"baselines", "locality", "ablation", "stretch",
+	"quasi", "ordersense", "earouting",
+	"traffic", "delivery", "rulek",
+}
+
+// TestSerialParallelIdentical is the tentpole's golden test: for every
+// engine-backed figure, a forced-serial run (Workers = 1) and a worker-pool
+// run (Workers = 4) must produce identical FigureResult series — exactly
+// equal floats, not approximately — and identical CSV bytes.
+func TestSerialParallelIdentical(t *testing.T) {
+	for _, id := range rewiredFigures {
+		t.Run(id, func(t *testing.T) {
+			serialOpt := goldenOpts
+			serialOpt.Workers = 1
+			parallelOpt := goldenOpts
+			parallelOpt.Workers = 4
+
+			serial, err := ByName(id, serialOpt)
+			if err != nil {
+				t.Fatalf("serial %s: %v", id, err)
+			}
+			parallel, err := ByName(id, parallelOpt)
+			if err != nil {
+				t.Fatalf("parallel %s: %v", id, err)
+			}
+			if !reflect.DeepEqual(serial.Series, parallel.Series) {
+				t.Fatalf("%s: serial and parallel series differ\nserial:   %+v\nparallel: %+v",
+					id, serial.Series, parallel.Series)
+			}
+
+			var sb, pb bytes.Buffer
+			if err := serial.Table().RenderCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallel.Table().RenderCSV(&pb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Fatalf("%s: serial and parallel CSV bytes differ", id)
+			}
+		})
+	}
+}
+
+// TestDefaultWorkersMatchesSerial pins the Workers=0 (GOMAXPROCS) path to
+// the serial output too, so the default configuration is covered even when
+// the test host happens to have one core.
+func TestDefaultWorkersMatchesSerial(t *testing.T) {
+	serialOpt := goldenOpts
+	serialOpt.Workers = 1
+	serial, err := Figure10(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Figure10(goldenOpts) // Workers zero value
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Series, def.Series) {
+		t.Fatalf("default-worker series differ from serial:\nserial:  %+v\ndefault: %+v",
+			serial.Series, def.Series)
+	}
+}
+
+// TestCellSeedPure checks that CellSeed depends only on its arguments and
+// separates neighboring cells.
+func TestCellSeedPure(t *testing.T) {
+	if CellSeed(7, saltFigure10, 20, 3) != CellSeed(7, saltFigure10, 20, 3) {
+		t.Fatal("CellSeed is not deterministic")
+	}
+	base := CellSeed(7, saltFigure10, 20, 3)
+	for _, other := range []uint64{
+		CellSeed(8, saltFigure10, 20, 3),
+		CellSeed(7, saltFigure11, 20, 3),
+		CellSeed(7, saltFigure10, 21, 3),
+		CellSeed(7, saltFigure10, 20, 4),
+	} {
+		if other == base {
+			t.Fatalf("CellSeed collision with base %#x", base)
+		}
+	}
+}
+
+// TestRunSweepLabelMismatch checks the engine rejects a cell that returns
+// the wrong number of sample sets.
+func TestRunSweepLabelMismatch(t *testing.T) {
+	opt, err := Options{Ns: []int{5}, Trials: 1, Seed: 1, Workers: 1}.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runSweep(opt, 999, []string{"a", "b"},
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			return [][]float64{{1}}, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "sample sets") {
+		t.Fatalf("want label-mismatch error, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring naming the offending field
+	}{
+		{"negative trials", Options{Ns: []int{10}, Trials: -1, Seed: 1}, "Trials"},
+		{"empty ns", Options{Ns: []int{}, Trials: 5, Seed: 1}, "Ns"},
+		{"zero n", Options{Ns: []int{10, 0}, Trials: 5, Seed: 1}, "Ns[1]"},
+		{"negative n", Options{Ns: []int{-3}, Trials: 5, Seed: 1}, "Ns[0]"},
+		{"negative workers", Options{Ns: []int{10}, Trials: 5, Seed: 1, Workers: -2}, "Workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.opt.prepare()
+			if err == nil {
+				t.Fatalf("prepare accepted %+v", tc.opt)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name field %q", err, tc.want)
+			}
+			// The drivers must surface the same error.
+			if _, err := Figure10(tc.opt); err == nil {
+				t.Fatalf("Figure10 accepted %+v", tc.opt)
+			}
+		})
+	}
+	// Empty Ns slice (not nil) must be rejected, while nil gets defaults.
+	if _, err := (Options{Trials: 5, Seed: 1}).prepare(); err != nil {
+		t.Fatalf("prepare rejected zero-value options: %v", err)
+	}
+}

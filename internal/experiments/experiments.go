@@ -10,10 +10,10 @@ import (
 
 	"pacds/internal/cds"
 	"pacds/internal/energy"
-	"pacds/internal/geom"
 	"pacds/internal/sim"
-	"pacds/internal/stats"
 	"pacds/internal/table"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
 )
 
 // Options parameterizes a sweep.
@@ -30,19 +30,57 @@ type Options struct {
 	// instead of the literal paper formulas for the lifetime figures (see
 	// package energy and EXPERIMENTS.md).
 	PerGateway bool
+	// Workers sizes the sweep worker pool: 0 (the default) selects
+	// GOMAXPROCS, 1 forces the serial path. Cell seeds are a pure function
+	// of the cell's (N, trial) coordinates, so every worker count produces
+	// byte-identical series.
+	Workers int
 }
 
+// withDefaults fills unset (zero) fields. Explicitly invalid values — a
+// negative Trials, a non-positive N — are left alone for Validate to
+// reject.
 func (o Options) withDefaults() Options {
-	if len(o.Ns) == 0 {
+	if o.Ns == nil {
 		o.Ns = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
-	if o.Trials <= 0 {
+	if o.Trials == 0 {
 		o.Trials = 20
 	}
 	if o.Seed == 0 {
 		o.Seed = 20010901 // ICPP 2001
 	}
 	return o
+}
+
+// Validate reports option values that would otherwise yield empty or
+// meaningless series, naming the offending field. Zero values are legal at
+// the API surface (withDefaults fills them in); every driver validates the
+// defaulted options, so a caller-supplied negative Trials or non-positive
+// host count fails loudly instead of silently producing an empty sweep.
+func (o Options) Validate() error {
+	if o.Trials <= 0 {
+		return fmt.Errorf("experiments: Trials must be positive, got %d", o.Trials)
+	}
+	if len(o.Ns) == 0 {
+		return fmt.Errorf("experiments: Ns must list at least one host count")
+	}
+	for i, n := range o.Ns {
+		if n <= 0 {
+			return fmt.Errorf("experiments: Ns[%d] = %d, want a positive host count", i, n)
+		}
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0, got %d", o.Workers)
+	}
+	return nil
+}
+
+// prepare applies defaults and validates the result. Every driver starts
+// with it.
+func (o Options) prepare() (Options, error) {
+	o = o.withDefaults()
+	return o, o.Validate()
 }
 
 // Point is one x-position of a series.
@@ -93,9 +131,13 @@ func (fr *FigureResult) Table() *table.Table {
 
 // Figure10 reproduces the paper's first experiment: the average number of
 // gateway hosts vs N for NR, ID, ND, EL1, EL2 on fresh connected random
-// unit-disk networks with uniform energy.
+// unit-disk networks with uniform energy. Each (N, trial) cell samples one
+// connected instance and runs all five policies on it.
 func Figure10(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "figure10",
 		Title: "Average number of gateway hosts vs N (100x100 field, r=25)",
@@ -105,32 +147,37 @@ func Figure10(opt Options) (*FigureResult, error) {
 			"EL1 tracks ID but prunes slightly more via the generalized Rule 2.",
 		},
 	}
-	series := make(map[cds.Policy]*Series, len(cds.Policies))
-	for _, p := range cds.Policies {
-		series[p] = &Series{Label: p.String()}
-		fr.Series = append(fr.Series, Series{}) // placeholder, filled below
-	}
-	for _, n := range opt.Ns {
-		samples, err := sim.GatewayCountSample(n, geom.Square(100), 25, 100, opt.Trials,
-			opt.Seed^uint64(n)*0x9e3779b97f4a7c15)
-		if err != nil {
-			return nil, fmt.Errorf("figure10 N=%d: %w", n, err)
-		}
-		for _, p := range cds.Policies {
-			s := stats.Summarize(samples[p])
-			series[p].Points = append(series[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for i, p := range cds.Policies {
-		fr.Series[i] = *series[p]
+	fr.Series, err = runSweep(opt, saltFigure10, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
+			if err != nil {
+				return nil, fmt.Errorf("figure10 N=%d trial %d: %w", n, trial, err)
+			}
+			el := uniformEnergy(n, 100)
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
+				res, err := cds.Compute(inst.Graph, p, el)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = []float64{float64(res.NumGateways())}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
 
 // lifetime runs the lifetime experiment for a drain model — the engine
-// behind Figures 11, 12 and 13.
-func lifetime(id, title string, drain energy.DrainModel, opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+// behind Figures 11, 12 and 13. Each (N, trial) cell runs one lifetime
+// simulation per policy, with per-policy seeds split off the cell seed.
+func lifetime(id, title string, salt uint64, drain energy.DrainModel, opt Options) (*FigureResult, error) {
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    id,
 		Title: title,
@@ -139,18 +186,21 @@ func lifetime(id, title string, drain energy.DrainModel, opt Options) (*FigureRe
 			"Lifetime = update intervals completed before the first host dies.",
 		},
 	}
-	for _, p := range cds.Policies {
-		s := Series{Label: p.String()}
-		for _, n := range opt.Ns {
-			cfg := sim.PaperConfig(n, p, drain, opt.Seed^uint64(n)*31+uint64(p))
-			ts, err := sim.RunTrials(cfg, opt.Trials)
-			if err != nil {
-				return nil, fmt.Errorf("%s N=%d policy %v: %w", id, n, p, err)
+	fr.Series, err = runSweep(opt, salt, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
+				cfg := sim.PaperConfig(n, p, drain, xrand.Mix(seed, uint64(p)))
+				m, err := sim.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s N=%d trial %d policy %v: %w", id, n, trial, p, err)
+				}
+				out[i] = []float64{float64(m.Intervals)}
 			}
-			sum := stats.Summarize(ts.Lifetime)
-			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
-		}
-		fr.Series = append(fr.Series, s)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -158,37 +208,34 @@ func lifetime(id, title string, drain energy.DrainModel, opt Options) (*FigureRe
 // Figure11 reproduces the lifetime comparison with constant d (paper
 // model 1).
 func Figure11(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
 	drain := energy.DrainModel(energy.Constant{})
 	if opt.PerGateway {
 		drain = energy.ConstantPerGW{}
 	}
 	return lifetime("figure11",
-		"Network lifetime vs N, constant gateway drain (paper model 1)", drain, opt)
+		"Network lifetime vs N, constant gateway drain (paper model 1)", saltFigure11, drain, opt)
 }
 
 // Figure12 reproduces the lifetime comparison with d proportional to N
 // (paper model 2).
 func Figure12(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
 	drain := energy.DrainModel(energy.Linear{})
 	if opt.PerGateway {
 		drain = energy.LinearPerGW{}
 	}
 	return lifetime("figure12",
-		"Network lifetime vs N, drain proportional to N (paper model 2)", drain, opt)
+		"Network lifetime vs N, drain proportional to N (paper model 2)", saltFigure12, drain, opt)
 }
 
 // Figure13 reproduces the lifetime comparison with d proportional to the
 // number of host pairs (paper model 3).
 func Figure13(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
 	drain := energy.DrainModel(energy.Quadratic{})
 	if opt.PerGateway {
 		drain = energy.QuadraticPerGW{}
 	}
 	return lifetime("figure13",
-		"Network lifetime vs N, drain proportional to N(N-1)/2 (paper model 3)", drain, opt)
+		"Network lifetime vs N, drain proportional to N(N-1)/2 (paper model 3)", saltFigure13, drain, opt)
 }
 
 // ByName dispatches a figure driver by id ("figure10" ... "figure13").

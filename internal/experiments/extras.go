@@ -7,7 +7,6 @@ import (
 	"pacds/internal/cds"
 	"pacds/internal/graph"
 	"pacds/internal/routing"
-	"pacds/internal/stats"
 	"pacds/internal/udg"
 	"pacds/internal/xrand"
 )
@@ -15,12 +14,17 @@ import (
 // Analyses beyond the paper's figures: baseline CDS sizes, the locality of
 // the marking process under single-host movement, rule ablations, and
 // routing path stretch. Each is cited in DESIGN.md's experiment index.
+// All run on the parallel sweep engine (engine.go): one cell per
+// (N, trial), seeded purely by cell coordinates.
 
 // BaselineSizes compares the marking-based CDS sizes against classical
 // centralized constructions (Guha-Khuller greedy, MIS + connectors, BFS
 // spanning-tree internals, plain greedy dominating set).
 func BaselineSizes(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "baselines",
 		Title: "CDS size vs N: marking-based policies vs centralized baselines",
@@ -29,41 +33,33 @@ func BaselineSizes(opt Options) (*FigureResult, error) {
 		},
 	}
 	labels := []string{"NR", "ID", "ND", "guha-khuller", "mis-cds", "tree-cds", "greedy-ds"}
-	acc := make(map[string]*Series, len(labels))
-	for _, l := range labels {
-		acc[l] = &Series{Label: l}
-	}
-	rng := xrand.New(opt.Seed)
-	for _, n := range opt.Ns {
-		sums := make(map[string]*stats.Accumulator, len(labels))
-		for _, l := range labels {
-			sums[l] = &stats.Accumulator{}
-		}
-		for trial := 0; trial < opt.Trials; trial++ {
-			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+	fr.Series, err = runSweep(opt, saltBaselines, labels,
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
 			if err != nil {
-				return nil, fmt.Errorf("baselines N=%d: %w", n, err)
+				return nil, fmt.Errorf("baselines N=%d trial %d: %w", n, trial, err)
 			}
 			g := inst.Graph
+			out := make([][]float64, 0, len(labels))
 			for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
 				r, err := cds.Compute(g, p, nil)
 				if err != nil {
 					return nil, err
 				}
-				sums[p.String()].Add(float64(r.NumGateways()))
+				out = append(out, []float64{float64(r.NumGateways())})
 			}
-			sums["guha-khuller"].Add(float64(baseline.SetSize(baseline.GuhaKhuller(g))))
-			sums["mis-cds"].Add(float64(baseline.SetSize(baseline.MISConnectedCDS(g))))
-			sums["tree-cds"].Add(float64(baseline.SetSize(baseline.SpanningTreeCDS(g))))
-			sums["greedy-ds"].Add(float64(baseline.SetSize(baseline.GreedyDominatingSet(g))))
-		}
-		for _, l := range labels {
-			s := sums[l].Summary()
-			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for _, l := range labels {
-		fr.Series = append(fr.Series, *acc[l])
+			for _, size := range []int{
+				baseline.SetSize(baseline.GuhaKhuller(g)),
+				baseline.SetSize(baseline.MISConnectedCDS(g)),
+				baseline.SetSize(baseline.SpanningTreeCDS(g)),
+				baseline.SetSize(baseline.GreedyDominatingSet(g)),
+			} {
+				out = append(out, []float64{float64(size)})
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -72,7 +68,10 @@ func BaselineSizes(opt Options) (*FigureResult, error) {
 // small distance, how many hosts must recompute their marker. Reported as
 // the mean dirty-set size vs N, alongside N itself for scale.
 func Locality(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "locality",
 		Title: "Marking locality: hosts recomputed after one host moves (paper §2.2)",
@@ -81,14 +80,12 @@ func Locality(opt Options) (*FigureResult, error) {
 			"the exact dependency set {endpoints} ∪ {common neighbors} per toggled edge.",
 		},
 	}
-	dirtySeries := Series{Label: "dirty-hosts"}
-	rng := xrand.New(opt.Seed + 7)
-	for _, n := range opt.Ns {
-		acc := &stats.Accumulator{}
-		for trial := 0; trial < opt.Trials; trial++ {
+	fr.Series, err = runSweep(opt, saltLocality, []string{"dirty-hosts"},
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			rng := xrand.New(seed)
 			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
 			if err != nil {
-				return nil, fmt.Errorf("locality N=%d: %w", n, err)
+				return nil, fmt.Errorf("locality N=%d trial %d: %w", n, trial, err)
 			}
 			im := cds.NewIncrementalMarker(inst.Graph)
 			im.Marked()
@@ -110,65 +107,55 @@ func Locality(opt Options) (*FigureResult, error) {
 					im.RemoveEdge(moved, graph.NodeID(v))
 				}
 			}
-			acc.Add(float64(im.PendingDirty()))
-		}
-		s := acc.Summary()
-		dirtySeries.Points = append(dirtySeries.Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
+			return [][]float64{{float64(im.PendingDirty())}}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	fr.Series = append(fr.Series, dirtySeries)
 	return fr, nil
 }
 
 // RuleAblation compares, for each policy, the CDS size with Rule 1 only,
 // Rule 2 only, and both — quantifying each rule's contribution.
 func RuleAblation(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "ablation",
 		Title: "Rule ablation: mean CDS size with rule 1 only / rule 2 only / both (policy ND)",
 	}
 	labels := []string{"marking", "rule1-only", "rule2-only", "both"}
-	acc := make(map[string]*Series, len(labels))
-	for _, l := range labels {
-		acc[l] = &Series{Label: l}
-	}
-	rng := xrand.New(opt.Seed + 13)
-	for _, n := range opt.Ns {
-		sums := map[string]*stats.Accumulator{}
-		for _, l := range labels {
-			sums[l] = &stats.Accumulator{}
-		}
-		for trial := 0; trial < opt.Trials; trial++ {
-			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+	fr.Series, err = runSweep(opt, saltAblation, labels,
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
 			if err != nil {
-				return nil, fmt.Errorf("ablation N=%d: %w", n, err)
+				return nil, fmt.Errorf("ablation N=%d trial %d: %w", n, trial, err)
 			}
 			g := inst.Graph
 			marked := cds.Mark(g)
-			sums["marking"].Add(float64(cds.CountGateways(marked)))
 			r1, err := cds.ApplyRule1Only(g, cds.ND, marked, nil)
 			if err != nil {
 				return nil, err
 			}
-			sums["rule1-only"].Add(float64(cds.CountGateways(r1)))
 			r2, err := cds.ApplyRule2Only(g, cds.ND, marked, nil)
 			if err != nil {
 				return nil, err
 			}
-			sums["rule2-only"].Add(float64(cds.CountGateways(r2)))
 			both, err := cds.ApplyRules(g, cds.ND, marked, nil)
 			if err != nil {
 				return nil, err
 			}
-			sums["both"].Add(float64(cds.CountGateways(both)))
-		}
-		for _, l := range labels {
-			s := sums[l].Summary()
-			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for _, l := range labels {
-		fr.Series = append(fr.Series, *acc[l])
+			return [][]float64{
+				{float64(cds.CountGateways(marked))},
+				{float64(cds.CountGateways(r1))},
+				{float64(cds.CountGateways(r2))},
+				{float64(cds.CountGateways(both))},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -177,36 +164,27 @@ func RuleAblation(opt Options) (*FigureResult, error) {
 // shortest path length, all host pairs) per policy — the routing price of
 // a smaller dominating set.
 func RoutingStretch(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Trials > 10 {
+		opt.Trials = 10 // all-pairs stretch is O(N^2 · BFS); cap the work
+	}
 	fr := &FigureResult{
 		ID:    "stretch",
 		Title: "Mean routing stretch vs N (CDS route hops / shortest path hops)",
 	}
-	acc := make(map[cds.Policy]*Series, len(cds.Policies))
-	for _, p := range cds.Policies {
-		acc[p] = &Series{Label: p.String()}
-	}
-	rng := xrand.New(opt.Seed + 29)
-	for _, n := range opt.Ns {
-		sums := map[cds.Policy]*stats.Accumulator{}
-		for _, p := range cds.Policies {
-			sums[p] = &stats.Accumulator{}
-		}
-		trials := opt.Trials
-		if trials > 10 {
-			trials = 10 // all-pairs stretch is O(N^2 · BFS); cap the work
-		}
-		for trial := 0; trial < trials; trial++ {
-			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+	fr.Series, err = runSweep(opt, saltStretch, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
 			if err != nil {
-				return nil, fmt.Errorf("stretch N=%d: %w", n, err)
+				return nil, fmt.Errorf("stretch N=%d trial %d: %w", n, trial, err)
 			}
 			g := inst.Graph
-			uniform := make([]float64, n)
-			for i := range uniform {
-				uniform[i] = 100
-			}
-			for _, p := range cds.Policies {
+			uniform := uniformEnergy(n, 100)
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
 				res, err := cds.Compute(g, p, uniform)
 				if err != nil {
 					return nil, err
@@ -215,24 +193,22 @@ func RoutingStretch(opt Options) (*FigureResult, error) {
 				if err != nil {
 					return nil, err
 				}
+				stretches := make([]float64, 0, n*(n-1)/2)
 				for s := graph.NodeID(0); int(s) < n; s++ {
 					for d := s + 1; int(d) < n; d++ {
 						st, err := r.Stretch(s, d)
 						if err != nil {
 							return nil, fmt.Errorf("stretch N=%d policy %v pair (%d,%d): %w", n, p, s, d, err)
 						}
-						sums[p].Add(st)
+						stretches = append(stretches, st)
 					}
 				}
+				out[i] = stretches
 			}
-		}
-		for _, p := range cds.Policies {
-			s := sums[p].Summary()
-			acc[p].Points = append(acc[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for _, p := range cds.Policies {
-		fr.Series = append(fr.Series, *acc[p])
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }

@@ -17,7 +17,10 @@ import (
 // the CDS with localized updates (distributed.Session) versus re-running
 // the full three-phase protocol, under the ND policy.
 func Maintenance(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "maintenance",
 		Title: "Messages per interval: localized maintenance vs full protocol re-run (ND)",

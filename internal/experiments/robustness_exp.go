@@ -5,58 +5,45 @@ import (
 
 	"pacds/internal/cds"
 	"pacds/internal/graph"
-	"pacds/internal/stats"
 	"pacds/internal/traffic"
 	"pacds/internal/udg"
 	"pacds/internal/xrand"
 )
 
 // Robustness analyses: quasi-UDG radio model, rule-order sensitivity, and
-// energy-aware route selection.
+// energy-aware route selection. All run on the parallel sweep engine.
 
 // QuasiUDG repeats the Figure-10 size experiment on quasi unit-disk
 // graphs (reliable to r=20, probabilistic to r=30), testing that the
 // policies' behaviour survives a non-ideal radio model.
 func QuasiUDG(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "quasi",
 		Title: "CDS size vs N on quasi unit-disk graphs (RMin=20, RMax=30, p=0.5)",
 	}
-	acc := map[cds.Policy]*Series{}
-	for _, p := range cds.Policies {
-		acc[p] = &Series{Label: p.String()}
-	}
-	rng := xrand.New(opt.Seed + 59)
-	for _, n := range opt.Ns {
-		uniform := make([]float64, n)
-		for i := range uniform {
-			uniform[i] = 100
-		}
-		sums := map[cds.Policy]*stats.Accumulator{}
-		for _, p := range cds.Policies {
-			sums[p] = &stats.Accumulator{}
-		}
-		for trial := 0; trial < opt.Trials; trial++ {
-			inst, err := udg.RandomQuasiConnected(udg.PaperQuasiConfig(n), rng, 5000)
+	fr.Series, err = runSweep(opt, saltQuasi, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomQuasiConnected(udg.PaperQuasiConfig(n), xrand.New(seed), 5000)
 			if err != nil {
-				return nil, fmt.Errorf("quasi N=%d: %w", n, err)
+				return nil, fmt.Errorf("quasi N=%d trial %d: %w", n, trial, err)
 			}
-			for _, p := range cds.Policies {
+			uniform := uniformEnergy(n, 100)
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
 				res, err := cds.Compute(inst.Graph, p, uniform)
 				if err != nil {
 					return nil, err
 				}
-				sums[p].Add(float64(res.NumGateways()))
+				out[i] = []float64{float64(res.NumGateways())}
 			}
-		}
-		for _, p := range cds.Policies {
-			s := sums[p].Summary()
-			acc[p].Points = append(acc[p].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for _, p := range cds.Policies {
-		fr.Series = append(fr.Series, *acc[p])
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -66,7 +53,10 @@ func QuasiUDG(opt Options) (*FigureResult, error) {
 // many random serializations and reports the spread (min, mean, max over
 // orders, averaged over instances).
 func OrderSensitivity(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "ordersense",
 		Title: "ND CDS size sensitivity to rule-processing order (30 random orders)",
@@ -74,17 +64,14 @@ func OrderSensitivity(opt Options) (*FigureResult, error) {
 			"Rules are applied under random serializations; any order yields a valid CDS.",
 		},
 	}
-	minS := &Series{Label: "min-over-orders"}
-	meanS := &Series{Label: "mean-over-orders"}
-	maxS := &Series{Label: "max-over-orders"}
-	rng := xrand.New(opt.Seed + 67)
 	const orders = 30
-	for _, n := range opt.Ns {
-		minAcc, meanAcc, maxAcc := &stats.Accumulator{}, &stats.Accumulator{}, &stats.Accumulator{}
-		for trial := 0; trial < opt.Trials; trial++ {
+	fr.Series, err = runSweep(opt, saltOrderSense,
+		[]string{"min-over-orders", "mean-over-orders", "max-over-orders"},
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			rng := xrand.New(seed)
 			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
 			if err != nil {
-				return nil, fmt.Errorf("ordersense N=%d: %w", n, err)
+				return nil, fmt.Errorf("ordersense N=%d trial %d: %w", n, trial, err)
 			}
 			marked := cds.Mark(inst.Graph)
 			lo, hi, sum := 1<<30, 0, 0
@@ -107,56 +94,51 @@ func OrderSensitivity(opt Options) (*FigureResult, error) {
 				}
 				sum += size
 			}
-			minAcc.Add(float64(lo))
-			meanAcc.Add(float64(sum) / orders)
-			maxAcc.Add(float64(hi))
-		}
-		for _, pair := range []struct {
-			s   *Series
-			acc *stats.Accumulator
-		}{{minS, minAcc}, {meanS, meanAcc}, {maxS, maxAcc}} {
-			sm := pair.acc.Summary()
-			pair.s.Points = append(pair.s.Points, Point{N: n, Mean: sm.Mean, CI: sm.CI95()})
-		}
+			return [][]float64{
+				{float64(lo)},
+				{float64(sum) / orders},
+				{float64(hi)},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	fr.Series = append(fr.Series, *minS, *meanS, *maxS)
 	return fr, nil
 }
 
 // EnergyAwareRouting compares the packet-level first-death interval of
 // hop-count routing against max-min residual-energy routing, both over
-// the ND policy's CDS.
+// the ND policy's CDS. Both variants run on the same instance and traffic
+// seed, so the comparison is paired.
 func EnergyAwareRouting(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "earouting",
 		Title: "Packet-level first death: hop-count vs max-min energy routing (ND)",
 	}
-	hop := &Series{Label: "hop-count"}
-	mm := &Series{Label: "max-min"}
-	for _, n := range opt.Ns {
-		hopAcc, mmAcc := &stats.Accumulator{}, &stats.Accumulator{}
-		seedRNG := xrand.New(opt.Seed ^ uint64(n)*149)
-		for trial := 0; trial < opt.Trials; trial++ {
-			seed := seedRNG.Uint64()
+	fr.Series, err = runSweep(opt, saltEARouting, []string{"hop-count", "max-min"},
+		func(n, trial int, seed uint64) ([][]float64, error) {
 			base := traffic.PaperConfig(n, cds.ND, seed)
 			mh, err := traffic.Run(base)
 			if err != nil {
-				return nil, fmt.Errorf("earouting N=%d: %w", n, err)
+				return nil, fmt.Errorf("earouting N=%d trial %d: %w", n, trial, err)
 			}
-			hopAcc.Add(float64(mh.FirstDeathInterval))
 			ea := base
 			ea.EnergyAwareRouting = true
 			me, err := traffic.Run(ea)
 			if err != nil {
 				return nil, err
 			}
-			mmAcc.Add(float64(me.FirstDeathInterval))
-		}
-		hs, ms := hopAcc.Summary(), mmAcc.Summary()
-		hop.Points = append(hop.Points, Point{N: n, Mean: hs.Mean, CI: hs.CI95()})
-		mm.Points = append(mm.Points, Point{N: n, Mean: ms.Mean, CI: ms.CI95()})
+			return [][]float64{
+				{float64(mh.FirstDeathInterval)},
+				{float64(me.FirstDeathInterval)},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	fr.Series = append(fr.Series, *hop, *mm)
 	return fr, nil
 }

@@ -19,7 +19,10 @@ import (
 // almost everything must be a gateway; high radius → near-complete graphs
 // where the marking empties out.
 func RadiusSensitivity(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "radius",
 		Title: "CDS size vs transmission radius (N = 50, 100x100 field)",
@@ -70,7 +73,10 @@ func RadiusSensitivity(opt Options) (*FigureResult, error) {
 // ClusteredDeployment repeats the Figure 10 size experiment on hotspot
 // (non-uniform) deployments: 3 Gaussian clusters, spread r/2.
 func ClusteredDeployment(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "clustered",
 		Title: "CDS size vs N on clustered (3-hotspot) deployments",

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"pacds/internal/cds"
-	"pacds/internal/stats"
 	"pacds/internal/traffic"
 	"pacds/internal/udg"
 	"pacds/internal/xrand"
 )
+
+// Packet-level experiments, run on the parallel sweep engine: each
+// (N, trial) cell derives per-policy traffic seeds from the cell seed.
 
 // TrafficLifetime runs the packet-level experiment: constant-bit-rate
 // flows routed through each policy's CDS, forwarding energy charged to
@@ -17,7 +19,10 @@ import (
 // sidesteps the drain-normalization ambiguity documented in
 // EXPERIMENTS.md.
 func TrafficLifetime(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "traffic",
 		Title: "Packet-level lifetime vs N (per-hop tx/rx energy accounting)",
@@ -25,23 +30,21 @@ func TrafficLifetime(opt Options) (*FigureResult, error) {
 			"N/2 CBR flows, 1 packet/interval each; tx 0.05, rx 0.02, idle 0.01 per interval.",
 		},
 	}
-	for _, p := range cds.Policies {
-		s := Series{Label: p.String()}
-		for _, n := range opt.Ns {
-			acc := &stats.Accumulator{}
-			seedRNG := xrand.New(opt.Seed ^ uint64(n)*131 + uint64(p))
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := traffic.PaperConfig(n, p, seedRNG.Uint64())
+	fr.Series, err = runSweep(opt, saltTraffic, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
+				cfg := traffic.PaperConfig(n, p, xrand.Mix(seed, uint64(p)))
 				m, err := traffic.Run(cfg)
 				if err != nil {
-					return nil, fmt.Errorf("traffic N=%d policy %v: %w", n, p, err)
+					return nil, fmt.Errorf("traffic N=%d trial %d policy %v: %w", n, trial, p, err)
 				}
-				acc.Add(float64(m.FirstDeathInterval))
+				out[i] = []float64{float64(m.FirstDeathInterval)}
 			}
-			sum := acc.Summary()
-			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
-		}
-		fr.Series = append(fr.Series, s)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -50,30 +53,31 @@ func TrafficLifetime(opt Options) (*FigureResult, error) {
 // simulation continues past the first death until half the hosts are
 // gone — measuring how gracefully each policy's backbone degrades.
 func TrafficDelivery(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "delivery",
 		Title: "Packet delivery ratio vs N, running until half the hosts die",
 	}
-	for _, p := range cds.Policies {
-		s := Series{Label: p.String()}
-		for _, n := range opt.Ns {
-			acc := &stats.Accumulator{}
-			seedRNG := xrand.New(opt.Seed ^ uint64(n)*137 + uint64(p))
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := traffic.PaperConfig(n, p, seedRNG.Uint64())
+	fr.Series, err = runSweep(opt, saltDelivery, policyLabels(),
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			out := make([][]float64, len(cds.Policies))
+			for i, p := range cds.Policies {
+				cfg := traffic.PaperConfig(n, p, xrand.Mix(seed, uint64(p)))
 				cfg.ContinueAfterDeath = true
 				cfg.StopWhenAliveBelow = 0.5
 				m, err := traffic.Run(cfg)
 				if err != nil {
-					return nil, fmt.Errorf("delivery N=%d policy %v: %w", n, p, err)
+					return nil, fmt.Errorf("delivery N=%d trial %d policy %v: %w", n, trial, p, err)
 				}
-				acc.Add(m.DeliveryRatio())
+				out[i] = []float64{m.DeliveryRatio()}
 			}
-			sum := acc.Summary()
-			s.Points = append(s.Points, Point{N: n, Mean: sum.Mean, CI: sum.CI95()})
-		}
-		fr.Series = append(fr.Series, s)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }
@@ -82,50 +86,40 @@ func TrafficDelivery(opt Options) (*FigureResult, error) {
 // Rule-k generalization (this paper's future-work lineage) under the ND
 // priority.
 func RuleKSizes(opt Options) (*FigureResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.prepare()
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		ID:    "rulek",
 		Title: "CDS size: marking vs Rules 1+2 vs Rule k (ND priority)",
 	}
-	labels := []string{"marking", "rules1+2", "rule-k"}
-	acc := map[string]*Series{}
-	for _, l := range labels {
-		acc[l] = &Series{Label: l}
-	}
-	rng := xrand.New(opt.Seed + 61)
-	for _, n := range opt.Ns {
-		sums := map[string]*stats.Accumulator{}
-		for _, l := range labels {
-			sums[l] = &stats.Accumulator{}
-		}
-		for trial := 0; trial < opt.Trials; trial++ {
-			inst, err := udg.RandomConnected(udg.PaperConfig(n), rng, 5000)
+	fr.Series, err = runSweep(opt, saltRuleK, []string{"marking", "rules1+2", "rule-k"},
+		func(n, trial int, seed uint64) ([][]float64, error) {
+			inst, err := udg.RandomConnected(udg.PaperConfig(n), xrand.New(seed), 5000)
 			if err != nil {
-				return nil, fmt.Errorf("rulek N=%d: %w", n, err)
+				return nil, fmt.Errorf("rulek N=%d trial %d: %w", n, trial, err)
 			}
 			marked := cds.Mark(inst.Graph)
-			sums["marking"].Add(float64(cds.CountGateways(marked)))
 			both, err := cds.ApplyRules(inst.Graph, cds.ND, marked, nil)
 			if err != nil {
 				return nil, err
 			}
-			sums["rules1+2"].Add(float64(cds.CountGateways(both)))
 			rk, err := cds.ApplyRuleK(inst.Graph, cds.ND, marked, nil)
 			if err != nil {
 				return nil, err
 			}
 			if err := cds.VerifyCDS(inst.Graph, rk); err != nil {
-				return nil, fmt.Errorf("rulek N=%d: %w", n, err)
+				return nil, fmt.Errorf("rulek N=%d trial %d: %w", n, trial, err)
 			}
-			sums["rule-k"].Add(float64(cds.CountGateways(rk)))
-		}
-		for _, l := range labels {
-			s := sums[l].Summary()
-			acc[l].Points = append(acc[l].Points, Point{N: n, Mean: s.Mean, CI: s.CI95()})
-		}
-	}
-	for _, l := range labels {
-		fr.Series = append(fr.Series, *acc[l])
+			return [][]float64{
+				{float64(cds.CountGateways(marked))},
+				{float64(cds.CountGateways(both))},
+				{float64(cds.CountGateways(rk))},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return fr, nil
 }

@@ -1,0 +1,178 @@
+package graph
+
+// Optional dense bitset adjacency view.
+//
+// The merge scans in sets.go are linear in the operand degrees, which is
+// optimal for sparse neighborhoods but leaves word-level parallelism on the
+// table at the densities the paper simulates (r=25 on a 100x100 field gives
+// average degrees of 15-20 at N=100). With a bit-matrix view, the rule
+// kernels become a handful of AND-NOT word operations:
+//
+//	N[v] ⊆ N[u]        ⇔  (bits(v) | 1<<v) &^ (bits(u) | 1<<u) == 0
+//	N(v) ⊆ N(u) ∪ N(w) ⇔  bits(v) &^ (bits(u) | bits(w)) == 0
+//
+// The view is opt-in (EnableBitset) because it costs Θ(n²/64) memory; the
+// unit-disk generators enable it for every instance they build (see package
+// udg), so the simulator's hot paths get the fast kernels without any
+// call-site changes. Once enabled, the view is kept current incrementally by
+// AddEdge/RemoveEdge, and the backing storage is retained across
+// EnableBitset calls so rebuilding the view for a same-sized graph (the
+// mobility loop's rebuild-every-interval pattern) allocates nothing.
+//
+// Set operations dispatch to the bitset path only when the operand degrees
+// exceed a words-per-row threshold; below it the merge scan touches less
+// memory and wins.
+
+// Bitset is a fixed-width row of bits over the node range [0, n). Bit i of
+// word i/64 is set iff node i is in the set.
+type Bitset []uint64
+
+// Test reports whether bit i is set.
+func (b Bitset) Test(i NodeID) bool {
+	return b[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// set sets bit i.
+func (b Bitset) set(i NodeID) { b[uint(i)>>6] |= 1 << (uint(i) & 63) }
+
+// clear clears bit i.
+func (b Bitset) clear(i NodeID) { b[uint(i)>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += popcount(w)
+	}
+	return n
+}
+
+// popcount is a branch-free 64-bit population count (Hacker's Delight,
+// Fig. 5-2). Spelled out to keep the package dependency-free; math/bits
+// compiles to the same POPCNT instruction when available, but the SWAR form
+// is within a factor of two and this is not the kernels' bottleneck.
+func popcount(x uint64) int {
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// bitsetAdj is the dense adjacency view: n open-neighborhood rows of
+// `words` 64-bit words each, stored contiguously.
+type bitsetAdj struct {
+	words int
+	rows  []uint64 // row v occupies rows[v*words : (v+1)*words]
+}
+
+func (b *bitsetAdj) row(v NodeID) Bitset {
+	return Bitset(b.rows[int(v)*b.words : (int(v)+1)*b.words])
+}
+
+// worth reports whether the word-parallel path should handle an operation
+// whose merge-scan cost is proportional to deg. Each word op replaces up to
+// 64 element comparisons, but the bitset always touches `words` words per
+// row regardless of degree, so sparse rows stay on the merge scan.
+func (b *bitsetAdj) worth(deg int) bool { return deg >= b.words }
+
+// EnableBitset builds (or refreshes) the dense adjacency view from the
+// current edge set. The view is kept current by AddEdge/RemoveEdge, so
+// calling this once after construction is enough; calling it again after
+// bulk changes is also valid. Backing storage is reused when the node count
+// allows, so refreshing the view on a same-sized graph does not allocate.
+//
+// EnableBitset mutates the graph and must not race with readers; enable the
+// view before sharing the graph across goroutines.
+func (g *Graph) EnableBitset() {
+	n := len(g.adj)
+	words := (n + 63) / 64
+	need := n * words
+	var rows []uint64
+	if g.bits != nil && cap(g.bits.rows) >= need {
+		rows = g.bits.rows[:need]
+		for i := range rows {
+			rows[i] = 0
+		}
+	} else {
+		rows = make([]uint64, need)
+	}
+	b := &bitsetAdj{words: words, rows: rows}
+	for v, list := range g.adj {
+		row := b.row(NodeID(v))
+		for _, u := range list {
+			row.set(u)
+		}
+	}
+	g.bits = b
+}
+
+// DisableBitset drops the dense view (and its storage).
+func (g *Graph) DisableBitset() { g.bits = nil }
+
+// BitsetEnabled reports whether the dense adjacency view is active.
+func (g *Graph) BitsetEnabled() bool { return g.bits != nil }
+
+// NeighborBitset returns N(v) as a bit row, or nil if the view is not
+// enabled. The row aliases internal storage and must not be modified.
+func (g *Graph) NeighborBitset(v NodeID) Bitset {
+	g.check(v)
+	if g.bits == nil {
+		return nil
+	}
+	return g.bits.row(v)
+}
+
+// closedSubsetBits is ClosedSubset on the dense view. Callers have already
+// established v != u and {v, u} ∈ E (or handled those cases).
+func (g *Graph) closedSubsetBits(v, u NodeID) bool {
+	b := g.bits
+	nv, nu := b.row(v), b.row(u)
+	wv, mv := int(uint(v)>>6), uint64(1)<<(uint(v)&63)
+	wu, mu := int(uint(u)>>6), uint64(1)<<(uint(u)&63)
+	for i := 0; i < b.words; i++ {
+		a, c := nv[i], nu[i]
+		if i == wv {
+			a |= mv // v ∈ N[v]
+		}
+		if i == wu {
+			c |= mu // u ∈ N[u]
+		}
+		if a&^c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// openSubsetOfUnionBits is OpenSubsetOfUnion on the dense view.
+func (g *Graph) openSubsetOfUnionBits(v, u, w NodeID) bool {
+	b := g.bits
+	nv, nu, nw := b.row(v), b.row(u), b.row(w)
+	for i := 0; i < b.words; i++ {
+		if nv[i]&^(nu[i]|nw[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hasUnconnectedNeighborsBits is HasUnconnectedNeighbors on the dense view:
+// v is marked iff some neighbor u leaves part of N(v) uncovered by N[u].
+func (g *Graph) hasUnconnectedNeighborsBits(v NodeID) bool {
+	b := g.bits
+	nv := b.row(v)
+	for _, u := range g.adj[v] {
+		nu := b.row(u)
+		wu, mu := int(uint(u)>>6), uint64(1)<<(uint(u)&63)
+		for i := 0; i < b.words; i++ {
+			c := nu[i]
+			if i == wu {
+				c |= mu // u itself is not an unconnected partner of u
+			}
+			if nv[i]&^c != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

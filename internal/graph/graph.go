@@ -27,6 +27,9 @@ type NodeID = int32
 type Graph struct {
 	adj   [][]NodeID
 	edges int
+	// bits is the optional dense adjacency view (see bitset.go). When
+	// non-nil it mirrors adj exactly: mutating methods keep it current.
+	bits *bitsetAdj
 }
 
 // New returns a graph with n isolated nodes.
@@ -61,6 +64,10 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	if g.insertArc(u, v) {
 		g.insertArc(v, u)
 		g.edges++
+		if g.bits != nil {
+			g.bits.row(u).set(v)
+			g.bits.row(v).set(u)
+		}
 	}
 }
 
@@ -89,6 +96,10 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	}
 	g.removeArc(v, u)
 	g.edges--
+	if g.bits != nil {
+		g.bits.row(u).clear(v)
+		g.bits.row(v).clear(u)
+	}
 	return true
 }
 
@@ -109,6 +120,9 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u == v {
 		return false
 	}
+	if g.bits != nil {
+		return g.bits.row(u).Test(v)
+	}
 	list := g.adj[u]
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
 	return i < len(list) && list[i] == v
@@ -127,11 +141,14 @@ func (g *Graph) Degree(v NodeID) int {
 	return len(g.adj[v])
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, including the bitset view if enabled.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]NodeID, len(g.adj)), edges: g.edges}
 	for v, list := range g.adj {
 		c.adj[v] = append([]NodeID(nil), list...)
+	}
+	if g.bits != nil {
+		c.bits = &bitsetAdj{words: g.bits.words, rows: append([]uint64(nil), g.bits.rows...)}
 	}
 	return c
 }

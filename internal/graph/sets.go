@@ -6,6 +6,10 @@ package graph
 // closed neighbor sets N[v] = N(v) ∪ {v}. All operations below run as
 // linear merge scans over the sorted adjacency slices, with no allocation,
 // because they are evaluated O(degree^2) times per node per update interval.
+// When the graph's dense bitset view is enabled (see bitset.go) and the
+// operand degrees exceed the words-per-row threshold, the subset tests
+// dispatch to word-parallel AND-NOT kernels instead; both paths compute the
+// same predicate (property-tested in bitset_test.go).
 
 // ClosedContains reports whether x ∈ N[v], i.e. x == v or {v, x} ∈ E.
 func (g *Graph) ClosedContains(v, x NodeID) bool {
@@ -28,8 +32,11 @@ func (g *Graph) ClosedSubset(v, u NodeID) bool {
 	if !g.HasEdge(v, u) {
 		return false
 	}
-	// u ∈ N[v] holds (v adjacent u) and u ∈ N[u] trivially; check remaining.
 	nv, nu := g.adj[v], g.adj[u]
+	if g.bits != nil && g.bits.worth(len(nv)+len(nu)) {
+		return g.closedSubsetBits(v, u)
+	}
+	// u ∈ N[v] holds (v adjacent u) and u ∈ N[u] trivially; check remaining.
 	i, j := 0, 0
 	for i < len(nv) {
 		x := nv[i]
@@ -67,6 +74,9 @@ func (g *Graph) OpenSubsetOfUnion(v, u, w NodeID) bool {
 	g.check(u)
 	g.check(w)
 	nv, nu, nw := g.adj[v], g.adj[u], g.adj[w]
+	if g.bits != nil && g.bits.worth(len(nv)+len(nu)+len(nw)) {
+		return g.openSubsetOfUnionBits(v, u, w)
+	}
 	j, k := 0, 0
 	for _, x := range nv {
 		for j < len(nu) && nu[j] < x {
@@ -116,6 +126,9 @@ func (g *Graph) CommonNeighbor(u, w NodeID) (NodeID, bool) {
 func (g *Graph) HasUnconnectedNeighbors(v NodeID) bool {
 	g.check(v)
 	nv := g.adj[v]
+	if g.bits != nil && g.bits.worth(len(nv)) {
+		return g.hasUnconnectedNeighborsBits(v)
+	}
 	for i := 0; i < len(nv); i++ {
 		for j := i + 1; j < len(nv); j++ {
 			if !g.HasEdge(nv[i], nv[j]) {

@@ -81,6 +81,9 @@ func BuildQuasi(positions []geom.Point, c QuasiConfig, rng *xrand.RNG) *graph.Gr
 			}
 		}
 	}
+	if len(positions) <= bitsetNodeLimit {
+		g.EnableBitset()
+	}
 	return g
 }
 

@@ -55,9 +55,18 @@ func RandomPositions(c Config, rng *xrand.RNG) []geom.Point {
 	return pts
 }
 
+// bitsetNodeLimit bounds the instance sizes for which Build enables the
+// graph's dense bitset adjacency view. The view costs Θ(N²/64) memory
+// (2 MiB at the limit) and makes the Wu-Li subset kernels word-parallel;
+// above the limit graphs stay on the allocation-free merge scans.
+const bitsetNodeLimit = 4096
+
 // Build constructs the unit-disk graph over the given positions with the
 // given radius, using a uniform-grid index (O(N·k) for k average neighbors).
 // Distance comparison is inclusive: d(u,v) <= radius links u and v.
+// For instances up to bitsetNodeLimit nodes the graph's bitset adjacency
+// view is enabled, so the marking/pruning kernels downstream run
+// word-parallel.
 func Build(positions []geom.Point, field geom.Rect, radius float64) *graph.Graph {
 	g := graph.New(len(positions))
 	if len(positions) == 0 {
@@ -72,6 +81,9 @@ func Build(positions []geom.Point, field geom.Rect, radius float64) *graph.Graph
 				g.AddEdge(graph.NodeID(v), graph.NodeID(u))
 			}
 		}
+	}
+	if len(positions) <= bitsetNodeLimit {
+		g.EnableBitset()
 	}
 	return g
 }

@@ -47,6 +47,23 @@ func New(seed uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// Mix hashes a sequence of words into one well-mixed seed by absorbing each
+// part through a splitmix64 round. It is the deterministic seed-derivation
+// primitive for cell-indexed experiment sweeps: a cell's seed is a pure
+// function of (master seed, experiment salt, N, trial), so any scheduling of
+// the cells — serial or across a worker pool — draws identical random
+// streams. Mix() of no parts returns a fixed constant; Mix is not
+// commutative in its arguments.
+func Mix(parts ...uint64) uint64 {
+	state := uint64(0x6a09e667f3bcc909) // fractional bits of sqrt(2)
+	h := splitmix64(&state)
+	for _, p := range parts {
+		state ^= p
+		h = splitmix64(&state)
+	}
+	return h
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

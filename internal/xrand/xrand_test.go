@@ -276,3 +276,41 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(100)
 	}
 }
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix() != Mix() {
+		t.Fatal("empty Mix is not deterministic")
+	}
+}
+
+func TestMixSensitivity(t *testing.T) {
+	// Changing any part, the number of parts, or the part order must change
+	// the output: cell seeds for distinct (seed, salt, N, trial) tuples must
+	// not collide on trivially related inputs.
+	base := Mix(7, 11, 13)
+	for _, other := range []uint64{
+		Mix(8, 11, 13), Mix(7, 12, 13), Mix(7, 11, 14),
+		Mix(11, 7, 13), Mix(7, 11), Mix(7, 11, 13, 0),
+	} {
+		if other == base {
+			t.Fatalf("Mix collision: %#x", base)
+		}
+	}
+}
+
+func TestMixSpreads(t *testing.T) {
+	// Seeds for consecutive trial indices must yield well-separated streams:
+	// check that the low bit of the first draw is balanced across cells.
+	ones := 0
+	const cells = 4096
+	for trial := 0; trial < cells; trial++ {
+		r := New(Mix(99, 1, 40, uint64(trial)))
+		ones += int(r.Uint64() & 1)
+	}
+	if ones < cells/2-200 || ones > cells/2+200 {
+		t.Fatalf("first-draw low bit: %d ones out of %d", ones, cells)
+	}
+}

@@ -323,11 +323,22 @@ func PaperTrafficConfig(n int, p Policy, seed uint64) TrafficConfig {
 // RunTraffic executes one packet-level simulation.
 func RunTraffic(cfg TrafficConfig) (*TrafficMetrics, error) { return traffic.Run(cfg) }
 
-// ApplyRulesFixpoint iterates a policy's rules to a fixpoint (the
-// sequential single pass is empirically already a fixpoint; see
-// internal/cds/fixpoint.go).
+// ApplyRulesFixpoint iterates a policy's rules to a fixpoint. Because
+// every rule's eligibility is monotone non-decreasing in the gateway set
+// and rule application only shrinks it, the single sequential pass is
+// already the fixpoint — no confirming re-scan is needed (see
+// internal/cds/fixpoint.go for the theorem).
 func ApplyRulesFixpoint(g *Graph, p Policy, marked []bool, energy []float64) ([]bool, int, error) {
 	return cds.ApplyRulesFixpoint(g, p, marked, energy)
+}
+
+// ReapplyRulesDirty re-examines the given dirty nodes against the current
+// gateway set and cascades removals through a dirty-queue drain over their
+// 1-hop fringes — the incremental re-pruning primitive for callers whose
+// topology or energy inputs changed locally. gw is modified in place; it
+// remains a valid CDS whatever dirty set is passed.
+func ReapplyRulesDirty(g *Graph, p Policy, gw []bool, energy []float64, dirty []NodeID) (int, error) {
+	return cds.ReapplyRulesDirty(g, p, gw, energy, dirty)
 }
 
 // ExtendedSimMetrics reports a lifetime run continued past the first
