@@ -1,0 +1,201 @@
+// Command loadgen drives a cdsd server with a deterministic seeded
+// workload and emits a machine-readable load/conformance report.
+//
+// The request stream is a pure function of the seed: `loadgen -seed 7`
+// issues the same requests (and, with -conformance, reaches the same
+// verdicts) whether -workers is 1 or 64. Point it at a running server
+// with -url, or let it boot a private in-process server with -self:
+//
+//	loadgen -self -seed 7 -n 1000 -conformance -o LOAD.json
+//
+// The exit status is 0 on success, 1 on setup errors, and 2 when the
+// run violates an SLO gate (including the zero-mismatch conformance
+// gate).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pacds/internal/load"
+	"pacds/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	url := fs.String("url", "", "base URL of a running cdsd server (e.g. http://127.0.0.1:8080)")
+	self := fs.Bool("self", false, "boot a private in-process cdsd on loopback and drive it")
+	seed := fs.Uint64("seed", 1, "workload seed; equal seeds issue equal request streams")
+	n := fs.Int("n", 200, "number of requests (ignored with -soak)")
+	workers := fs.Int("workers", 4, "concurrent workers (never changes the request stream)")
+	rate := fs.Float64("rate", 0, "open-loop target requests/sec (0 = closed loop)")
+	soak := fs.Duration("soak", 0, "run for this duration instead of a fixed -n")
+	mixFlag := fs.String("mix", "", "request mix, e.g. compute=8,verify=1,simulate=1")
+	ns := fs.String("ns", "", "comma-separated topology sizes (default 20,40,80)")
+	radii := fs.String("radii", "", "comma-separated transmission radii (default 20,25,30)")
+	policies := fs.String("policies", "", "comma-separated pruning policies (default ID,ND,EL1,EL2)")
+	conformance := fs.Bool("conformance", false, "cross-check sampled responses against the in-process library")
+	sample := fs.Int("sample", 1, "conformance-check every k-th request")
+	faultFrac := fs.Float64("fault-frac", 0, "fraction of computes carrying fault scenarios")
+	faultStart := fs.Int("fault-start", 0, "first stream index eligible for fault injection")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	sloErrRate := fs.Float64("slo-error-rate", -1, "fail if error rate exceeds this (negative = no gate)")
+	sloP99 := fs.Float64("slo-p99", 0, "fail if any endpoint p99 exceeds this many seconds (0 = no gate; implies -timing)")
+	timing := fs.Bool("timing", false, "include wall-clock sections (latency quantiles, RPS) in the report")
+	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
+
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if (*url == "") == !*self {
+		fmt.Fprintln(stderr, "loadgen: exactly one of -url or -self is required")
+		return 1
+	}
+
+	opts := load.Options{
+		Seed:          *seed,
+		Requests:      *n,
+		Workers:       *workers,
+		Rate:          *rate,
+		Duration:      *soak,
+		Conformance:   *conformance,
+		Sample:        *sample,
+		FaultFraction: *faultFrac,
+		FaultStart:    *faultStart,
+		Timeout:       *timeout,
+		IncludeTiming: *timing || *sloP99 > 0,
+		Scrape:        true,
+	}
+	var err error
+	if opts.Mix, err = parseMix(*mixFlag); err != nil {
+		fmt.Fprintf(stderr, "loadgen: -mix: %v\n", err)
+		return 1
+	}
+	if opts.Axes.Ns, err = parseInts(*ns); err != nil {
+		fmt.Fprintf(stderr, "loadgen: -ns: %v\n", err)
+		return 1
+	}
+	if opts.Axes.Radii, err = parseFloats(*radii); err != nil {
+		fmt.Fprintf(stderr, "loadgen: -radii: %v\n", err)
+		return 1
+	}
+	if *policies != "" {
+		opts.Axes.Policies = strings.Split(*policies, ",")
+	}
+	if *sloErrRate >= 0 || *sloP99 > 0 || *conformance {
+		opts.SLO = &load.SLO{MaxErrorRate: *sloErrRate, MaxP99Seconds: *sloP99}
+	}
+
+	target := *url
+	if *self {
+		local, err := server.StartLocal(server.Config{})
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer local.Close()
+		target = local.URL
+	}
+
+	report, err := load.Run(context.Background(), target, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteJSON(w); err != nil {
+		fmt.Fprintf(stderr, "loadgen: write report: %v\n", err)
+		return 1
+	}
+
+	if report.SLO != nil && !report.SLO.Pass {
+		for _, v := range report.SLO.Violations {
+			fmt.Fprintf(stderr, "loadgen: SLO violation: %s\n", v)
+		}
+		return 2
+	}
+	return 0
+}
+
+// parseMix parses "compute=8,verify=1,simulate=1" (empty = defaults).
+func parseMix(s string) (load.Mix, error) {
+	var m load.Mix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("malformed term %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad weight in %q", part)
+		}
+		switch kv[0] {
+		case "compute":
+			m.Compute = w
+		case "verify":
+			m.Verify = w
+		case "simulate":
+			m.Simulate = w
+		default:
+			return m, fmt.Errorf("unknown request kind %q", kv[0])
+		}
+	}
+	return m, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

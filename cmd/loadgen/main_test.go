@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"pacds/internal/load"
+)
+
+// gold runs loadgen with -self against a fresh private server and
+// returns (exit code, stdout bytes).
+func gold(t *testing.T, extra ...string) (int, []byte) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-self"}, extra...)
+	code := run(args, &stdout, &stderr)
+	if stderr.Len() > 0 {
+		t.Logf("stderr: %s", stderr.String())
+	}
+	return code, stdout.Bytes()
+}
+
+// TestGoldenReportByteIdentical is the end-to-end determinism lock:
+// boot a fresh server, run a seeded conformance pass, emit the JSON
+// report; do it all again; the two reports must be byte-identical.
+func TestGoldenReportByteIdentical(t *testing.T) {
+	args := []string{"-seed", "7", "-n", "120", "-workers", "1", "-conformance"}
+	code1, out1 := gold(t, args...)
+	code2, out2 := gold(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes %d, %d (want 0)", code1, code2)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("same-seed golden reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	var report load.Report
+	if err := json.Unmarshal(out1, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Conformance == nil || report.Conformance.Mismatches != 0 {
+		t.Fatalf("golden run not conformant: %+v", report.Conformance)
+	}
+}
+
+// TestWorkerCountInvariance: the same seed at different concurrency
+// levels must produce the same stream digest, the same per-endpoint
+// traffic, and the same conformance verdicts.
+func TestWorkerCountInvariance(t *testing.T) {
+	parse := func(workers int) *load.Report {
+		code, out := gold(t, "-seed", "11", "-n", "100", "-conformance",
+			"-workers", strconv.Itoa(workers))
+		if code != 0 {
+			t.Fatalf("workers=%d exited %d", workers, code)
+		}
+		var r load.Report
+		if err := json.Unmarshal(out, &r); err != nil {
+			t.Fatalf("workers=%d: bad report: %v", workers, err)
+		}
+		return &r
+	}
+	a, b := parse(1), parse(8)
+	if a.StreamDigest != b.StreamDigest {
+		t.Fatalf("stream digest differs: %s vs %s", a.StreamDigest, b.StreamDigest)
+	}
+	if !reflect.DeepEqual(a.Endpoints, b.Endpoints) {
+		t.Fatalf("endpoint accounting differs:\n%+v\nvs\n%+v", a.Endpoints, b.Endpoints)
+	}
+	if !reflect.DeepEqual(a.Conformance, b.Conformance) {
+		t.Fatalf("conformance differs:\n%+v\nvs\n%+v", a.Conformance, b.Conformance)
+	}
+}
+
+// TestConformanceSweepAllPolicies is the acceptance gate: >= 1000
+// sampled requests spanning all four pruning policies, with zero
+// mismatches between cdsd responses and the in-process library.
+func TestConformanceSweepAllPolicies(t *testing.T) {
+	code, out := gold(t, "-seed", "3", "-n", "1000", "-workers", "8", "-conformance")
+	if code != 0 {
+		t.Fatalf("exit code %d (want 0)\n%s", code, out)
+	}
+	var r load.Report
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if r.Conformance.Sampled < 1000 {
+		t.Fatalf("sampled %d < 1000", r.Conformance.Sampled)
+	}
+	if r.Conformance.Mismatches != 0 {
+		t.Fatalf("%d mismatches: %+v", r.Conformance.Mismatches, r.Conformance.Details)
+	}
+	for _, p := range []string{"ID", "ND", "EL1", "EL2"} {
+		if r.Conformance.SampledByPolicy[p] == 0 {
+			t.Errorf("policy %s never sampled", p)
+		}
+	}
+	for _, ep := range []string{"compute", "verify", "simulate"} {
+		if r.Conformance.SampledByEndpoint[ep] == 0 {
+			t.Errorf("endpoint %s never sampled", ep)
+		}
+	}
+	if r.SLO == nil || !r.SLO.Pass {
+		t.Fatalf("conformance SLO did not pass: %+v", r.SLO)
+	}
+}
+
+// TestSLOGateExitCode: an impossible latency gate must trip exit code 2.
+func TestSLOGateExitCode(t *testing.T) {
+	code, out := gold(t, "-seed", "5", "-n", "40", "-conformance", "-slo-p99", "0.000000001")
+	if code != 2 {
+		t.Fatalf("exit code %d (want 2 on SLO violation)\n%s", code, out)
+	}
+	var r load.Report
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if r.SLO == nil || r.SLO.Pass || len(r.SLO.Violations) == 0 {
+		t.Fatalf("SLO section does not record the violation: %+v", r.SLO)
+	}
+}
+
+// TestFlagValidation covers CLI rejection paths.
+func TestFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 1 {
+		t.Errorf("no -url/-self exited %d (want 1)", code)
+	}
+	if code := run([]string{"-self", "-url", "http://x"}, &stdout, &stderr); code != 1 {
+		t.Errorf("both -url and -self exited %d (want 1)", code)
+	}
+	if code := run([]string{"-self", "-mix", "bogus"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad -mix exited %d (want 1)", code)
+	}
+	if code := run([]string{"-self", "-policies", "NOPE"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown policy exited %d (want 1)", code)
+	}
+	if code := run([]string{"-self", "-ns", "1,x"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad -ns exited %d (want 1)", code)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("compute=3,verify=2,simulate=1")
+	if err != nil || m != (load.Mix{Compute: 3, Verify: 2, Simulate: 1}) {
+		t.Fatalf("parseMix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"compute", "compute=-1", "walk=3", "compute=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}

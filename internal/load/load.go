@@ -1,0 +1,420 @@
+// Package load is the deterministic load and conformance harness for
+// cdsd. It drives a live server over HTTP with a seeded workload whose
+// request stream is a pure function of (Options, index) — the same seed
+// produces the same requests and the same conformance verdicts at any
+// worker count — and emits a machine-readable Report with per-endpoint
+// outcome counts, latency quantiles, cache-effectiveness deltas scraped
+// from /metrics, and optional SLO pass/fail gates.
+//
+// Its second mode is conformance: sampled responses are recomputed
+// in-process through the same library entry points the handlers use and
+// compared field by field, turning the serving layer (cache, coalescing,
+// worker pool, wire codec) into the system under differential test.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacds/internal/cds"
+	"pacds/internal/metrics"
+	"pacds/internal/server"
+)
+
+// Options configures a load run. The zero value is not directly usable;
+// Run normalizes it via withDefaults and rejects contradictory settings
+// via Validate.
+type Options struct {
+	// Seed roots the request stream. Two runs with equal Seed and equal
+	// workload-shaping fields issue identical request streams.
+	Seed uint64
+	// Requests is the stream length for fixed-length runs (default 200).
+	// Ignored when Duration is set.
+	Requests int
+	// Workers is the closed-loop concurrency (default 4). Changing it
+	// never changes the request stream, only how fast it drains.
+	Workers int
+	// Rate, when positive, switches to open-loop pacing: request i is not
+	// issued before start + i/Rate seconds. Zero means closed loop.
+	Rate float64
+	// Duration, when positive, switches to soak mode: workers keep
+	// claiming stream indices until the deadline passes. The stream stays
+	// index-deterministic; only its observed length is time-dependent.
+	Duration time.Duration
+
+	// Mix and Axes shape the workload (see their docs for defaults).
+	Mix  Mix
+	Axes Axes
+
+	// FaultFraction injects fault-scenario compute requests with this
+	// probability from index FaultStart onward (soak-style chaos that is
+	// still a pure function of the index).
+	FaultFraction float64
+	FaultStart    int
+	// SimMaxTrials bounds simulate-request trial counts (default 2).
+	SimMaxTrials int
+
+	// Conformance cross-checks every Sample-th successful response
+	// against the in-process oracle (Sample defaults to 1: every one).
+	Conformance bool
+	Sample      int
+
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// SLO, when non-nil, is evaluated into Report.SLO.
+	SLO *SLO
+	// IncludeTiming adds wall-clock sections (latency quantiles, RPS) to
+	// the report. Golden tests leave it false so reports are
+	// byte-reproducible.
+	IncludeTiming bool
+	// Scrape diffs the server's /metrics around the run into Report.Cache.
+	Scrape bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SimMaxTrials <= 0 {
+		o.SimMaxTrials = 2
+	}
+	if o.Sample <= 0 {
+		o.Sample = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	o.Mix = o.Mix.withDefaults()
+	o.Axes = o.Axes.withDefaults()
+	return o
+}
+
+// Validate rejects options Generate would panic on or that contradict
+// each other. It expects normalized options (withDefaults applied).
+func (o Options) Validate() error {
+	if o.Mix.total() <= 0 {
+		return errors.New("load: request mix has no positive weights")
+	}
+	for _, name := range o.Axes.Policies {
+		if _, err := cds.ByName(name); err != nil {
+			return fmt.Errorf("load: axes: %w", err)
+		}
+	}
+	for _, n := range o.Axes.Ns {
+		if n < 2 {
+			return fmt.Errorf("load: axes: topology size %d below minimum 2", n)
+		}
+	}
+	for _, r := range o.Axes.Radii {
+		if r <= 0 {
+			return fmt.Errorf("load: axes: non-positive radius %g", r)
+		}
+	}
+	if o.FaultFraction < 0 || o.FaultFraction > 1 {
+		return fmt.Errorf("load: fault fraction %g outside [0,1]", o.FaultFraction)
+	}
+	return nil
+}
+
+// endpointStats accumulates one endpoint's outcomes under the
+// collector's lock; latency lives in a lock-free histogram.
+type endpointStats struct {
+	requests, errors, timeouts, shed int
+	status                           map[string]int
+	latency                          *metrics.Histogram
+}
+
+// collector gathers run outcomes from all workers.
+type collector struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	sampled   int
+	byPolicy  map[string]int
+	byKind    map[string]int
+	misses    []Mismatch
+}
+
+func newCollector(reg *metrics.Registry) *collector {
+	c := &collector{
+		endpoints: make(map[string]*endpointStats),
+		byPolicy:  make(map[string]int),
+		byKind:    make(map[string]int),
+	}
+	for _, name := range []string{EndpointCompute, EndpointVerify, EndpointSimulate} {
+		c.endpoints[name] = &endpointStats{
+			status:  make(map[string]int),
+			latency: reg.Histogram("loadgen_latency_seconds{endpoint="+strconv.Quote(name)+"}", "observed request latency", nil),
+		}
+	}
+	return c
+}
+
+func (c *collector) record(endpoint string, err error, latency time.Duration) {
+	ep := c.endpoints[endpoint]
+	ep.latency.Observe(latency.Seconds())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep.requests++
+	switch {
+	case err == nil:
+		ep.status["200"]++
+	default:
+		ep.errors++
+		var apiErr *server.APIError
+		switch {
+		case errors.As(err, &apiErr):
+			ep.status[strconv.Itoa(apiErr.Status)]++
+			if apiErr.Status == http.StatusServiceUnavailable {
+				ep.shed++
+			}
+		case errors.Is(err, context.DeadlineExceeded) || isTimeout(err):
+			ep.status["timeout"]++
+			ep.timeouts++
+		default:
+			ep.status["transport"]++
+		}
+	}
+}
+
+func (c *collector) conform(req *Request, mismatches []Mismatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sampled++
+	c.byPolicy[req.Policy.String()]++
+	c.byKind[req.Endpoint]++
+	c.misses = append(c.misses, mismatches...)
+}
+
+func isTimeout(err error) bool {
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// net/http wraps client timeouts in a plain error string.
+	return err != nil && strings.Contains(err.Error(), "Client.Timeout")
+}
+
+// Run drives the server at baseURL with the configured workload and
+// assembles the report. It returns an error only for setup problems
+// (invalid options, unreachable metrics endpoint); request-level
+// failures are data, recorded in the report and judged by the SLO.
+func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	// A private transport, torn down at the end of the run: shared
+	// transports park race-dialed spare connections in their idle pool,
+	// where they hold up the target server's graceful shutdown. No
+	// client-level timeout either — the per-request context governs.
+	transport := &http.Transport{}
+	defer transport.CloseIdleConnections()
+	client := server.NewClient(baseURL, &http.Client{Transport: transport})
+
+	var before metrics.Scrape
+	if opts.Scrape {
+		var err error
+		if before, err = scrape(ctx, client); err != nil {
+			return nil, fmt.Errorf("load: pre-run metrics scrape: %w", err)
+		}
+	}
+
+	reg := metrics.NewRegistry()
+	col := newCollector(reg)
+	var next atomic.Int64
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if opts.Duration > 0 {
+					if !time.Now().Before(deadline) {
+						return
+					}
+				} else if i >= opts.Requests {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if opts.Rate > 0 {
+					due := start.Add(time.Duration(float64(i) / opts.Rate * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				issue(ctx, client, col, opts, i)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	issued := int(next.Load())
+	if opts.Duration == 0 {
+		issued = opts.Requests
+	} else if issued > 0 {
+		// Each worker's final claim observed the deadline and was not issued.
+		issued -= opts.Workers
+		if issued < 0 {
+			issued = 0
+		}
+	}
+
+	report := assemble(opts, col, issued)
+	if opts.IncludeTiming {
+		report.Timing = &TimingReport{
+			DurationSeconds: elapsed.Seconds(),
+			AchievedRPS:     float64(issued) / elapsed.Seconds(),
+		}
+	}
+	if opts.Scrape {
+		after, err := scrape(ctx, client)
+		if err != nil {
+			return nil, fmt.Errorf("load: post-run metrics scrape: %w", err)
+		}
+		report.Cache = cacheDelta(before, after)
+	}
+	if opts.SLO != nil {
+		report.SLO = evaluateSLO(*opts.SLO, report)
+	}
+	return report, nil
+}
+
+// issue sends request i and records its outcome (and, when sampled, its
+// conformance verdict).
+func issue(ctx context.Context, client *server.Client, col *collector, opts Options, i int) {
+	req := Generate(opts, i)
+	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+
+	var resp any
+	var err error
+	t0 := time.Now()
+	switch req.Endpoint {
+	case EndpointCompute:
+		resp, err = client.Compute(rctx, *req.Compute)
+	case EndpointVerify:
+		resp, err = client.Verify(rctx, *req.Verify)
+	case EndpointSimulate:
+		resp, err = client.Simulate(rctx, *req.Simulate)
+	}
+	latency := time.Since(t0)
+	col.record(req.Endpoint, err, latency)
+	if err == nil && opts.Conformance && i%opts.Sample == 0 {
+		col.conform(req, check(req, resp))
+	}
+}
+
+// assemble builds the deterministic sections of the report.
+func assemble(opts Options, col *collector, issued int) *Report {
+	mode := "closed"
+	if opts.Rate > 0 {
+		mode = "open"
+	}
+	r := &Report{
+		Tool:          "loadgen",
+		Mode:          mode,
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+		Requests:      issued,
+		Rate:          opts.Rate,
+		Mix:           opts.Mix,
+		Axes:          opts.Axes,
+		StreamDigest:  fmt.Sprintf("%016x", StreamDigest(opts, issued)),
+		FaultFraction: opts.FaultFraction,
+		FaultStart:    opts.FaultStart,
+		Endpoints:     make(map[string]*EndpointReport),
+	}
+	for name, ep := range col.endpoints {
+		er := &EndpointReport{
+			Requests:     ep.requests,
+			Errors:       ep.errors,
+			Timeouts:     ep.timeouts,
+			Shed:         ep.shed,
+			StatusCounts: ep.status,
+		}
+		if opts.IncludeTiming && ep.requests > 0 {
+			er.LatencyMs = &LatencyMs{
+				P50:  ep.latency.Quantile(0.50) * 1000,
+				P95:  ep.latency.Quantile(0.95) * 1000,
+				P99:  ep.latency.Quantile(0.99) * 1000,
+				Mean: ep.latency.Sum() / float64(ep.latency.Count()) * 1000,
+			}
+		}
+		r.Endpoints[name] = er
+	}
+	if opts.Conformance {
+		sort.Slice(col.misses, func(a, b int) bool {
+			if col.misses[a].Index != col.misses[b].Index {
+				return col.misses[a].Index < col.misses[b].Index
+			}
+			return col.misses[a].Field < col.misses[b].Field
+		})
+		details := col.misses
+		if len(details) > maxMismatchDetails {
+			details = details[:maxMismatchDetails]
+		}
+		r.Conformance = &ConformanceReport{
+			Sampled:           col.sampled,
+			Mismatches:        len(col.misses),
+			SampledByPolicy:   col.byPolicy,
+			SampledByEndpoint: col.byKind,
+			Details:           details,
+		}
+	}
+	return r
+}
+
+// scrape fetches and parses the server's /metrics exposition.
+func scrape(ctx context.Context, client *server.Client) (metrics.Scrape, error) {
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.ParseText(strings.NewReader(text))
+}
+
+// cacheDelta diffs the cache counters across the run.
+func cacheDelta(before, after metrics.Scrape) *CacheReport {
+	delta := func(name string) uint64 {
+		b := before.Value(name)
+		a := after.Value(name)
+		if a < b {
+			return 0 // server restarted mid-run; a delta is meaningless
+		}
+		return uint64(a - b)
+	}
+	c := &CacheReport{
+		Hits:      delta("cdsd_cache_hits_total"),
+		Misses:    delta("cdsd_cache_misses_total"),
+		Coalesced: delta("cdsd_coalesced_total"),
+		Shed:      delta("cdsd_shed_total"),
+	}
+	if lookups := c.Hits + c.Misses; lookups > 0 {
+		c.HitRatio = float64(c.Hits) / float64(lookups)
+	}
+	return c
+}

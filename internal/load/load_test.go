@@ -1,0 +1,288 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"pacds/internal/server"
+)
+
+// testOptions is a small, fast workload that still spans all endpoints
+// and all four policies.
+func testOptions() Options {
+	return Options{
+		Seed:     42,
+		Requests: 60,
+		Workers:  4,
+		Axes:     Axes{Ns: []int{8, 12}, Radii: []float64{30, 40}},
+	}
+}
+
+func startServer(t *testing.T, cfg server.Config) *server.Local {
+	t.Helper()
+	l, err := server.StartLocal(cfg)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := l.Close(); err != nil {
+			t.Errorf("close local server: %v", err)
+		}
+	})
+	return l
+}
+
+// TestGenerateIsPure: request i must come out identical however many
+// times (and in whatever order) it is synthesized — the property that
+// makes the stream worker-count-independent.
+func TestGenerateIsPure(t *testing.T) {
+	opts := testOptions().withDefaults()
+	for _, i := range []int{0, 7, 31, 59, 31, 7} {
+		a, b := Generate(opts, i), Generate(opts, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Generate(%d) not reproducible:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+	d1 := StreamDigest(opts, opts.Requests)
+	d2 := StreamDigest(opts, opts.Requests)
+	if d1 != d2 {
+		t.Fatalf("StreamDigest not reproducible: %x vs %x", d1, d2)
+	}
+	other := opts
+	other.Seed++
+	if d3 := StreamDigest(other, opts.Requests); d3 == d1 {
+		t.Fatalf("different seeds produced equal stream digests %x", d1)
+	}
+}
+
+// TestGenerateCoversAxes: the default mix and axes must exercise every
+// endpoint and every policy within a modest stream prefix.
+func TestGenerateCoversAxes(t *testing.T) {
+	opts := testOptions().withDefaults()
+	endpoints := map[string]int{}
+	policies := map[string]int{}
+	for i := 0; i < 200; i++ {
+		req := Generate(opts, i)
+		endpoints[req.Endpoint]++
+		policies[req.Policy.String()]++
+	}
+	for _, ep := range []string{EndpointCompute, EndpointVerify, EndpointSimulate} {
+		if endpoints[ep] == 0 {
+			t.Errorf("no %s requests in 200-request stream", ep)
+		}
+	}
+	for _, p := range []string{"ID", "ND", "EL1", "EL2"} {
+		if policies[p] == 0 {
+			t.Errorf("no %s requests in 200-request stream", p)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Axes: Axes{Policies: []string{"BOGUS"}}},
+		{Axes: Axes{Ns: []int{1}}},
+		{Axes: Axes{Radii: []float64{-3}}},
+		{FaultFraction: 1.5},
+	}
+	for i, o := range bad {
+		if err := o.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d: invalid options passed Validate: %+v", i, o)
+		}
+	}
+	if err := testOptions().withDefaults().Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestRunConformance: a conformance run against a live server must
+// cross-check every response with zero mismatches, and the accounting
+// must add up.
+func TestRunConformance(t *testing.T) {
+	l := startServer(t, server.Config{})
+	opts := testOptions()
+	opts.Conformance = true
+	opts.Scrape = true
+	report, err := Run(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Conformance == nil {
+		t.Fatal("conformance run produced no conformance section")
+	}
+	if report.Conformance.Mismatches != 0 {
+		t.Fatalf("conformance mismatches: %+v", report.Conformance.Details)
+	}
+	total, errs := 0, 0
+	for _, ep := range report.Endpoints {
+		total += ep.Requests
+		errs += ep.Errors
+	}
+	if total != opts.Requests {
+		t.Fatalf("endpoint requests sum %d != issued %d", total, opts.Requests)
+	}
+	if errs != 0 {
+		t.Fatalf("unexpected errors: %+v", report.Endpoints)
+	}
+	if report.Conformance.Sampled != opts.Requests {
+		t.Fatalf("sampled %d != issued %d at sample=1", report.Conformance.Sampled, opts.Requests)
+	}
+	if report.Cache == nil {
+		t.Fatal("scrape run produced no cache section")
+	}
+	if report.Cache.Hits+report.Cache.Misses == 0 {
+		t.Fatal("cache section recorded no compute lookups")
+	}
+}
+
+// TestRunWorkerIndependence: the deterministic sections of the report —
+// stream digest, per-endpoint traffic, conformance verdicts — must be
+// identical at 1 worker and at 8, each against a fresh server.
+func TestRunWorkerIndependence(t *testing.T) {
+	run := func(workers int) *Report {
+		l := startServer(t, server.Config{})
+		opts := testOptions()
+		opts.Workers = workers
+		opts.Conformance = true
+		report, err := Run(context.Background(), l.URL, opts)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return report
+	}
+	a, b := run(1), run(8)
+	if a.StreamDigest != b.StreamDigest {
+		t.Fatalf("stream digest differs across worker counts: %s vs %s", a.StreamDigest, b.StreamDigest)
+	}
+	if !reflect.DeepEqual(a.Endpoints, b.Endpoints) {
+		t.Fatalf("endpoint accounting differs:\n%+v\nvs\n%+v", a.Endpoints, b.Endpoints)
+	}
+	if !reflect.DeepEqual(a.Conformance, b.Conformance) {
+		t.Fatalf("conformance differs:\n%+v\nvs\n%+v", a.Conformance, b.Conformance)
+	}
+}
+
+// TestRunRecordsShedding: a tiny worker pool with an artificial delay
+// must shed under concurrent load, the harness must classify the 503s,
+// and the error-rate SLO must fail.
+func TestRunRecordsShedding(t *testing.T) {
+	l := startServer(t, server.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		TestDelay:  30 * time.Millisecond,
+	})
+	opts := testOptions()
+	opts.Requests = 30
+	opts.Workers = 8
+	opts.Mix = Mix{Compute: 1} // computes only: every request occupies the pool
+	opts.SLO = &SLO{MaxErrorRate: 0}
+	report, err := Run(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	shed := report.Endpoints[EndpointCompute].Shed
+	if shed == 0 {
+		t.Fatal("no requests shed despite a saturated 1-worker/1-slot server")
+	}
+	if got := report.Endpoints[EndpointCompute].StatusCounts["503"]; got != shed {
+		t.Fatalf("shed %d != 503 count %d", shed, got)
+	}
+	if report.SLO == nil || report.SLO.Pass {
+		t.Fatalf("zero-error-rate SLO passed despite %d sheds: %+v", shed, report.SLO)
+	}
+}
+
+// TestRunRecordsTimeouts: a per-request deadline shorter than the
+// server's artificial delay must surface as timeout classifications.
+func TestRunRecordsTimeouts(t *testing.T) {
+	l := startServer(t, server.Config{TestDelay: 200 * time.Millisecond})
+	opts := testOptions()
+	opts.Requests = 6
+	opts.Workers = 2
+	opts.Mix = Mix{Compute: 1}
+	opts.Timeout = 30 * time.Millisecond
+	report, err := Run(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ep := report.Endpoints[EndpointCompute]
+	if ep.Timeouts == 0 {
+		t.Fatalf("no timeouts recorded: %+v", ep)
+	}
+	if ep.Timeouts > ep.Errors {
+		t.Fatalf("timeouts %d exceed errors %d", ep.Timeouts, ep.Errors)
+	}
+}
+
+// TestSoakMode: duration-bounded runs stop on the deadline and report
+// how many stream indices were actually issued.
+func TestSoakMode(t *testing.T) {
+	l := startServer(t, server.Config{})
+	opts := testOptions()
+	opts.Duration = 150 * time.Millisecond
+	opts.FaultFraction = 0.2
+	report, err := Run(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Requests <= 0 {
+		t.Fatalf("soak run issued %d requests", report.Requests)
+	}
+	total := 0
+	for _, ep := range report.Endpoints {
+		total += ep.Requests
+	}
+	if total != report.Requests {
+		t.Fatalf("endpoint sum %d != reported requests %d", total, report.Requests)
+	}
+}
+
+func TestEvaluateSLO(t *testing.T) {
+	base := func() *Report {
+		return &Report{Endpoints: map[string]*EndpointReport{
+			EndpointCompute: {Requests: 100, Errors: 3, LatencyMs: &LatencyMs{P99: 40}},
+			EndpointVerify:  {Requests: 50, LatencyMs: &LatencyMs{P99: 10}},
+		}}
+	}
+	if res := evaluateSLO(SLO{MaxErrorRate: 0.05, MaxP99Seconds: 0.1}, base()); !res.Pass {
+		t.Fatalf("lenient SLO failed: %+v", res.Violations)
+	}
+	if res := evaluateSLO(SLO{MaxErrorRate: 0.01}, base()); res.Pass {
+		t.Fatal("3% errors passed a 1% gate")
+	}
+	if res := evaluateSLO(SLO{MaxErrorRate: -1, MaxP99Seconds: 0.02}, base()); res.Pass {
+		t.Fatal("40ms p99 passed a 20ms gate")
+	}
+	r := base()
+	r.Conformance = &ConformanceReport{Sampled: 10, Mismatches: 1}
+	if res := evaluateSLO(SLO{MaxErrorRate: -1}, r); res.Pass {
+		t.Fatal("conformance mismatch passed the default zero-mismatch gate")
+	}
+}
+
+// TestReportJSONDeterminism: equal reports must serialize byte-equal
+// (map key ordering, indentation, trailing newline).
+func TestReportJSONDeterminism(t *testing.T) {
+	l := startServer(t, server.Config{})
+	opts := testOptions()
+	opts.Workers = 1
+	opts.Conformance = true
+	render := func() []byte {
+		report, err := Run(context.Background(), l.URL, opts)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed reports differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,177 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is the machine-readable outcome of a load run (the LOAD_*.json
+// artifact). Everything outside the Timing and Cache sections is a
+// deterministic function of (Options, target correctness): two runs with
+// the same seed against equivalent fresh servers emit byte-identical
+// reports when timing is excluded, which is what the end-to-end golden
+// test locks down.
+type Report struct {
+	Tool    string `json:"tool"`
+	Mode    string `json:"mode"` // "closed" or "open"
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Requests is the number of requests issued (fixed -n runs echo the
+	// option; soak runs report how many the deadline admitted).
+	Requests int     `json:"requests"`
+	Rate     float64 `json:"rate_per_sec,omitempty"`
+	Mix      Mix     `json:"mix"`
+	Axes     Axes    `json:"axes"`
+	// StreamDigest fingerprints the synthesized request stream; equal
+	// options yield equal digests at any concurrency.
+	StreamDigest  string  `json:"stream_digest"`
+	FaultFraction float64 `json:"fault_fraction,omitempty"`
+	FaultStart    int     `json:"fault_start,omitempty"`
+
+	Endpoints map[string]*EndpointReport `json:"endpoints"`
+
+	Conformance *ConformanceReport `json:"conformance,omitempty"`
+	Cache       *CacheReport       `json:"cache,omitempty"`
+	SLO         *SLOResult         `json:"slo,omitempty"`
+	Timing      *TimingReport      `json:"timing,omitempty"`
+}
+
+// EndpointReport aggregates per-endpoint outcomes.
+type EndpointReport struct {
+	Requests int `json:"requests"`
+	// Errors counts non-2xx responses and transport failures.
+	Errors int `json:"errors"`
+	// Timeouts counts per-request deadline expiries (a subset of Errors).
+	Timeouts int `json:"timeouts"`
+	// Shed counts 503 load-shedding refusals (a subset of Errors).
+	Shed int `json:"shed"`
+	// StatusCounts keys HTTP status codes ("200", "400", ...) plus
+	// "transport" for connection-level failures.
+	StatusCounts map[string]int `json:"status_counts"`
+	// Latency quantiles in milliseconds, present only with timing.
+	LatencyMs *LatencyMs `json:"latency_ms,omitempty"`
+}
+
+// LatencyMs summarizes one endpoint's latency distribution.
+type LatencyMs struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+}
+
+// Mismatch is one conformance divergence between a cdsd response and the
+// in-process oracle.
+type Mismatch struct {
+	Index    int    `json:"index"`
+	Endpoint string `json:"endpoint"`
+	Policy   string `json:"policy"`
+	// Digest identifies the topology (hex of the canonical graph digest).
+	Digest string `json:"digest,omitempty"`
+	Field  string `json:"field"`
+	Got    string `json:"got"`
+	Want   string `json:"want"`
+}
+
+// ConformanceReport summarizes the differential cross-check of sampled
+// responses against the in-process library.
+type ConformanceReport struct {
+	// Sampled counts responses that were cross-checked.
+	Sampled int `json:"sampled"`
+	// Mismatches counts individual field divergences (0 = conformant).
+	Mismatches int `json:"mismatches"`
+	// SampledByPolicy and SampledByEndpoint prove the check spanned the
+	// policy and endpoint axes.
+	SampledByPolicy   map[string]int `json:"sampled_by_policy"`
+	SampledByEndpoint map[string]int `json:"sampled_by_endpoint"`
+	// Details lists the first divergences in stream order (capped).
+	Details []Mismatch `json:"details,omitempty"`
+}
+
+// CacheReport is the /metrics-scrape delta over the run.
+type CacheReport struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Shed      uint64  `json:"shed"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// SLO declares the pass/fail gates a run must meet.
+type SLO struct {
+	// MaxErrorRate bounds errors/requests across all endpoints
+	// (negative = no gate).
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxP99Seconds bounds the worst per-endpoint p99 (0 = no gate).
+	MaxP99Seconds float64 `json:"max_p99_seconds"`
+	// MaxMismatches bounds conformance divergences (conformance runs
+	// gate on zero by default).
+	MaxMismatches int `json:"max_mismatches"`
+}
+
+// SLOResult reports the gate evaluation.
+type SLOResult struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// TimingReport holds the wall-clock (non-deterministic) measurements.
+type TimingReport struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+}
+
+// maxMismatchDetails caps the Details list so a badly broken server
+// cannot balloon the report.
+const maxMismatchDetails = 20
+
+// evaluateSLO checks the gates against the assembled report.
+func evaluateSLO(slo SLO, r *Report) *SLOResult {
+	res := &SLOResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	totalReq, totalErr := 0, 0
+	for _, ep := range r.Endpoints {
+		totalReq += ep.Requests
+		totalErr += ep.Errors
+	}
+	if slo.MaxErrorRate >= 0 && totalReq > 0 {
+		rate := float64(totalErr) / float64(totalReq)
+		if rate > slo.MaxErrorRate {
+			fail("error rate %.4f exceeds %.4f (%d/%d)", rate, slo.MaxErrorRate, totalErr, totalReq)
+		}
+	}
+	if slo.MaxP99Seconds > 0 {
+		names := make([]string, 0, len(r.Endpoints))
+		for name := range r.Endpoints {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ep := r.Endpoints[name]
+			if ep.LatencyMs != nil && ep.LatencyMs.P99 > slo.MaxP99Seconds*1000 {
+				fail("%s p99 %.1fms exceeds %.1fms", name, ep.LatencyMs.P99, slo.MaxP99Seconds*1000)
+			}
+		}
+	}
+	if r.Conformance != nil && r.Conformance.Mismatches > slo.MaxMismatches {
+		fail("%d conformance mismatches exceed %d", r.Conformance.Mismatches, slo.MaxMismatches)
+	}
+	return res
+}
+
+// WriteJSON emits the report as indented JSON. Map keys are sorted by the
+// encoder, so equal reports are byte-equal.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

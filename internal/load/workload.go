@@ -1,0 +1,293 @@
+package load
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"pacds/internal/cds"
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+	"pacds/internal/server"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Deterministic request synthesis.
+//
+// The harness's core contract is that the request stream is a pure
+// function of (Options shape, Seed, index): request i is synthesized from
+// an RNG seeded with xrand.Mix(Seed, workloadSalt, i), exactly the
+// cell-coordinate seeding discipline the experiment engine uses for its
+// sweeps. Whichever worker claims index i — one worker or sixty-four —
+// builds byte-identical wire bytes and the identical conformance oracle,
+// so concurrency changes throughput and nothing else.
+
+// workloadSalt isolates the load harness's seed stream from the
+// experiment sweeps' cells (which mix their own salts).
+const workloadSalt uint64 = 0x10adc0de0a0a0a0a
+
+// Endpoint names, also used as report keys.
+const (
+	EndpointCompute  = "compute"
+	EndpointVerify   = "verify"
+	EndpointSimulate = "simulate"
+)
+
+// Mix weights the three request kinds. Zero-valued fields get no traffic;
+// an entirely zero Mix defaults to 8/1/1 compute/verify/simulate.
+type Mix struct {
+	Compute  int `json:"compute"`
+	Verify   int `json:"verify"`
+	Simulate int `json:"simulate"`
+}
+
+func (m Mix) withDefaults() Mix {
+	if m.Compute <= 0 && m.Verify <= 0 && m.Simulate <= 0 {
+		return Mix{Compute: 8, Verify: 1, Simulate: 1}
+	}
+	if m.Compute < 0 {
+		m.Compute = 0
+	}
+	if m.Verify < 0 {
+		m.Verify = 0
+	}
+	if m.Simulate < 0 {
+		m.Simulate = 0
+	}
+	return m
+}
+
+func (m Mix) total() int { return m.Compute + m.Verify + m.Simulate }
+
+// Axes are the workload dimensions a request is drawn from: topology
+// size, transmission radius (connectivity density), and pruning policy.
+// Zero-valued fields get defaults spanning the paper's operating range.
+type Axes struct {
+	// Ns are the candidate topology sizes (default 20, 40, 80).
+	Ns []int `json:"ns"`
+	// Radii are the candidate transmission radii on the paper's 100x100
+	// field (default 20, 25, 30 — sparse to dense around the paper's 25).
+	Radii []float64 `json:"radii"`
+	// Policies are the candidate pruning policies (default the four rule
+	// policies ID, ND, EL1, EL2).
+	Policies []string `json:"policies"`
+}
+
+func (a Axes) withDefaults() Axes {
+	if len(a.Ns) == 0 {
+		a.Ns = []int{20, 40, 80}
+	}
+	if len(a.Radii) == 0 {
+		a.Radii = []float64{20, 25, 30}
+	}
+	if len(a.Policies) == 0 {
+		a.Policies = []string{"ID", "ND", "EL1", "EL2"}
+	}
+	return a
+}
+
+// Request is one synthesized API call plus the inputs the conformance
+// oracle needs to recompute the expected answer in-process.
+type Request struct {
+	Index    int
+	Endpoint string
+
+	Compute  *server.ComputeRequest
+	Verify   *server.VerifyRequest
+	Simulate *server.SimulateRequest
+
+	// Oracle state (nil/zero for simulate, which is replayed from the
+	// wire request alone).
+	G      *graph.Graph
+	Energy []float64
+	Policy cds.Policy
+	Digest uint64
+}
+
+// Generate synthesizes request i of the stream. It is a pure function of
+// (opts, i): the same options and index always produce the same request,
+// regardless of which worker, process, or machine evaluates it.
+// Normalization (withDefaults) is idempotent, so callers holding raw and
+// normalized copies of the same options see the same stream.
+func Generate(opts Options, i int) *Request {
+	opts = opts.withDefaults()
+	rng := xrand.New(xrand.Mix(opts.Seed, workloadSalt, uint64(i)))
+	req := &Request{Index: i}
+
+	mix := opts.Mix
+	pick := rng.Intn(mix.total())
+	switch {
+	case pick < mix.Compute:
+		req.Endpoint = EndpointCompute
+	case pick < mix.Compute+mix.Verify:
+		req.Endpoint = EndpointVerify
+	default:
+		req.Endpoint = EndpointSimulate
+	}
+
+	policyName := opts.Axes.Policies[rng.Intn(len(opts.Axes.Policies))]
+	policy, err := cds.ByName(policyName)
+	if err != nil {
+		// Options.Validate rejects unknown policy names up front.
+		panic("load: unvalidated policy name " + policyName)
+	}
+	req.Policy = policy
+	n := opts.Axes.Ns[rng.Intn(len(opts.Axes.Ns))]
+	radius := opts.Axes.Radii[rng.Intn(len(opts.Axes.Radii))]
+
+	if req.Endpoint == EndpointSimulate {
+		drains := []string{"const", "linear", "quadratic"}
+		req.Simulate = &server.SimulateRequest{
+			N:      n,
+			Policy: policyName,
+			Drain:  drains[rng.Intn(len(drains))],
+			Seed:   rng.Uint64(),
+			Trials: 1 + rng.Intn(opts.SimMaxTrials),
+			Static: rng.Bool(0.5),
+		}
+		return req
+	}
+
+	// Compute and verify requests need a concrete topology.
+	req.G = randomTopology(n, radius, rng)
+	req.Digest = graph.Digest(req.G)
+	spec := graphSpec(req.G)
+	if policy.NeedsEnergy() {
+		req.Energy = make([]float64, n)
+		for v := range req.Energy {
+			// Integer levels on the default cache quantum, with ties, as
+			// in the paper's discrete energy tiers.
+			req.Energy[v] = float64(rng.IntRange(1, 100))
+		}
+	}
+
+	switch req.Endpoint {
+	case EndpointCompute:
+		req.Compute = &server.ComputeRequest{
+			Graph:         spec,
+			Policy:        policyName,
+			Energy:        req.Energy,
+			IncludeMarked: rng.Bool(0.25),
+		}
+		if opts.FaultFraction > 0 && i >= opts.FaultStart && rng.Bool(opts.FaultFraction) {
+			req.Compute.Faults = faultSpec(n, rng)
+		}
+	case EndpointVerify:
+		res, err := cds.Compute(req.G, policy, req.Energy)
+		if err != nil {
+			panic("load: oracle compute failed: " + err.Error())
+		}
+		ids := boolsToIDs(res.Gateway)
+		if rng.Bool(0.3) && len(ids) > 0 {
+			// Corrupt the set so invalid verdicts are exercised too.
+			k := rng.Intn(len(ids))
+			ids = append(ids[:k], ids[k+1:]...)
+		}
+		req.Verify = &server.VerifyRequest{Graph: spec, Gateways: ids}
+	}
+	return req
+}
+
+// randomTopology samples a connected unit-disk instance on the paper's
+// field. If the density is too low to find one (sparse radius at small
+// N), it falls back to a deterministic ring with random chords so the
+// stream never stalls and stays a pure function of the RNG.
+func randomTopology(n int, radius float64, rng *xrand.RNG) *graph.Graph {
+	cfg := udg.Config{N: n, Field: geom.Square(100), Radius: radius}
+	inst, err := udg.RandomConnected(cfg, rng, 60)
+	if err == nil {
+		return inst.Graph
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	for c := 0; c < n/4; c++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return g
+}
+
+// faultSpec draws a fault-scenario descriptor: a drop rate in [2%, 15%],
+// optional duplication, and up to one scheduled crash (clear of node 0 so
+// tiny graphs keep a survivor).
+func faultSpec(n int, rng *xrand.RNG) *server.FaultSpec {
+	fs := &server.FaultSpec{
+		Drop: 0.02 + 0.13*rng.Float64(),
+		Seed: rng.Uint64(),
+	}
+	if rng.Bool(0.3) {
+		fs.Duplicate = 0.05 * rng.Float64()
+	}
+	if rng.Bool(0.5) && n > 2 {
+		crash := server.CrashSpec{Node: 1 + rng.Intn(n-1), AtRound: 1 + rng.Intn(3)}
+		if rng.Bool(0.5) {
+			crash.RecoverAt = crash.AtRound + 2 + rng.Intn(4)
+		}
+		fs.Crashes = []server.CrashSpec{crash}
+	}
+	return fs
+}
+
+// graphSpec converts a graph to its wire form with a sorted edge list.
+func graphSpec(g *graph.Graph) server.GraphSpec {
+	spec := server.GraphSpec{Nodes: g.NumNodes()}
+	g.Edges(func(u, v graph.NodeID) {
+		spec.Edges = append(spec.Edges, [2]int{int(u), int(v)})
+	})
+	return spec
+}
+
+// boolsToIDs converts a membership slice to a sorted id list.
+func boolsToIDs(member []bool) []int {
+	ids := make([]int, 0, len(member))
+	for v, in := range member {
+		if in {
+			ids = append(ids, v)
+		}
+	}
+	return ids
+}
+
+// StreamDigest fingerprints the first n requests of the stream: the
+// FNV-1a hash of every request's endpoint and wire-relevant fields. Two
+// runs with the same options produce the same digest whatever their
+// worker counts — the report records it so identical-stream claims are
+// checkable across runs and machines.
+func StreamDigest(opts Options, n int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for i := 0; i < n; i++ {
+		req := Generate(opts, i)
+		h.Write([]byte(req.Endpoint))
+		switch req.Endpoint {
+		case EndpointSimulate:
+			word(uint64(req.Simulate.N))
+			h.Write([]byte(req.Simulate.Policy + req.Simulate.Drain))
+			word(req.Simulate.Seed)
+			word(uint64(req.Simulate.Trials))
+		case EndpointCompute:
+			word(req.Digest)
+			h.Write([]byte(req.Compute.Policy))
+			for _, e := range req.Compute.Energy {
+				word(uint64(int64(e)))
+			}
+			if f := req.Compute.Faults; f != nil {
+				word(f.Seed)
+			}
+		case EndpointVerify:
+			word(req.Digest)
+			for _, id := range req.Verify.Gateways {
+				word(uint64(id))
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape parsing: the inverse of WritePrometheus, used by the load
+// harness (internal/load) to read a live cdsd's cache and request
+// counters off its /metrics endpoint. The parser covers the subset of
+// the text exposition format this package emits — `name value` and
+// `name{k="v",...} value` sample lines plus # comment lines — which is
+// also the subset any conformant scraper must accept.
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	// Name is the metric name without the label clause (the family for
+	// labeled series, e.g. "cdsd_requests_total").
+	Name string
+	// Labels holds the label pairs, nil when the series is unlabeled.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Scrape is a parsed metrics exposition.
+type Scrape []Sample
+
+// ParseText parses a Prometheus text exposition. Comment and blank lines
+// are skipped; malformed sample lines are an error (truncated scrapes
+// should fail loudly, not read as zero).
+func ParseText(r io.Reader) (Scrape, error) {
+	var out Scrape
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name value` or `name{k="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unterminated label clause in %q", line)
+		}
+		labels, err := parseLabels(line[i+1 : j])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		// `name value` with an optional trailing timestamp.
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("want `name value`, got %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k="v",k2="v2"`. Values are quoted strings with the
+// exposition format's escapes (\\, \", \n).
+func parseLabels(clause string) (map[string]string, error) {
+	labels := make(map[string]string)
+	rest := strings.TrimSpace(clause)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", clause)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", clause)
+		}
+		val, n, err := unquoteLabel(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%v in %q", err, clause)
+		}
+		labels[key] = val
+		rest = strings.TrimSpace(rest[n:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}
+
+// unquoteLabel decodes the leading quoted string of s, returning the
+// value and the number of input bytes consumed.
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("truncated escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// Get returns the value of the series with the given family name whose
+// labels exactly match want (nil matches only an unlabeled series).
+func (s Scrape) Get(name string, want map[string]string) (float64, bool) {
+	for _, sm := range s {
+		if sm.Name != name || len(sm.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if sm.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Value returns the unlabeled series name, or 0 if absent.
+func (s Scrape) Value(name string) float64 {
+	v, _ := s.Get(name, nil)
+	return v
+}
+
+// Sum adds up every series of the family, across all label sets.
+func (s Scrape) Sum(name string) float64 {
+	total := 0.0
+	for _, sm := range s {
+		if sm.Name == name {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+// Families returns the sorted set of distinct metric names in the scrape.
+func (s Scrape) Families() []string {
+	seen := make(map[string]bool)
+	for _, sm := range s {
+		seen[sm.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTextRoundTrip(t *testing.T) {
+	// Whatever WritePrometheus emits, ParseText must read back.
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Add(42)
+	r.Gauge("depth", "queue depth").Set(-3)
+	r.Counter(`reqs_total{endpoint="compute"}`, "requests").Add(7)
+	r.Counter(`reqs_total{endpoint="verify"}`, "requests").Add(9)
+	h := r.Histogram("lat_seconds", "latency", nil)
+	h.Observe(0.003)
+	h.Observe(0.004)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText on own exposition: %v\n%s", err, b.String())
+	}
+
+	if v := s.Value("hits_total"); v != 42 {
+		t.Errorf("hits_total = %v, want 42", v)
+	}
+	if v := s.Value("depth"); v != -3 {
+		t.Errorf("depth = %v, want -3", v)
+	}
+	if v, ok := s.Get("reqs_total", map[string]string{"endpoint": "compute"}); !ok || v != 7 {
+		t.Errorf("reqs_total{compute} = %v,%v, want 7,true", v, ok)
+	}
+	if v := s.Sum("reqs_total"); v != 16 {
+		t.Errorf("Sum(reqs_total) = %v, want 16", v)
+	}
+	if v := s.Value("lat_seconds_count"); v != 3 {
+		t.Errorf("lat_seconds_count = %v, want 3", v)
+	}
+	// The +Inf bucket holds the full count.
+	if v, ok := s.Get("lat_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 3 {
+		t.Errorf("lat_seconds_bucket{+Inf} = %v,%v, want 3,true", v, ok)
+	}
+}
+
+func TestParseTextSamples(t *testing.T) {
+	text := `
+# HELP x a counter
+# TYPE x counter
+x 5
+y{a="1",b="two words"} 0.25
+z{esc="q\"\n\\e"} 1e3
+`
+	s, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3", len(s))
+	}
+	if v, ok := s.Get("y", map[string]string{"a": "1", "b": "two words"}); !ok || v != 0.25 {
+		t.Errorf("y = %v,%v", v, ok)
+	}
+	if v, ok := s.Get("z", map[string]string{"esc": "q\"\n\\e"}); !ok || v != 1000 {
+		t.Errorf("z = %v,%v", v, ok)
+	}
+	if got := s.Families(); len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Errorf("Families = %v", got)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x",            // missing value
+		"x five",       // non-numeric value
+		`x{a="1" 3`,    // unterminated labels
+		`x{a=1} 3`,     // unquoted label value
+		`x{a="1\q"} 3`, // unknown escape
+		`{a="1"} 3`,    // empty name
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q): want error, got nil", bad)
+		}
+	}
+	// A timestamped sample (name value timestamp) parses the value.
+	s, err := ParseText(strings.NewReader(`x{a="1"} 3 1700000000`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("x", map[string]string{"a": "1"}); !ok || v != 3 {
+		t.Errorf("timestamped sample: got %v,%v", v, ok)
+	}
+}

@@ -28,13 +28,14 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
 }
 
-// apiError is a non-2xx response from the server.
-type apiError struct {
+// APIError is a non-2xx response from the server, exposed so callers
+// (the load harness, retry loops) can branch on the HTTP status.
+type APIError struct {
 	Status  int
 	Message string
 }
 
-func (e *apiError) Error() string {
+func (e *APIError) Error() string {
 	return fmt.Sprintf("cdsd: HTTP %d: %s", e.Status, e.Message)
 }
 
@@ -65,7 +66,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &apiError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Message: msg}
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Local is a cdsd instance bound to an ephemeral loopback listener: the
+// deterministic in-process boot used by the load harness's conformance
+// runs, the end-to-end golden tests, and anything else that needs a real
+// HTTP server without picking a port. Create with StartLocal, stop with
+// Close.
+type Local struct {
+	// Server is the underlying cdsd service (live metrics, drain control).
+	Server *Server
+	// URL is the base URL of the listener, e.g. "http://127.0.0.1:43817".
+	URL string
+
+	ln       net.Listener
+	hs       *http.Server
+	serveErr chan error
+}
+
+// StartLocal boots a Server on a fresh loopback listener and serves it.
+// The listener binds 127.0.0.1:0, so parallel tests and harness runs never
+// collide on a port; the chosen address is in URL.
+func StartLocal(cfg Config) (*Local, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("server: local listener: %w", err)
+	}
+	s := New(cfg)
+	l := &Local{
+		Server:   s,
+		URL:      "http://" + ln.Addr().String(),
+		ln:       ln,
+		hs:       &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second},
+		serveErr: make(chan error, 1),
+	}
+	go func() { l.serveErr <- l.hs.Serve(ln) }()
+	return l, nil
+}
+
+// Client returns a typed client for this instance. httpClient may be nil
+// for a default with a 30s timeout.
+func (l *Local) Client(httpClient *http.Client) *Client {
+	return NewClient(l.URL, httpClient)
+}
+
+// Close gracefully stops the instance: the API drains (new requests
+// refused, in-flight ones complete), the HTTP listener shuts down, and
+// the worker pool exits — all bounded by the configured DrainTimeout.
+func (l *Local) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), l.Server.cfg.DrainTimeout)
+	defer cancel()
+	// Drain the API first: BeginDrain inside Shutdown refuses new work
+	// and inflight accounting waits for handlers to finish. Only then
+	// shut the HTTP layer — at that point every remaining connection is
+	// either idle or never carried a request.
+	drainErr := l.Server.Shutdown(ctx)
+	httpErr := l.hs.Shutdown(ctx)
+	if httpErr != nil {
+		// net/http's graceful Shutdown only treats a request-less
+		// StateNew connection as reapable after a 5-second grace — a
+		// client transport that race-dialed a spare connection and
+		// parked it unused can hold Shutdown hostage for exactly our
+		// deadline. The API is already drained, so nothing of value is
+		// in flight: force-close the stragglers.
+		httpErr = l.hs.Close()
+	}
+	if err := <-l.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	return nil
+}

@@ -63,10 +63,12 @@ type Config struct {
 	// MaxNodes rejects larger request topologies (default 100000).
 	MaxNodes int
 
-	// testDelay artificially lengthens every computation; tests use it
-	// to hold requests in flight deterministically. It must be set
-	// before New so workers observe it without synchronization.
-	testDelay time.Duration
+	// TestDelay artificially lengthens every computation; tests (both in
+	// this package and in the load harness) use it to hold requests in
+	// flight deterministically and to force shed/timeout paths. It must
+	// be set before New so workers observe it without synchronization.
+	// Production configurations leave it zero.
+	TestDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -193,9 +195,9 @@ func (s *Server) worker() {
 			if j.ctx.Err() != nil {
 				j.err = j.ctx.Err() // deadline passed while queued: skip the work
 			} else {
-				if s.cfg.testDelay > 0 {
+				if s.cfg.TestDelay > 0 {
 					select {
-					case <-time.After(s.cfg.testDelay):
+					case <-time.After(s.cfg.TestDelay):
 					case <-j.ctx.Done():
 					}
 				}
@@ -273,7 +275,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		err = fmt.Errorf("cdsd: drain deadline exceeded: %w", ctx.Err())
+		// Both channels may be ready at once (an already-expired ctx);
+		// a completed drain is never an error.
+		select {
+		case <-done:
+		default:
+			err = fmt.Errorf("cdsd: drain deadline exceeded: %w", ctx.Err())
+		}
 	}
 	s.stopWk.Do(func() { close(s.quit) })
 	s.wkDone.Wait()

@@ -212,7 +212,7 @@ func TestConcurrentClients(t *testing.T) {
 					return
 				}
 				if resp.NumGateways != want.NumGateways() {
-					errs <- &apiError{Status: 0, Message: "gateway count diverged under concurrency"}
+					errs <- &APIError{Status: 0, Message: "gateway count diverged under concurrency"}
 					return
 				}
 			}
@@ -226,7 +226,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestCoalescingOfIdenticalInflightRequests(t *testing.T) {
-	_, c := newTestServer(t, Config{Workers: 4, testDelay: 300 * time.Millisecond})
+	_, c := newTestServer(t, Config{Workers: 4, TestDelay: 300 * time.Millisecond})
 	inst := randomInstance(t, 20, 11)
 	req := ComputeRequest{Graph: specFor(inst.Graph), Policy: "ID"}
 
@@ -274,7 +274,7 @@ func TestCoalescingOfIdenticalInflightRequests(t *testing.T) {
 }
 
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{Workers: 2, testDelay: 300 * time.Millisecond})
+	s := New(Config{Workers: 2, TestDelay: 300 * time.Millisecond})
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	c := NewClient(hs.URL, hs.Client())
@@ -312,7 +312,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := c.Compute(context.Background(), req); err == nil {
 		t.Fatal("new request accepted while draining")
-	} else if ae, ok := err.(*apiError); !ok || ae.Status != http.StatusServiceUnavailable {
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusServiceUnavailable {
 		t.Fatalf("draining refusal = %v, want 503", err)
 	}
 	if err := c.Health(context.Background()); err == nil {
@@ -343,7 +343,7 @@ func TestGracefulShutdown(t *testing.T) {
 }
 
 func TestShutdownDeadlineExceeded(t *testing.T) {
-	s := New(Config{Workers: 1, testDelay: 400 * time.Millisecond})
+	s := New(Config{Workers: 1, TestDelay: 400 * time.Millisecond})
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	c := NewClient(hs.URL, hs.Client())
@@ -511,7 +511,7 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 			continue
 		}
-		if ae, ok := err.(*apiError); !ok || ae.Status != http.StatusBadRequest {
+		if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusBadRequest {
 			t.Errorf("%s: status = %v, want 400", tc.name, err)
 		}
 	}
@@ -538,7 +538,7 @@ func TestMethodNotAllowedAndUnknownPath(t *testing.T) {
 }
 
 func TestLoadShedding(t *testing.T) {
-	_, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, testDelay: 300 * time.Millisecond})
+	_, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, TestDelay: 300 * time.Millisecond})
 	// Distinct graphs so coalescing cannot absorb the burst: paths of
 	// different lengths.
 	const burst = 6
@@ -559,7 +559,7 @@ func TestLoadShedding(t *testing.T) {
 			ok++
 			continue
 		}
-		if ae, isAPI := err.(*apiError); isAPI && ae.Status == http.StatusServiceUnavailable {
+		if ae, isAPI := err.(*APIError); isAPI && ae.Status == http.StatusServiceUnavailable {
 			shed++
 		} else {
 			t.Fatalf("unexpected error under overload: %v", err)

@@ -36,9 +36,13 @@
 //   - Extensions: Rule-k pruning, packet-level traffic with per-hop
 //     energy accounting, max-min energy routing, broadcast via CDS,
 //     quasi-UDG and clustered deployments, SVG rendering.
+//   - Serving & load: NewCDSServer / StartLocalCDSServer run the cdsd
+//     service; RunLoad drives it with a deterministic seeded workload and
+//     cross-checks responses against the library (see cmd/loadgen).
 package pacds
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -50,6 +54,8 @@ import (
 	"pacds/internal/faults"
 	"pacds/internal/geom"
 	"pacds/internal/graph"
+	"pacds/internal/load"
+	"pacds/internal/metrics"
 	"pacds/internal/mobility"
 	"pacds/internal/routing"
 	"pacds/internal/server"
@@ -564,3 +570,64 @@ type (
 	ServerCrashSpec        = server.CrashSpec
 	ServerPolicyInfo       = server.PolicyInfo
 )
+
+// LocalCDSServer is a cdsd instance bound to an ephemeral loopback
+// listener — a real HTTP server without picking a port, for tests,
+// examples, and self-driven load runs.
+type LocalCDSServer = server.Local
+
+// StartLocalCDSServer boots a server on 127.0.0.1:0 and serves it; stop
+// it with Close.
+func StartLocalCDSServer(cfg ServerConfig) (*LocalCDSServer, error) {
+	return server.StartLocal(cfg)
+}
+
+// --- Load & conformance harness (loadgen) ---
+
+// LoadOptions configures a deterministic load run: the request stream is
+// a pure function of (options, seed, index), so the same seed issues the
+// same requests — and reaches the same conformance verdicts — at any
+// worker count. See cmd/loadgen for the CLI.
+type LoadOptions = load.Options
+
+// LoadMix weights the compute/verify/simulate request kinds.
+type LoadMix = load.Mix
+
+// LoadAxes are the workload dimensions (topology sizes, radii, policies).
+type LoadAxes = load.Axes
+
+// LoadSLO declares the pass/fail gates a load run must meet.
+type LoadSLO = load.SLO
+
+// LoadReport is the machine-readable outcome of a load run (the
+// LOAD_*.json artifact), including per-endpoint outcome counts, the
+// conformance cross-check, and the /metrics cache delta.
+type LoadReport = load.Report
+
+// LoadMismatch is one conformance divergence between a cdsd response and
+// the in-process oracle.
+type LoadMismatch = load.Mismatch
+
+// RunLoad drives the cdsd server at baseURL with the configured seeded
+// workload and assembles the report. With Conformance set, sampled
+// responses are recomputed in-process through the same library entry
+// points the handlers use and compared field by field.
+func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport, error) {
+	return load.Run(ctx, baseURL, opts)
+}
+
+// GenerateLoadRequest synthesizes request i of a load stream — a pure
+// function of (opts, i), exposed for tools that need to inspect or replay
+// a stream outside Run. opts must be the same value Run was (or will be)
+// given.
+func GenerateLoadRequest(opts LoadOptions, i int) *load.Request { return load.Generate(opts, i) }
+
+// MetricsSample is one parsed Prometheus exposition sample.
+type MetricsSample = metrics.Sample
+
+// MetricsScrape is a parsed /metrics exposition.
+type MetricsScrape = metrics.Scrape
+
+// ParseMetricsText parses a Prometheus text exposition (as served by
+// cdsd's /metrics) into samples queryable by name and labels.
+func ParseMetricsText(r io.Reader) (MetricsScrape, error) { return metrics.ParseText(r) }
