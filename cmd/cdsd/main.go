@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +57,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	drain := fs.Duration("drain", 0, "graceful shutdown deadline (0 = default 5s)")
 	quantum := fs.Float64("quantum", 0, "cache-key energy quantization step (0 = default 1.0)")
 	maxNodes := fs.Int("maxnodes", 0, "largest accepted topology (0 = default 100000)")
+	brownout := fs.String("brownout", "", "comma-separated endpoints serving stale cache under overload instead of shedding (e.g. compute)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "age beyond which cached results are recomputed (0 = never stale)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 503 responses (0 = default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,13 +68,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		EnergyQuantum:  *quantum,
-		MaxNodes:       *maxNodes,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cache,
+		RequestTimeout:    *timeout,
+		DrainTimeout:      *drain,
+		EnergyQuantum:     *quantum,
+		MaxNodes:          *maxNodes,
+		BrownoutEndpoints: splitList(*brownout),
+		CacheTTL:          *cacheTTL,
+		ShedRetryAfter:    *retryAfter,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -111,4 +118,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "cdsd stopped")
 	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty terms.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

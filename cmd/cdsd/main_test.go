@@ -138,6 +138,43 @@ func TestDaemonMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestDaemonHealthSplitAndBrownoutFlags: the daemon wires the new flags
+// through to the server — /healthz/live and /healthz/ready respond, and
+// -brownout shows up in the readiness report.
+func TestDaemonHealthSplitAndBrownoutFlags(t *testing.T) {
+	base, _ := startDaemon(t, "-brownout", "compute", "-cache-ttl", "30s", "-retry-after", "2s")
+	for _, path := range []string{"/healthz/live", "/healthz/ready", "/healthz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), `"brownout":["compute"]`) {
+		t.Fatalf("readiness does not echo the brownout policy: %s", buf.String())
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" compute, verify ,,")
+	if len(got) != 2 || got[0] != "compute" || got[1] != "verify" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty flag should parse to nil")
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	ctx := context.Background()
 	var out bytes.Buffer

@@ -8,6 +8,13 @@
 //
 //	loadgen -self -seed 7 -n 1000 -conformance -o LOAD.json
 //
+// With -chaos the client transport injects deterministic seeded faults
+// (bounded 5xx bursts, connection resets, latency spikes); -retries N
+// enables the resilient client, which must ride out every burst when N
+// exceeds -chaos-burst:
+//
+//	loadgen -self -seed 7 -n 600 -chaos -retries 4 -conformance -slo-error-rate 0
+//
 // The exit status is 0 on success, 1 on setup errors, and 2 when the
 // run violates an SLO gate (including the zero-mismatch conformance
 // gate).
@@ -23,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"pacds/internal/chaos"
 	"pacds/internal/load"
+	"pacds/internal/resilience"
 	"pacds/internal/server"
 )
 
@@ -51,6 +60,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultFrac := fs.Float64("fault-frac", 0, "fraction of computes carrying fault scenarios")
 	faultStart := fs.Int("fault-start", 0, "first stream index eligible for fault injection")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	chaosOn := fs.Bool("chaos", false, "inject deterministic L7 faults (5xx bursts, resets, latency) into the client transport")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "chaos plan seed (0 = derive from -seed)")
+	chaosErrP := fs.Float64("chaos-error-p", 0.35, "per-request probability of a synthetic 5xx burst")
+	chaosResetP := fs.Float64("chaos-reset-p", 0.15, "per-request probability of a connection-reset burst")
+	chaosLatP := fs.Float64("chaos-latency-p", 0.2, "per-attempt probability of an injected latency spike")
+	chaosBurst := fs.Int("chaos-burst", 2, "longest fault burst in attempts; -retries above this rides every burst out")
+	retries := fs.Int("retries", 0, "client retries per request (0 = raw non-retrying client)")
+	hedge := fs.Duration("hedge", 0, "hedge a duplicate attempt after this delay (0 = no hedging)")
+	retryBudget := fs.Float64("retry-budget", -1, "retry token-bucket capacity (negative = unlimited, keeps chaos runs deterministic)")
 	sloErrRate := fs.Float64("slo-error-rate", -1, "fail if error rate exceeds this (negative = no gate)")
 	sloP99 := fs.Float64("slo-p99", 0, "fail if any endpoint p99 exceeds this many seconds (0 = no gate; implies -timing)")
 	timing := fs.Bool("timing", false, "include wall-clock sections (latency quantiles, RPS) in the report")
@@ -96,6 +114,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *sloErrRate >= 0 || *sloP99 > 0 || *conformance {
 		opts.SLO = &load.SLO{MaxErrorRate: *sloErrRate, MaxP99Seconds: *sloP99}
+	}
+	if *chaosOn {
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = *seed
+		}
+		opts.Chaos = &chaos.Config{
+			Seed:     cseed,
+			ErrorP:   *chaosErrP,
+			ResetP:   *chaosResetP,
+			LatencyP: *chaosLatP,
+			MaxBurst: *chaosBurst,
+		}
+	}
+	if *retries > 0 || *hedge > 0 {
+		opts.Resilience = &server.ResilienceConfig{
+			MaxAttempts: *retries + 1,
+			Backoff:     resilience.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: *seed},
+			// The chaos gate judges retry/backoff behavior; the breaker is
+			// parked out of reach so per-request fault bursts cannot trip
+			// it and turn a deterministic run probabilistic.
+			Breaker:     resilience.BreakerConfig{FailureThreshold: 1 << 30},
+			RetryBudget: *retryBudget,
+			HedgeDelay:  *hedge,
+		}
 	}
 
 	target := *url

@@ -121,6 +121,45 @@ func TestSLOGateExitCode(t *testing.T) {
 	}
 }
 
+// TestChaosGateExitCodes is the end-to-end resilience acceptance: the
+// same seeded chaos plan must fail the zero-error gate with exit 2 when
+// retries are off, and pass it with exit 0 — zero conformance
+// mismatches included — when retries exceed the burst bound.
+func TestChaosGateExitCodes(t *testing.T) {
+	base := []string{"-seed", "13", "-n", "200", "-workers", "4",
+		"-chaos", "-conformance", "-slo-error-rate", "0"}
+
+	code, out := gold(t, base...)
+	if code != 2 {
+		t.Fatalf("chaos without retries exited %d (want 2)\n%s", code, out)
+	}
+	var bare load.Report
+	if err := json.Unmarshal(out, &bare); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if bare.Chaos == nil || bare.Chaos.Injected.Errors+bare.Chaos.Injected.Resets == 0 {
+		t.Fatalf("chaos run injected nothing: %+v", bare.Chaos)
+	}
+
+	code, out = gold(t, append(base, "-retries", "4")...)
+	if code != 0 {
+		t.Fatalf("chaos with retries exited %d (want 0)\n%s", code, out)
+	}
+	var hardened load.Report
+	if err := json.Unmarshal(out, &hardened); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if hardened.Conformance == nil || hardened.Conformance.Mismatches != 0 {
+		t.Fatalf("conformance under chaos: %+v", hardened.Conformance)
+	}
+	if hardened.Resilience == nil || hardened.Resilience.Retries == 0 {
+		t.Fatalf("no retries recorded: %+v", hardened.Resilience)
+	}
+	if bare.StreamDigest != hardened.StreamDigest {
+		t.Fatalf("retries changed the request stream: %s vs %s", bare.StreamDigest, hardened.StreamDigest)
+	}
+}
+
 // TestFlagValidation covers CLI rejection paths.
 func TestFlagValidation(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -1,0 +1,190 @@
+// Package chaos is a deterministic L7 fault injector for the cdsd
+// serving path: the HTTP analogue of internal/faults, which plays the
+// same role for the simulated radio. A seeded Plan decides, for every
+// (request index, attempt) coordinate, whether that attempt suffers a
+// latency spike, a synthetic 5xx, a connection reset, or a slow-dribbled
+// response body — and the decision is a pure function of the plan seed
+// and the coordinates, so a chaos soak replays byte-identically at any
+// worker count, exactly like the repository's fault-plan experiments.
+//
+// Error and reset afflictions are drawn per index as bounded bursts: an
+// afflicted request fails its first 1..MaxBurst attempts and then
+// succeeds. This models transient backend brownouts and gives the chaos
+// gate its teeth — a client without retries is guaranteed to observe
+// failures, while a client whose retry budget exceeds MaxBurst is
+// guaranteed to ride every burst out.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"pacds/internal/xrand"
+)
+
+// chaosSalt isolates the chaos fate stream from the repository's other
+// xrand.Mix consumers (experiment cells, load workload, backoff jitter).
+const chaosSalt uint64 = 0xc4a05fa7e5a17000
+
+// Config parameterizes a chaos plan. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision in the plan.
+	Seed uint64
+	// LatencyP is the per-attempt probability of an injected latency
+	// spike, uniform in (0, MaxLatency].
+	LatencyP float64 `json:"latency_p"`
+	// MaxLatency bounds injected latency (default 100ms when LatencyP>0).
+	MaxLatency time.Duration `json:"-"`
+	// ErrorP is the per-index probability that a request is afflicted
+	// with a 5xx burst: its first 1..MaxBurst attempts receive synthetic
+	// 500/502/503 responses.
+	ErrorP float64 `json:"error_p"`
+	// ResetP is the per-index probability of a connection-reset burst:
+	// the first 1..MaxBurst attempts fail with a transport-level reset.
+	ResetP float64 `json:"reset_p"`
+	// MaxBurst bounds burst lengths (default 2). A retrying client with
+	// more than MaxBurst retries always outlasts a burst.
+	MaxBurst int `json:"max_burst"`
+	// SlowBodyP is the per-attempt probability that the response body is
+	// dribbled through a throttled reader instead of returned at once.
+	SlowBodyP float64 `json:"slow_body_p"`
+	// Start is the first request index eligible for injection, mirroring
+	// the load harness's FaultStart gate.
+	Start int `json:"start,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 100 * time.Millisecond
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"latency", c.LatencyP}, {"error", c.ErrorP}, {"reset", c.ResetP}, {"slow-body", c.SlowBodyP}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MaxLatency < 0 {
+		return fmt.Errorf("chaos: negative max latency %v", c.MaxLatency)
+	}
+	if c.MaxBurst < 0 {
+		return fmt.Errorf("chaos: negative max burst %d", c.MaxBurst)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("chaos: negative start index %d", c.Start)
+	}
+	return nil
+}
+
+// Fate is the injected outcome of one delivery attempt. The zero Fate is
+// a clean pass-through.
+type Fate struct {
+	// Latency is injected before the attempt reaches the backend.
+	Latency time.Duration
+	// Status, when nonzero, replaces the attempt with a synthetic
+	// response of this 5xx status; the backend is never contacted.
+	Status int
+	// Reset fails the attempt with a connection-reset transport error.
+	Reset bool
+	// SlowBody dribbles the (real) response body through a throttled
+	// reader.
+	SlowBody bool
+}
+
+// Zero reports whether the fate injects nothing.
+func (f Fate) Zero() bool {
+	return f.Latency == 0 && f.Status == 0 && !f.Reset && !f.SlowBody
+}
+
+// Plan is an immutable, deterministic chaos oracle. Safe for concurrent
+// readers.
+type Plan struct {
+	cfg Config
+}
+
+// NewPlan validates cfg and builds a plan.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{cfg: cfg.withDefaults()}, nil
+}
+
+// Config returns the plan's (normalized) configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Zero reports whether the plan injects no faults at all.
+func (p *Plan) Zero() bool {
+	return p.cfg.LatencyP == 0 && p.cfg.ErrorP == 0 && p.cfg.ResetP == 0 && p.cfg.SlowBodyP == 0
+}
+
+// rng derives an independent stream for one decision kind at one
+// coordinate, so decisions are independent of query order.
+func (p *Plan) rng(kind uint64, index, attempt int) *xrand.RNG {
+	return xrand.New(xrand.Mix(p.cfg.Seed, chaosSalt, kind, uint64(index), uint64(attempt)))
+}
+
+// burst returns the per-index burst length for one affliction kind: 0
+// when the index is unafflicted, otherwise 1..MaxBurst attempts fail.
+func (p *Plan) burst(kind uint64, index int, prob float64) int {
+	if prob == 0 {
+		return 0
+	}
+	r := p.rng(kind, index, 0)
+	if r.Float64() >= prob {
+		return 0
+	}
+	return 1 + r.Intn(p.cfg.MaxBurst)
+}
+
+// Attempt returns the fate of delivery attempt (0-based) of request
+// index. It is a pure function of (plan config, index, attempt).
+func (p *Plan) Attempt(index, attempt int) Fate {
+	if index < p.cfg.Start {
+		return Fate{}
+	}
+	var f Fate
+	// Resets take precedence over synthetic errors when both bursts
+	// cover the attempt; both are drawn so the schedules stay
+	// order-independent.
+	resetBurst := p.burst(1, index, p.cfg.ResetP)
+	errBurst := p.burst(2, index, p.cfg.ErrorP)
+	switch {
+	case attempt < resetBurst:
+		f.Reset = true
+	case attempt < errBurst:
+		statuses := [...]int{500, 502, 503}
+		f.Status = statuses[p.rng(3, index, attempt).Intn(len(statuses))]
+	}
+	if p.cfg.LatencyP > 0 {
+		r := p.rng(4, index, attempt)
+		if r.Float64() < p.cfg.LatencyP {
+			f.Latency = time.Duration(1 + r.Intn(int(p.cfg.MaxLatency)))
+		}
+	}
+	if p.cfg.SlowBodyP > 0 && f.Status == 0 && !f.Reset {
+		if p.rng(5, index, attempt).Float64() < p.cfg.SlowBodyP {
+			f.SlowBody = true
+		}
+	}
+	return f
+}
+
+// MaxBurst returns the longest possible affliction burst: a client with
+// at least MaxBurst retries beyond the first attempt always outlasts
+// every injected burst.
+func (p *Plan) MaxBurst() int {
+	if p.cfg.ErrorP == 0 && p.cfg.ResetP == 0 {
+		return 0
+	}
+	return p.cfg.MaxBurst
+}

@@ -1,0 +1,315 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:       7,
+		LatencyP:   0.3,
+		MaxLatency: 2 * time.Millisecond,
+		ErrorP:     0.3,
+		ResetP:     0.2,
+		MaxBurst:   3,
+		SlowBodyP:  0.2,
+	}
+}
+
+// TestPlanDeterminism: fates are a pure function of (config, index,
+// attempt) — equal seeds replay identically, in any query order.
+func TestPlanDeterminism(t *testing.T) {
+	p1, err := NewPlan(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query p2 backwards to prove order independence.
+	const n, k = 200, 5
+	var forward, backward [n][k]Fate
+	for i := 0; i < n; i++ {
+		for a := 0; a < k; a++ {
+			forward[i][a] = p1.Attempt(i, a)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for a := k - 1; a >= 0; a-- {
+			backward[i][a] = p2.Attempt(i, a)
+		}
+	}
+	if forward != backward {
+		t.Fatal("same-seed plans produced different fate sequences")
+	}
+	// A different seed must actually change something.
+	cfg := testConfig()
+	cfg.Seed = 8
+	p3, _ := NewPlan(cfg)
+	diff := false
+	for i := 0; i < n && !diff; i++ {
+		if p3.Attempt(i, 0) != forward[i][0] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fates")
+	}
+}
+
+// TestPlanBurstsBounded: every affliction clears within MaxBurst
+// attempts, so a client with MaxBurst retries always ends on a clean
+// attempt — the invariant behind the chaos gate's "retries must pass".
+func TestPlanBurstsBounded(t *testing.T) {
+	p, err := NewPlan(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	afflicted := 0
+	for i := 0; i < 500; i++ {
+		if f := p.Attempt(i, 0); f.Status != 0 || f.Reset {
+			afflicted++
+		}
+		f := p.Attempt(i, p.MaxBurst())
+		if f.Status != 0 || f.Reset {
+			t.Fatalf("index %d still afflicted at attempt %d (max burst %d)", i, p.MaxBurst(), p.MaxBurst())
+		}
+	}
+	if afflicted == 0 {
+		t.Fatal("no afflicted indices in 500 draws at ErrorP+ResetP=0.5")
+	}
+}
+
+func TestPlanStartGate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Start = 100
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !p.Attempt(i, 0).Zero() {
+			t.Fatalf("index %d afflicted before Start %d", i, cfg.Start)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"latency-p": {LatencyP: 1.5},
+		"error-p":   {ErrorP: -0.1},
+		"reset-p":   {ResetP: 2},
+		"slow-p":    {SlowBodyP: -1},
+		"latency":   {MaxLatency: -time.Second},
+		"burst":     {MaxBurst: -1},
+		"start":     {Start: -1},
+	} {
+		if _, err := NewPlan(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if _, err := NewPlan(Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	p, _ := NewPlan(Config{})
+	if !p.Zero() || p.MaxBurst() != 0 {
+		t.Fatal("zero config is not a zero plan")
+	}
+}
+
+// chaosClient builds a transport around a live backend with sleeps
+// stubbed out, returning the transport and a request issuer.
+func chaosClient(t *testing.T, cfg Config, handler http.Handler) (*Transport, func(index int, path string) (*http.Response, error)) {
+	t.Helper()
+	backend := httptest.NewServer(handler)
+	t.Cleanup(backend.Close)
+	plan, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(plan, nil)
+	tr.sleep = func(context.Context, time.Duration) {}
+	client := &http.Client{Transport: tr}
+	return tr, func(index int, path string) (*http.Response, error) {
+		ctx := context.Background()
+		if index >= 0 {
+			ctx = WithIndex(ctx, index)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client.Do(req)
+	}
+}
+
+func TestTransportInjectsAndRecovers(t *testing.T) {
+	cfg := Config{Seed: 3, ErrorP: 1, MaxBurst: 2}
+	tr, do := chaosClient(t, cfg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	plan := tr.plan
+
+	// Every index is afflicted (ErrorP=1); attempts past the burst reach
+	// the backend. Walk one index through its schedule.
+	idx := 0
+	burst := 0
+	for a := 0; a < cfg.MaxBurst; a++ {
+		if plan.Attempt(idx, a).Status != 0 {
+			burst++
+		}
+	}
+	if burst == 0 {
+		t.Fatalf("index %d not afflicted with ErrorP=1", idx)
+	}
+	for a := 0; a < burst; a++ {
+		resp, err := do(idx, "/v1/compute")
+		if err != nil {
+			t.Fatalf("attempt %d: transport error %v", a, err)
+		}
+		if resp.StatusCode/100 != 5 {
+			t.Fatalf("attempt %d: status %d, want injected 5xx", a, resp.StatusCode)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("injected 503 missing Retry-After")
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if len(body) == 0 {
+			t.Fatal("injected error carries no JSON body")
+		}
+	}
+	resp, err := do(idx, "/v1/compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst attempt: status %d, want 200 from backend", resp.StatusCode)
+	}
+	if got := tr.Injected().Errors; int(got) != burst {
+		t.Fatalf("injected error count %d, want %d", got, burst)
+	}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	hits := 0
+	tr, do := chaosClient(t, Config{Seed: 1, ErrorP: 1, ResetP: 1}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	// Unindexed requests and non-API paths bypass injection entirely.
+	for _, c := range []struct {
+		index int
+		path  string
+	}{{-1, "/v1/compute"}, {5, "/metrics"}, {5, "/healthz"}} {
+		resp, err := do(c.index, c.path)
+		if err != nil {
+			t.Fatalf("index %d path %s: %v", c.index, c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("index %d path %s: status %d", c.index, c.path, resp.StatusCode)
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("backend hits = %d, want 3", hits)
+	}
+	if inj := tr.Injected(); inj != (Injected{}) {
+		t.Fatalf("pass-through requests injected faults: %+v", inj)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	cfg := Config{Seed: 11, ResetP: 1, MaxBurst: 1}
+	tr, do := chaosClient(t, cfg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	if _, err := do(42, "/v1/verify"); !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	resp, err := do(42, "/v1/verify") // burst length 1: retry lands
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := tr.Injected().Resets; got != 1 {
+		t.Fatalf("reset count %d, want 1", got)
+	}
+}
+
+func TestTransportSlowBody(t *testing.T) {
+	payload := make([]byte, 4096)
+	cfg := Config{Seed: 2, SlowBodyP: 1}
+	tr, do := chaosClient(t, cfg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	resp, err := do(0, "/v1/compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("slow body delivered %d bytes, want %d", len(body), len(payload))
+	}
+	if got := tr.Injected().SlowBodies; got != 1 {
+		t.Fatalf("slow-body count %d, want 1", got)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	plan, err := NewPlan(Config{Seed: 5, ErrorP: 1, MaxBurst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Middleware(plan, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(index int) int {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/compute", nil)
+		if index >= 0 {
+			req.Header.Set(IndexHeader, strconv.Itoa(index))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Headerless requests bypass injection.
+	if got := get(-1); got != http.StatusOK {
+		t.Fatalf("headerless request: status %d", got)
+	}
+	// An afflicted index serves its burst then recovers.
+	burst := 0
+	for a := 0; a < 2; a++ {
+		if plan.Attempt(9, a).Status != 0 {
+			burst++
+		}
+	}
+	for a := 0; a < burst; a++ {
+		if got := get(9); got/100 != 5 {
+			t.Fatalf("attempt %d: status %d, want 5xx", a, got)
+		}
+	}
+	if got := get(9); got != http.StatusOK {
+		t.Fatalf("post-burst: status %d, want 200", got)
+	}
+}

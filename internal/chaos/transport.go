@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrReset is the transport-level error of an injected connection reset.
+// The http.Client wraps it in a *url.Error, like a real peer reset.
+var ErrReset = errors.New("chaos: injected connection reset")
+
+// ctxKey is the context key carrying a request's stream index.
+type ctxKey struct{}
+
+// WithIndex tags ctx with the deterministic stream index of the request
+// about to be issued. The load harness sets it so chaos fates line up
+// with request indices at any worker count.
+func WithIndex(ctx context.Context, index int) context.Context {
+	return context.WithValue(ctx, ctxKey{}, index)
+}
+
+// IndexFrom returns the stream index from ctx, or -1 when untagged.
+func IndexFrom(ctx context.Context) int {
+	if v, ok := ctx.Value(ctxKey{}).(int); ok {
+		return v
+	}
+	return -1
+}
+
+// Injected counts the faults a Transport (or Middleware) has injected.
+type Injected struct {
+	Latency    uint64 `json:"latency"`
+	Errors     uint64 `json:"errors"`
+	Resets     uint64 `json:"resets"`
+	SlowBodies uint64 `json:"slow_bodies"`
+}
+
+// Transport is an http.RoundTripper that injects the plan's faults into
+// API requests (paths under /v1/). Requests whose context carries no
+// stream index (WithIndex) pass through untouched, so health probes and
+// metrics scrapes stay clean. Attempt numbers are assigned per index in
+// issue order: the first delivery of index i is attempt 0, its first
+// retry attempt 1, and so on — so a retry schedule meets a deterministic
+// fate sequence.
+type Transport struct {
+	base http.RoundTripper
+	plan *Plan
+
+	mu       sync.Mutex
+	attempts map[int]int
+
+	latency    atomic.Uint64
+	errs       atomic.Uint64
+	resets     atomic.Uint64
+	slowBodies atomic.Uint64
+
+	// sleep is the latency-injection hook; tests replace it to run
+	// without wall-clock delays.
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the plan's
+// fault injection.
+func NewTransport(plan *Plan, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:     base,
+		plan:     plan,
+		attempts: make(map[int]int),
+		sleep:    sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Injected returns a snapshot of the injected-fault counters.
+func (t *Transport) Injected() Injected {
+	return Injected{
+		Latency:    t.latency.Load(),
+		Errors:     t.errs.Load(),
+		Resets:     t.resets.Load(),
+		SlowBodies: t.slowBodies.Load(),
+	}
+}
+
+// nextAttempt claims the next attempt number of index.
+func (t *Transport) nextAttempt(index int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.attempts[index]
+	t.attempts[index] = a + 1
+	return a
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	index := IndexFrom(req.Context())
+	if index < 0 || !strings.HasPrefix(req.URL.Path, "/v1/") {
+		return t.base.RoundTrip(req)
+	}
+	fate := t.plan.Attempt(index, t.nextAttempt(index))
+	if fate.Latency > 0 {
+		t.latency.Add(1)
+		t.sleep(req.Context(), fate.Latency)
+		if err := req.Context().Err(); err != nil {
+			closeBody(req)
+			return nil, err
+		}
+	}
+	if fate.Reset {
+		t.resets.Add(1)
+		closeBody(req)
+		return nil, ErrReset
+	}
+	if fate.Status != 0 {
+		t.errs.Add(1)
+		closeBody(req)
+		return syntheticError(req, fate.Status), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err == nil && fate.SlowBody && resp.Body != nil {
+		t.slowBodies.Add(1)
+		resp.Body = &slowBody{rc: resp.Body, ctx: req.Context(), sleep: t.sleep}
+	}
+	return resp, err
+}
+
+// closeBody discharges the RoundTripper contract on paths that never
+// hand the request to the base transport.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// syntheticError fabricates the 5xx response of an injected fault, shaped
+// like a real cdsd error (JSON body, Retry-After on 503).
+func syntheticError(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"chaos: injected HTTP %d\"}\n", status)
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	if status == http.StatusServiceUnavailable {
+		h.Set("Retry-After", "0")
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// slowBody dribbles a response body: each read is capped at slowChunk
+// bytes and preceded by a slowPause, which stretches a response over
+// many small reads the way a congested link would.
+type slowBody struct {
+	rc    io.ReadCloser
+	ctx   context.Context
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+const (
+	slowChunk = 512
+	slowPause = 200 * time.Microsecond
+)
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.sleep(s.ctx, slowPause)
+	if len(p) > slowChunk {
+		p = p[:slowChunk]
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }
+
+// IndexHeader carries the stream index to server-side middleware.
+const IndexHeader = "X-Chaos-Index"
+
+// Middleware is the server-side injection point: it applies the plan's
+// fates to requests carrying an IndexHeader, ahead of next. Latency
+// spikes delay the handler, synthetic 5xx responses short-circuit it,
+// and resets abort the connection without a response
+// (http.ErrAbortHandler); slow bodies are a client-transport concern and
+// are not injected here. Requests without the header pass through.
+func Middleware(plan *Plan, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	attempts := make(map[int]int)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(r.Header.Get(IndexHeader))
+		if err != nil || idx < 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		attempt := attempts[idx]
+		attempts[idx] = attempt + 1
+		mu.Unlock()
+		fate := plan.Attempt(idx, attempt)
+		if fate.Latency > 0 {
+			sleepCtx(r.Context(), fate.Latency)
+		}
+		if fate.Reset {
+			panic(http.ErrAbortHandler)
+		}
+		if fate.Status != 0 {
+			if fate.Status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "0")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(fate.Status)
+			fmt.Fprintf(w, "{\"error\":\"chaos: injected HTTP %d\"}\n", fate.Status)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pacds/internal/cds"
+	"pacds/internal/chaos"
 	"pacds/internal/metrics"
 	"pacds/internal/server"
 )
@@ -66,6 +67,19 @@ type Options struct {
 	// against the in-process oracle (Sample defaults to 1: every one).
 	Conformance bool
 	Sample      int
+
+	// Chaos, when non-nil, wraps the HTTP transport in the deterministic
+	// L7 fault injector (internal/chaos). Requests are tagged with their
+	// stream index, so the injected fates — like the requests themselves —
+	// are a pure function of (seed, index) at any worker count. Probes and
+	// metrics scrapes bypass injection.
+	Chaos *chaos.Config
+	// Resilience, when non-nil, routes requests through a
+	// server.ResilientClient with this policy (retries, deterministic
+	// backoff, retry budget, circuit breaker, optional hedging). Nil means
+	// the raw non-retrying client — the configuration under which a chaos
+	// run is expected to fail its SLO gate.
+	Resilience *server.ResilienceConfig
 
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
@@ -124,13 +138,27 @@ func (o Options) Validate() error {
 	if o.FaultFraction < 0 || o.FaultFraction > 1 {
 		return fmt.Errorf("load: fault fraction %g outside [0,1]", o.FaultFraction)
 	}
+	if o.Chaos != nil {
+		if err := o.Chaos.Validate(); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	}
 	return nil
+}
+
+// apiClient is the request surface issue needs; both server.Client and
+// server.ResilientClient satisfy it.
+type apiClient interface {
+	Compute(ctx context.Context, req server.ComputeRequest) (*server.ComputeResponse, error)
+	Verify(ctx context.Context, req server.VerifyRequest) (*server.VerifyResponse, error)
+	Simulate(ctx context.Context, req server.SimulateRequest) (*server.SimulateResponse, error)
 }
 
 // endpointStats accumulates one endpoint's outcomes under the
 // collector's lock; latency lives in a lock-free histogram.
 type endpointStats struct {
 	requests, errors, timeouts, shed int
+	degraded                         int
 	status                           map[string]int
 	latency                          *metrics.Histogram
 }
@@ -160,7 +188,7 @@ func newCollector(reg *metrics.Registry) *collector {
 	return c
 }
 
-func (c *collector) record(endpoint string, err error, latency time.Duration) {
+func (c *collector) record(endpoint string, err error, latency time.Duration, degraded bool) {
 	ep := c.endpoints[endpoint]
 	ep.latency.Observe(latency.Seconds())
 	c.mu.Lock()
@@ -169,6 +197,9 @@ func (c *collector) record(endpoint string, err error, latency time.Duration) {
 	switch {
 	case err == nil:
 		ep.status["200"]++
+		if degraded {
+			ep.degraded++
+		}
 	default:
 		ep.errors++
 		var apiErr *server.APIError
@@ -220,7 +251,23 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 	// client-level timeout either — the per-request context governs.
 	transport := &http.Transport{}
 	defer transport.CloseIdleConnections()
-	client := server.NewClient(baseURL, &http.Client{Transport: transport})
+	var rt http.RoundTripper = transport
+	var chaosTr *chaos.Transport
+	if opts.Chaos != nil {
+		plan, err := chaos.NewPlan(*opts.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		chaosTr = chaos.NewTransport(plan, transport)
+		rt = chaosTr
+	}
+	client := server.NewClient(baseURL, &http.Client{Transport: rt})
+	var api apiClient = client
+	var resilient *server.ResilientClient
+	if opts.Resilience != nil {
+		resilient = server.NewResilientClient(client, *opts.Resilience)
+		api = resilient
+	}
 
 	var before metrics.Scrape
 	if opts.Scrape {
@@ -266,7 +313,7 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 						}
 					}
 				}
-				issue(ctx, client, col, opts, i)
+				issue(ctx, api, col, opts, i)
 			}
 		}()
 	}
@@ -284,6 +331,20 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 	}
 
 	report := assemble(opts, col, issued)
+	if chaosTr != nil {
+		report.Chaos = &ChaosReport{Seed: opts.Chaos.Seed, Injected: chaosTr.Injected()}
+	}
+	if resilient != nil {
+		st := resilient.Stats()
+		report.Resilience = &ResilienceReport{
+			Calls:         st.Calls,
+			Retries:       st.Retries,
+			Hedges:        st.Hedges,
+			BudgetDenied:  st.BudgetDenied,
+			BreakerDenied: st.BreakerDenied,
+			BreakerTrips:  st.BreakerTrips,
+		}
+	}
 	if opts.IncludeTiming {
 		report.Timing = &TimingReport{
 			DurationSeconds: elapsed.Seconds(),
@@ -305,10 +366,13 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 
 // issue sends request i and records its outcome (and, when sampled, its
 // conformance verdict).
-func issue(ctx context.Context, client *server.Client, col *collector, opts Options, i int) {
+func issue(ctx context.Context, client apiClient, col *collector, opts Options, i int) {
 	req := Generate(opts, i)
 	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
+	if opts.Chaos != nil {
+		rctx = chaos.WithIndex(rctx, i)
+	}
 
 	var resp any
 	var err error
@@ -322,7 +386,11 @@ func issue(ctx context.Context, client *server.Client, col *collector, opts Opti
 		resp, err = client.Simulate(rctx, *req.Simulate)
 	}
 	latency := time.Since(t0)
-	col.record(req.Endpoint, err, latency)
+	degraded := false
+	if cr, ok := resp.(*server.ComputeResponse); ok && cr != nil {
+		degraded = cr.Degraded
+	}
+	col.record(req.Endpoint, err, latency, degraded)
 	if err == nil && opts.Conformance && i%opts.Sample == 0 {
 		col.conform(req, check(req, resp))
 	}
@@ -354,6 +422,7 @@ func assemble(opts Options, col *collector, issued int) *Report {
 			Errors:       ep.errors,
 			Timeouts:     ep.timeouts,
 			Shed:         ep.shed,
+			Degraded:     ep.degraded,
 			StatusCounts: ep.status,
 		}
 		if opts.IncludeTiming && ep.requests > 0 {
@@ -397,21 +466,24 @@ func scrape(ctx context.Context, client *server.Client) (metrics.Scrape, error) 
 	return metrics.ParseText(strings.NewReader(text))
 }
 
-// cacheDelta diffs the cache counters across the run.
+// cacheDelta diffs the cache counters across the run. Shed and degraded
+// are labeled per endpoint on the server, so their family sums are
+// diffed.
 func cacheDelta(before, after metrics.Scrape) *CacheReport {
-	delta := func(name string) uint64 {
-		b := before.Value(name)
-		a := after.Value(name)
+	delta := func(b, a float64) uint64 {
 		if a < b {
 			return 0 // server restarted mid-run; a delta is meaningless
 		}
 		return uint64(a - b)
 	}
+	value := func(name string) uint64 { return delta(before.Value(name), after.Value(name)) }
+	sum := func(name string) uint64 { return delta(before.Sum(name), after.Sum(name)) }
 	c := &CacheReport{
-		Hits:      delta("cdsd_cache_hits_total"),
-		Misses:    delta("cdsd_cache_misses_total"),
-		Coalesced: delta("cdsd_coalesced_total"),
-		Shed:      delta("cdsd_shed_total"),
+		Hits:      value("cdsd_cache_hits_total"),
+		Misses:    value("cdsd_cache_misses_total"),
+		Coalesced: value("cdsd_coalesced_total"),
+		Shed:      sum("cdsd_shed_total"),
+		Degraded:  sum("cdsd_degraded_total"),
 	}
 	if lookups := c.Hits + c.Misses; lookups > 0 {
 		c.HitRatio = float64(c.Hits) / float64(lookups)

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"pacds/internal/chaos"
+	"pacds/internal/resilience"
 	"pacds/internal/server"
 )
 
@@ -237,6 +239,67 @@ func TestSoakMode(t *testing.T) {
 	}
 	if total != report.Requests {
 		t.Fatalf("endpoint sum %d != reported requests %d", total, report.Requests)
+	}
+}
+
+// chaosTestConfig afflicts roughly half the stream with bounded bursts.
+func chaosTestConfig() *chaos.Config {
+	return &chaos.Config{Seed: 9, ErrorP: 0.35, ResetP: 0.15, MaxBurst: 2}
+}
+
+// retryPolicy outlasts every chaos burst: MaxBurst failures per index,
+// MaxAttempts-1 = 3 retries. The breaker threshold is raised out of
+// reach and the budget disabled so the run's outcome is a pure function
+// of the seeds.
+func retryPolicy() *server.ResilienceConfig {
+	return &server.ResilienceConfig{
+		MaxAttempts: 4,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 9},
+		Breaker:     resilience.BreakerConfig{FailureThreshold: 1 << 30},
+		RetryBudget: -1,
+	}
+}
+
+// TestRunChaosGate locks down the chaos harness contract: the same
+// seeded fault plan deterministically fails a zero-error SLO without
+// retries and passes it with retries enabled.
+func TestRunChaosGate(t *testing.T) {
+	opts := testOptions()
+	opts.Conformance = true
+	opts.Chaos = chaosTestConfig()
+	opts.SLO = &SLO{MaxErrorRate: 0}
+
+	// Without retries: bounded bursts must surface as request errors.
+	bare, err := Run(context.Background(), startServer(t, server.Config{}).URL, opts)
+	if err != nil {
+		t.Fatalf("Run without retries: %v", err)
+	}
+	if bare.Chaos == nil || bare.Chaos.Injected.Errors+bare.Chaos.Injected.Resets == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", bare.Chaos)
+	}
+	if bare.SLO == nil || bare.SLO.Pass {
+		t.Fatalf("zero-error SLO passed without retries: %+v", bare.SLO)
+	}
+
+	// With retries: every burst is outlasted, the gate passes, and the
+	// surviving responses still conform to the oracle.
+	opts.Resilience = retryPolicy()
+	hardened, err := Run(context.Background(), startServer(t, server.Config{}).URL, opts)
+	if err != nil {
+		t.Fatalf("Run with retries: %v", err)
+	}
+	if hardened.SLO == nil || !hardened.SLO.Pass {
+		t.Fatalf("zero-error SLO failed with retries: %+v", hardened.SLO)
+	}
+	if hardened.Conformance.Mismatches != 0 {
+		t.Fatalf("conformance mismatches under chaos: %+v", hardened.Conformance.Details)
+	}
+	if hardened.Resilience == nil || hardened.Resilience.Retries == 0 {
+		t.Fatalf("retrying run recorded no retries: %+v", hardened.Resilience)
+	}
+	// The stream itself is untouched by the fault layer.
+	if bare.StreamDigest != hardened.StreamDigest {
+		t.Fatalf("chaos changed the request stream: %s vs %s", bare.StreamDigest, hardened.StreamDigest)
 	}
 }
 

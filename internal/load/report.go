@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"pacds/internal/chaos"
 )
 
 // Report is the machine-readable outcome of a load run (the LOAD_*.json
@@ -34,8 +36,28 @@ type Report struct {
 
 	Conformance *ConformanceReport `json:"conformance,omitempty"`
 	Cache       *CacheReport       `json:"cache,omitempty"`
+	Chaos       *ChaosReport       `json:"chaos,omitempty"`
+	Resilience  *ResilienceReport  `json:"resilience,omitempty"`
 	SLO         *SLOResult         `json:"slo,omitempty"`
 	Timing      *TimingReport      `json:"timing,omitempty"`
+}
+
+// ChaosReport records the deterministic fault injection of a chaos run.
+type ChaosReport struct {
+	Seed     uint64         `json:"seed"`
+	Injected chaos.Injected `json:"injected"`
+}
+
+// ResilienceReport snapshots the resilient client's counters after the
+// run: how much retrying, hedging, and admission control the workload
+// actually exercised.
+type ResilienceReport struct {
+	Calls         uint64 `json:"calls"`
+	Retries       uint64 `json:"retries"`
+	Hedges        uint64 `json:"hedges,omitempty"`
+	BudgetDenied  uint64 `json:"budget_denied,omitempty"`
+	BreakerDenied uint64 `json:"breaker_denied,omitempty"`
+	BreakerTrips  uint64 `json:"breaker_trips,omitempty"`
 }
 
 // EndpointReport aggregates per-endpoint outcomes.
@@ -47,6 +69,9 @@ type EndpointReport struct {
 	Timeouts int `json:"timeouts"`
 	// Shed counts 503 load-shedding refusals (a subset of Errors).
 	Shed int `json:"shed"`
+	// Degraded counts successful responses served from stale cache under
+	// brownout (a subset of the 200s).
+	Degraded int `json:"degraded,omitempty"`
 	// StatusCounts keys HTTP status codes ("200", "400", ...) plus
 	// "transport" for connection-level failures.
 	StatusCounts map[string]int `json:"status_counts"`
@@ -96,6 +121,7 @@ type CacheReport struct {
 	Misses    uint64  `json:"misses"`
 	Coalesced uint64  `json:"coalesced"`
 	Shed      uint64  `json:"shed"`
+	Degraded  uint64  `json:"degraded,omitempty"`
 	HitRatio  float64 `json:"hit_ratio"`
 }
 

@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"time"
+
+	"pacds/internal/xrand"
+)
+
+// backoffSalt isolates the backoff jitter stream from the repository's
+// other xrand.Mix consumers (experiment cells, load workload, chaos).
+const backoffSalt uint64 = 0xbacc0ff5eed0f0f0
+
+// Backoff computes exponential retry delays with deterministic seeded
+// jitter. The zero value is usable: withDefaults supplies serving
+// defaults (50ms base, 5s cap, factor 2, half-jitter).
+//
+// Delay is a pure function of (Seed, call, attempt): there is no hidden
+// RNG state, so any interleaving of concurrent calls sees the same
+// schedule, and two Backoffs with equal fields replay byte-identically —
+// the property the chaos harness's golden runs rely on.
+type Backoff struct {
+	// Base is the pre-jitter delay of the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the pre-jitter delay (default 5s).
+	Max time.Duration
+	// Factor is the exponential growth rate (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the delay
+	// is uniform in [d*(1-Jitter), d]. Zero means the default 0.5; a
+	// negative value disables jitter entirely (exact exponential).
+	Jitter float64
+	// Seed roots the jitter stream.
+	Seed uint64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	switch {
+	case b.Jitter == 0:
+		b.Jitter = 0.5
+	case b.Jitter < 0:
+		b.Jitter = 0 // explicitly disabled
+	case b.Jitter > 1:
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Delay returns the pause before retry attempt (0-based: attempt 0 is
+// the delay between the first try and the first retry) of the call-th
+// logical call made through this policy.
+func (b Backoff) Delay(call uint64, attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		u := xrand.New(xrand.Mix(b.Seed, backoffSalt, call, uint64(attempt))).Float64()
+		d = d*(1-b.Jitter) + d*b.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// Schedule returns the first n delays of one call — the full retry
+// schedule a caller with n retries would sleep through. Exposed for
+// tests and tooling that assert schedule determinism.
+func (b Backoff) Schedule(call uint64, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = b.Delay(call, i)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterminism proves the headline property: two policies with
+// the same seed produce identical retry schedules, and the schedule is a
+// pure function of (call, attempt) — no hidden state, no call-order
+// dependence.
+func TestBackoffDeterminism(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	for call := uint64(0); call < 20; call++ {
+		sa := a.Schedule(call, 6)
+		sb := b.Schedule(call, 6)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("call %d attempt %d: schedules diverge: %v vs %v", call, i, sa[i], sb[i])
+			}
+		}
+	}
+	// Evaluating attempts out of order changes nothing.
+	if a.Delay(3, 4) != b.Schedule(3, 5)[4] {
+		t.Fatal("Delay is not a pure function of (call, attempt)")
+	}
+	// Different seeds produce different schedules.
+	c := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 43}
+	same := true
+	for i := 0; i < 6; i++ {
+		if c.Delay(0, i) != a.Delay(0, i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBackoffGrowthAndBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 7}
+	pre := func(attempt int) time.Duration {
+		d := 10 * time.Millisecond
+		for i := 0; i < attempt; i++ {
+			d *= 2
+			if d >= 200*time.Millisecond {
+				d = 200 * time.Millisecond
+				break
+			}
+		}
+		return d
+	}
+	for call := uint64(0); call < 10; call++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			d := b.Delay(call, attempt)
+			lo := time.Duration(float64(pre(attempt)) * 0.5)
+			hi := pre(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("call %d attempt %d: delay %v outside jitter window [%v, %v]", call, attempt, d, lo, hi)
+			}
+		}
+	}
+	// Negative Jitter disables randomization: the schedule is the exact
+	// exponential, capped.
+	exact := Backoff{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 160, 200, 200}
+	for i, w := range want {
+		if got := exact.Delay(0, i); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	d := Backoff{}.withDefaults()
+	if d.Base != 50*time.Millisecond || d.Max != 5*time.Second || d.Factor != 2 || d.Jitter != 0.5 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	// The zero value is directly usable.
+	if got := (Backoff{}).Delay(0, 0); got <= 0 || got > 50*time.Millisecond {
+		t.Fatalf("zero-value first delay %v outside (0, 50ms]", got)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		200: false, 400: false, 404: false, 422: false, 501: false,
+		429: true, 500: true, 502: true, 503: true, 504: true,
+	} {
+		if got := RetryableStatus(code); got != want {
+			t.Fatalf("RetryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}

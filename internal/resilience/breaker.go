@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+const (
+	// Closed: calls flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: calls fail fast until the open timeout elapses.
+	Open
+	// HalfOpen: a bounded budget of probe calls tests the backend.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value gets defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// half-open probes (default 1s).
+	OpenTimeout time.Duration
+	// ProbeBudget bounds concurrent half-open probes; calls beyond the
+	// budget fail fast with ErrOpen (default 1).
+	ProbeBudget int
+	// SuccessThreshold is the number of successful probes that close the
+	// breaker again (default 2).
+	SuccessThreshold int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 1
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker: closed → open after
+// FailureThreshold consecutive failures, open → half-open after
+// OpenTimeout, half-open → closed after SuccessThreshold successful
+// probes (or back to open on any probe failure). Safe for concurrent
+// use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock; tests advance it explicitly
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // successful probes while half-open
+	probes    int // in-flight half-open probes
+	openedAt  time.Time
+	trips     uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow asks to make one call. On admission it returns a done callback
+// that MUST be invoked exactly once with the call's outcome; otherwise
+// it returns ErrOpen and the call should fail fast. A done callback
+// issued in one state reports into whatever state the breaker is in when
+// it fires: probe outcomes only count while still half-open, and stale
+// closed-era outcomes only count while still closed, so slow in-flight
+// calls cannot re-trip or re-close a breaker that has since moved on.
+func (b *Breaker) Allow() (done func(ok bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		if b.now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return nil, ErrOpen
+		}
+		b.state = HalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+	probe := false
+	if b.state == HalfOpen {
+		if b.probes >= b.cfg.ProbeBudget {
+			return nil, ErrOpen
+		}
+		b.probes++
+		probe = true
+	}
+	var once sync.Once
+	return func(ok bool) { once.Do(func() { b.report(probe, ok) }) }, nil
+}
+
+func (b *Breaker) report(probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		if b.probes > 0 {
+			b.probes--
+		}
+		if b.state != HalfOpen {
+			return // the probe's half-open era already ended
+		}
+		if !ok {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = Closed
+			b.failures = 0
+		}
+		return
+	}
+	if b.state != Closed {
+		return // stale closed-era outcome
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.cfg.FailureThreshold {
+		b.trip()
+	}
+}
+
+// trip opens the breaker; the caller holds the lock.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+	b.trips++
+}
+
+// State returns the current state, resolving an expired open timeout to
+// HalfOpen the way the next Allow would.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,190 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker and bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := newFakeClock()
+	b.now = clk.now
+	return b, clk
+}
+
+// call runs one admitted call through the breaker, failing the test if
+// the breaker refuses it.
+func call(t *testing.T, b *Breaker, ok bool) {
+	t.Helper()
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow refused (state %v): %v", b.State(), err)
+	}
+	done(ok)
+}
+
+// TestBreakerTransitions walks the closed→open→half-open→closed state
+// machine with a scripted event sequence per case.
+func TestBreakerTransitions(t *testing.T) {
+	cfg := BreakerConfig{
+		FailureThreshold: 3,
+		OpenTimeout:      time.Second,
+		ProbeBudget:      1,
+		SuccessThreshold: 2,
+	}
+	type step struct {
+		event string // "ok", "fail", "advance", "refused"
+		want  State
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"stays closed under sparse failures", []step{
+			{"fail", Closed}, {"fail", Closed}, {"ok", Closed},
+			{"fail", Closed}, {"fail", Closed}, {"ok", Closed},
+		}},
+		{"opens at the failure threshold", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"refused", Open},
+		}},
+		{"probe failure reopens", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"advance", HalfOpen},
+			{"fail", Open},
+			{"refused", Open},
+		}},
+		{"probe successes close", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"advance", HalfOpen},
+			{"ok", HalfOpen},
+			{"ok", Closed},
+			{"fail", Closed}, // consecutive-failure counter was reset
+			{"fail", Closed},
+		}},
+		{"reopen restarts the open timeout", []step{
+			{"fail", Closed}, {"fail", Closed}, {"fail", Open},
+			{"advance", HalfOpen},
+			{"fail", Open},
+			{"refused", Open},
+			{"advance", HalfOpen},
+			{"ok", HalfOpen},
+			{"ok", Closed},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := newTestBreaker(cfg)
+			for i, st := range tc.steps {
+				switch st.event {
+				case "ok":
+					call(t, b, true)
+				case "fail":
+					call(t, b, false)
+				case "advance":
+					clk.advance(cfg.OpenTimeout)
+				case "refused":
+					if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+						t.Fatalf("step %d: Allow = %v, want ErrOpen", i, err)
+					}
+				}
+				if got := b.State(); got != st.want {
+					t.Fatalf("step %d (%s): state %v, want %v", i, st.event, got, st.want)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerProbeBudget exhausts the half-open probe budget: only
+// ProbeBudget calls are admitted concurrently; the rest fail fast.
+func TestBreakerProbeBudget(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenTimeout: time.Second, ProbeBudget: 2, SuccessThreshold: 3,
+	})
+	call(t, b, false) // trip
+	clk.advance(time.Second)
+
+	done1, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe 1 refused: %v", err)
+	}
+	done2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe 2 refused: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("probe 3 admitted beyond budget (err=%v)", err)
+	}
+	// Finishing a probe frees its budget slot.
+	done1(true)
+	done3, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe after freed slot refused: %v", err)
+	}
+	done3(true)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after 2 successes with threshold 3: %v", got)
+	}
+	done2(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 3 successes: %v, want closed", got)
+	}
+}
+
+// TestBreakerStaleOutcomes checks that outcomes reported from a previous
+// era do not corrupt the current state.
+func TestBreakerStaleOutcomes(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 2, OpenTimeout: time.Second, ProbeBudget: 1, SuccessThreshold: 1,
+	})
+	// A closed-era call is in flight when the breaker trips.
+	slow, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	call(t, b, false)
+	call(t, b, false)
+	if b.State() != Open {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	openedAt := clk.t
+	clk.advance(500 * time.Millisecond)
+	slow(false) // stale failure: must not restart the open window
+	clk.advance(500 * time.Millisecond)
+	if b.State() != HalfOpen {
+		t.Fatalf("open window extended by stale outcome (opened %v, now %v)", openedAt, clk.t)
+	}
+	// A probe that straddles a close must not double-close or panic.
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe(true)
+	probe(true) // second invocation is a no-op
+	if b.State() != Closed {
+		t.Fatalf("state %v, want closed", b.State())
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerDefaultsAndStateString(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.FailureThreshold != 5 || b.cfg.ProbeBudget != 1 || b.cfg.SuccessThreshold != 2 {
+		t.Fatalf("unexpected defaults: %+v", b.cfg)
+	}
+	for st, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(9): "invalid"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a client-side admission control for retries: each retry
+// spends one token, tokens refill at a steady rate, and when the bucket
+// is empty the retry is skipped and the last error stands. This caps the
+// load amplification a retrying client fleet can inflict on an already
+// struggling backend (a "retry budget"): first attempts are never
+// charged, so steady-state traffic flows untouched while retry storms
+// are bounded at the configured rate.
+type TokenBucket struct {
+	mu       sync.Mutex
+	capacity float64
+	tokens   float64
+	rate     float64 // tokens per second
+	last     time.Time
+	denied   uint64
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewTokenBucket returns a full bucket holding at most capacity tokens,
+// refilling at ratePerSec. Non-positive arguments get defaults (capacity
+// 10, rate 1/s).
+func NewTokenBucket(capacity, ratePerSec float64) *TokenBucket {
+	if capacity <= 0 {
+		capacity = 10
+	}
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	tb := &TokenBucket{capacity: capacity, tokens: capacity, rate: ratePerSec, now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// Allow takes one token, reporting whether the caller may proceed.
+func (tb *TokenBucket) Allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.capacity {
+		tb.tokens = tb.capacity
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		tb.denied++
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Denied returns how many admissions the bucket has refused.
+func (tb *TokenBucket) Denied() uint64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.denied
+}

@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketDrainAndRefill(t *testing.T) {
+	tb := NewTokenBucket(3, 2) // 3 tokens, 2/s refill
+	clk := newFakeClock()
+	tb.now = clk.now
+	tb.last = clk.now()
+
+	for i := 0; i < 3; i++ {
+		if !tb.Allow() {
+			t.Fatalf("allowance %d refused with tokens available", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket admitted a call")
+	}
+	if got := tb.Denied(); got != 1 {
+		t.Fatalf("denied = %d, want 1", got)
+	}
+	clk.advance(time.Second) // refills 2 tokens
+	if !tb.Allow() || !tb.Allow() {
+		t.Fatal("refilled tokens not granted")
+	}
+	if tb.Allow() {
+		t.Fatal("bucket over-refilled")
+	}
+	// Refill clamps at capacity.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow() {
+			t.Fatalf("post-clamp allowance %d refused", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("bucket exceeded capacity after long idle")
+	}
+}
+
+func TestTokenBucketDefaults(t *testing.T) {
+	tb := NewTokenBucket(0, 0)
+	if tb.capacity != 10 || tb.rate != 1 {
+		t.Fatalf("defaults: capacity %g rate %g", tb.capacity, tb.rate)
+	}
+}

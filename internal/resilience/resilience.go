@@ -1,0 +1,32 @@
+// Package resilience provides the client-side fault-handling primitives
+// the serving layer composes into a resilient call path: exponential
+// backoff with deterministic seeded jitter, a three-state circuit
+// breaker with a bounded half-open probe budget, and a token-bucket
+// retry budget that caps how much extra load retries may add.
+//
+// Determinism is a design requirement, matching the rest of the
+// repository: backoff jitter is a pure function of (seed, call, attempt)
+// via xrand.Mix, so two clients configured with the same seed produce
+// byte-identical retry schedules and seeded chaos tests replay exactly.
+// The breaker and the bucket take an injectable clock for the same
+// reason: their tests advance time explicitly instead of sleeping.
+package resilience
+
+import "errors"
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open (or
+// while the half-open probe budget is exhausted): the call should fail
+// fast without touching the backend.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// RetryableStatus reports whether an HTTP status is worth retrying.
+// Overload and transient upstream statuses (429, 500, 502, 503, 504)
+// are; everything else — including the other 4xx, which indicate the
+// request itself is wrong — is terminal.
+func RetryableStatus(code int) bool {
+	switch code {
+	case 429, 500, 502, 503, 504:
+		return true
+	}
+	return false
+}

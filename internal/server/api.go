@@ -99,6 +99,10 @@ type ComputeResponse struct {
 	// shared with a concurrent identical request.
 	Cached    bool `json:"cached"`
 	Coalesced bool `json:"coalesced"`
+	// Degraded marks a brownout response: the server was overloaded and
+	// served the most recent cached result (possibly stale) instead of
+	// shedding the request. Degraded implies Cached.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // VerifyRequest asks whether a gateway set is a CDS of the topology.
@@ -146,6 +150,21 @@ type PolicyInfo struct {
 	Name        string `json:"name"`
 	NeedsEnergy bool   `json:"needs_energy"`
 	Description string `json:"description"`
+}
+
+// ReadinessResponse is the body of /healthz/ready: whether the server
+// is accepting work, and the queue/brownout state behind that verdict.
+type ReadinessResponse struct {
+	// Status is "ready", "draining", or "saturated".
+	Status string `json:"status"`
+	// QueueDepth and QueueCapacity describe the worker-pool job queue;
+	// readiness requires depth < capacity.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Inflight is the number of requests currently being served.
+	Inflight int `json:"inflight"`
+	// Brownout lists the endpoints configured to degrade under overload.
+	Brownout []string `json:"brownout,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // lruCache is a fixed-capacity least-recently-used result cache. Values
@@ -11,41 +12,50 @@ import (
 // mutex around the map+list is all the synchronization needed. At serving
 // concurrency the critical section is two pointer moves — contention here
 // is far below the cost of one CDS computation.
+//
+// Entries carry their store time so the server can distinguish fresh
+// hits from stale ones: stale entries are normally recomputed, but they
+// remain in the cache as brownout inventory — under overload the server
+// may serve them flagged degraded rather than shed the request.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+	now   func() time.Time // injectable clock for staleness tests
 }
 
 type lruEntry struct {
 	key string
 	val any
+	at  time.Time
 }
 
 // newLRUCache returns a cache holding at most capacity entries.
 // capacity <= 0 disables caching (every Get misses, Add is a no-op).
 func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element), now: time.Now}
 }
 
-// get returns the cached value and marks it most recently used.
-func (c *lruCache) get(key string) (any, bool) {
+// get returns the cached value and its age, marking it most recently
+// used. The caller decides whether the age makes it fresh or stale.
+func (c *lruCache) get(key string) (val any, age time.Duration, ok bool) {
 	if c.cap <= 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
+	el, found := c.items[key]
+	if !found {
+		return nil, 0, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	e := el.Value.(*lruEntry)
+	return e.val, c.now().Sub(e.at), true
 }
 
-// add inserts or refreshes key, evicting the least recently used entry
-// when over capacity.
+// add inserts or refreshes key (resetting its age), evicting the least
+// recently used entry when over capacity.
 func (c *lruCache) add(key string, val any) {
 	if c.cap <= 0 {
 		return
@@ -53,11 +63,13 @@ func (c *lruCache) add(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val = val
+		e.at = c.now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val, at: c.now()})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

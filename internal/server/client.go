@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // Client is a typed HTTP client for a cdsd server. The zero value is not
-// usable; create with NewClient.
+// usable; create with NewClient. Client does not retry; wrap it in a
+// ResilientClient for retries, hedging, and circuit breaking.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -33,10 +35,33 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, zero when the
+	// response carried none. Retry loops should wait at least this long.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("cdsd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// parseRetryAfter reads a Retry-After header value: delay-seconds or an
+// HTTP-date. Unparsable or absent values yield zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
@@ -59,19 +84,34 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	// Drain whatever the handlers below leave unread (bounded, so a
+	// broken server cannot pin the connection) before closing: only a
+	// fully read body lets net/http return the connection to the keep-
+	// alive pool. This must happen on EVERY path out of call, including
+	// JSON decode errors.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode/100 != 2 {
 		var er errorResponse
 		msg := resp.Status
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cdsd: decode %s response: %w", path, err)
+	}
+	return nil
 }
 
 // Compute requests a CDS computation.
@@ -110,9 +150,27 @@ func (c *Client) Policies(ctx context.Context) ([]PolicyInfo, error) {
 	return resp, nil
 }
 
-// Health probes /healthz; nil means the server is up and accepting work.
+// Health probes /healthz (readiness); nil means the server is up and
+// accepting work.
 func (c *Client) Health(ctx context.Context) error {
 	return c.call(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Live probes liveness: nil means the process is up, even when it is
+// draining or refusing work.
+func (c *Client) Live(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/healthz/live", nil, nil)
+}
+
+// Ready probes readiness. A ready server returns its readiness report;
+// a server that is draining or saturated returns an *APIError with
+// status 503 whose message names the reason.
+func (c *Client) Ready(ctx context.Context) (*ReadinessResponse, error) {
+	var resp ReadinessResponse
+	if err := c.call(ctx, http.MethodGet, "/healthz/ready", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // MetricsText fetches the raw Prometheus exposition.

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"pacds/internal/resilience"
+)
+
+// ResilienceConfig parameterizes a ResilientClient. The zero value gets
+// serving defaults from withDefaults.
+type ResilienceConfig struct {
+	// MaxAttempts is the total number of tries per logical call,
+	// including the first (default 3; 1 disables retries entirely).
+	MaxAttempts int
+	// Backoff shapes the delay between attempts. Its Seed makes the
+	// jittered schedule deterministic — equal seeds replay identically.
+	Backoff resilience.Backoff
+	// Breaker parameterizes the shared circuit breaker guarding every
+	// call through this client.
+	Breaker resilience.BreakerConfig
+	// RetryBudget caps retry amplification: each retry (and each hedge)
+	// spends one token from a bucket of this capacity, refilling at
+	// RetryRefill tokens/sec. Zero means the defaults (10, 1/s); a
+	// negative budget disables admission control.
+	RetryBudget float64
+	// RetryRefill is the budget refill rate in tokens per second.
+	RetryRefill float64
+	// HedgeDelay launches a duplicate attempt when the first has not
+	// answered after this long; first result wins. Zero disables
+	// hedging. All cdsd endpoints are pure computations, hence
+	// idempotent and safe to hedge.
+	HedgeDelay time.Duration
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// ResilientStats is a point-in-time snapshot of a ResilientClient's
+// counters, for reports and tests.
+type ResilientStats struct {
+	Calls         uint64 // logical calls issued
+	Retries       uint64 // extra attempts after a retryable failure
+	Hedges        uint64 // duplicate attempts launched by the hedger
+	BudgetDenied  uint64 // retries/hedges skipped: token bucket empty
+	BreakerDenied uint64 // attempts refused fast: breaker open
+	BreakerTrips  uint64 // times the breaker opened
+}
+
+// ResilientClient wraps a Client with retries, deterministic backoff, a
+// circuit breaker, a retry budget, and optional hedging. It retries only
+// errors that plausibly heal (5xx, 429, transport resets), honors the
+// server's Retry-After hint when it exceeds the computed backoff, and
+// never retries terminal 4xx responses. Safe for concurrent use.
+type ResilientClient struct {
+	c       *Client
+	cfg     ResilienceConfig
+	breaker *resilience.Breaker
+	budget  *resilience.TokenBucket
+
+	calls         atomic.Uint64
+	retries       atomic.Uint64
+	hedges        atomic.Uint64
+	breakerDenied atomic.Uint64
+
+	sleep func(ctx context.Context, d time.Duration) error // injectable for tests
+}
+
+// NewResilientClient wraps c with the given resilience policy.
+func NewResilientClient(c *Client, cfg ResilienceConfig) *ResilientClient {
+	cfg = cfg.withDefaults()
+	rc := &ResilientClient{
+		c:       c,
+		cfg:     cfg,
+		breaker: resilience.NewBreaker(cfg.Breaker),
+		sleep:   sleepCtx,
+	}
+	if cfg.RetryBudget >= 0 {
+		rc.budget = resilience.NewTokenBucket(cfg.RetryBudget, cfg.RetryRefill)
+	}
+	return rc
+}
+
+// Unwrap returns the underlying non-retrying Client.
+func (rc *ResilientClient) Unwrap() *Client { return rc.c }
+
+// Stats snapshots the client's resilience counters.
+func (rc *ResilientClient) Stats() ResilientStats {
+	st := ResilientStats{
+		Calls:         rc.calls.Load(),
+		Retries:       rc.retries.Load(),
+		Hedges:        rc.hedges.Load(),
+		BreakerDenied: rc.breakerDenied.Load(),
+		BreakerTrips:  rc.breaker.Trips(),
+	}
+	if rc.budget != nil {
+		st.BudgetDenied = rc.budget.Denied()
+	}
+	return st
+}
+
+// retryable reports whether err may heal on retry: retryable HTTP
+// statuses, transport-level failures, and truncated responses qualify;
+// terminal API responses (4xx) and a dead parent context do not.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return resilience.RetryableStatus(apiErr.Status)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // connection resets, EOFs, decode truncation
+}
+
+// backendFailure reports whether err should count against the circuit
+// breaker: a terminal 4xx proves the backend is up and healthy, so only
+// transport errors and retryable statuses count.
+func backendFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return resilience.RetryableStatus(apiErr.Status)
+	}
+	return true
+}
+
+// retryAfterOf extracts the server's Retry-After hint, zero when absent.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do runs one logical call through the retry loop. attempt must be safe
+// to invoke multiple times concurrently (hedging runs two at once); the
+// Client methods satisfy this by allocating a fresh response per call.
+func (rc *ResilientClient) do(ctx context.Context, attempt func(ctx context.Context) (any, error)) (any, error) {
+	call := rc.calls.Add(1) - 1
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			if rc.budget != nil && !rc.budget.Allow() {
+				break // budget exhausted: the last error stands
+			}
+			rc.retries.Add(1)
+			delay := rc.cfg.Backoff.Delay(call, a-1)
+			if ra := retryAfterOf(lastErr); ra > delay {
+				delay = ra
+			}
+			if err := rc.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+		}
+		done, berr := rc.breaker.Allow()
+		if berr != nil {
+			// Open breaker: fail fast without touching the backend, but
+			// keep looping — the open window may expire before the
+			// attempts run out.
+			rc.breakerDenied.Add(1)
+			lastErr = berr
+			continue
+		}
+		v, err := rc.attempt(ctx, attempt)
+		done(!backendFailure(err))
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt runs attempt once, or twice overlapped when hedging is on:
+// after HedgeDelay without an answer a duplicate launches and the first
+// result wins. A failed primary with a hedge still in flight waits for
+// the hedge rather than surfacing the error.
+func (rc *ResilientClient) attempt(ctx context.Context, attempt func(ctx context.Context) (any, error)) (any, error) {
+	if rc.cfg.HedgeDelay <= 0 {
+		return attempt(ctx)
+	}
+	type result struct {
+		v   any
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the loser
+	ch := make(chan result, 2)
+	run := func() {
+		v, err := attempt(ctx)
+		ch <- result{v, err}
+	}
+	outstanding := 1
+	go run()
+	timer := time.NewTimer(rc.cfg.HedgeDelay)
+	defer timer.Stop()
+	timerC := timer.C
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timerC:
+			timerC = nil // at most one hedge per attempt
+			if rc.budget == nil || rc.budget.Allow() {
+				rc.hedges.Add(1)
+				outstanding++
+				go run()
+			}
+		case r := <-ch:
+			if r.err == nil {
+				return r.v, nil
+			}
+			lastErr = r.err
+			timerC = nil // a failure is an answer; don't hedge after it
+			outstanding--
+			if outstanding == 0 {
+				return nil, lastErr
+			}
+		}
+	}
+}
+
+// Compute is Client.Compute with the resilience policy applied.
+func (rc *ResilientClient) Compute(ctx context.Context, req ComputeRequest) (*ComputeResponse, error) {
+	v, err := rc.do(ctx, func(ctx context.Context) (any, error) { return rc.c.Compute(ctx, req) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ComputeResponse), nil
+}
+
+// Verify is Client.Verify with the resilience policy applied.
+func (rc *ResilientClient) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse, error) {
+	v, err := rc.do(ctx, func(ctx context.Context) (any, error) { return rc.c.Verify(ctx, req) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*VerifyResponse), nil
+}
+
+// Simulate is Client.Simulate with the resilience policy applied.
+func (rc *ResilientClient) Simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	v, err := rc.do(ctx, func(ctx context.Context) (any, error) { return rc.c.Simulate(ctx, req) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SimulateResponse), nil
+}
+
+// Policies is Client.Policies with the resilience policy applied.
+func (rc *ResilientClient) Policies(ctx context.Context) ([]PolicyInfo, error) {
+	v, err := rc.do(ctx, func(ctx context.Context) (any, error) { return rc.c.Policies(ctx) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]PolicyInfo), nil
+}
+
+// Health, Live, Ready, and MetricsText pass straight through: probes and
+// scrapes measure the server as it is and must not be masked by retries.
+func (rc *ResilientClient) Health(ctx context.Context) error { return rc.c.Health(ctx) }
+
+// Live passes through to Client.Live.
+func (rc *ResilientClient) Live(ctx context.Context) error { return rc.c.Live(ctx) }
+
+// Ready passes through to Client.Ready.
+func (rc *ResilientClient) Ready(ctx context.Context) (*ReadinessResponse, error) {
+	return rc.c.Ready(ctx)
+}
+
+// MetricsText passes through to Client.MetricsText.
+func (rc *ResilientClient) MetricsText(ctx context.Context) (string, error) {
+	return rc.c.MetricsText(ctx)
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pacds/internal/resilience"
+)
+
+// flakyBackend serves /v1/policies, failing the first failN requests with
+// status failStatus (plus optional Retry-After), then succeeding.
+func flakyBackend(failN int, failStatus int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if int(n) <= failN {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeJSON(w, failStatus, errorResponse{Error: "injected"})
+			return
+		}
+		writeJSON(w, http.StatusOK, []PolicyInfo{{Name: "ID"}})
+	})
+	return httptest.NewServer(h), &hits
+}
+
+// newTestResilient wraps a client for backend with sleeps recorded, not
+// slept.
+func newTestResilient(t *testing.T, url string, cfg ResilienceConfig) (*ResilientClient, *[]time.Duration) {
+	t.Helper()
+	rc := NewResilientClient(NewClient(url, nil), cfg)
+	var mu sync.Mutex
+	slept := &[]time.Duration{}
+	rc.sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		*slept = append(*slept, d)
+		mu.Unlock()
+		return nil
+	}
+	return rc, slept
+}
+
+func TestResilientRetriesUntilSuccess(t *testing.T) {
+	backend, hits := flakyBackend(2, http.StatusServiceUnavailable, "")
+	defer backend.Close()
+	rc, slept := newTestResilient(t, backend.URL, ResilienceConfig{MaxAttempts: 4})
+	got, err := rc.Policies(context.Background())
+	if err != nil {
+		t.Fatalf("call failed despite retries: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "ID" {
+		t.Fatalf("unexpected result %+v", got)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("backend hits = %d, want 3 (2 failures + success)", n)
+	}
+	if st := rc.Stats(); st.Retries != 2 || st.Calls != 1 {
+		t.Fatalf("stats = %+v, want 2 retries on 1 call", st)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestResilientTerminal4xxNotRetried(t *testing.T) {
+	backend, hits := flakyBackend(100, http.StatusBadRequest, "")
+	defer backend.Close()
+	rc, _ := newTestResilient(t, backend.URL, ResilienceConfig{MaxAttempts: 5})
+	_, err := rc.Policies(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("backend hits = %d, want 1 (400 is terminal)", n)
+	}
+}
+
+func TestResilientHonorsRetryAfter(t *testing.T) {
+	backend, _ := flakyBackend(1, http.StatusServiceUnavailable, "3")
+	defer backend.Close()
+	rc, slept := newTestResilient(t, backend.URL, ResilienceConfig{
+		MaxAttempts: 2,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	if _, err := rc.Policies(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 3*time.Second {
+		t.Fatalf("slept %v, want the server's 3s Retry-After over the 1ms backoff", *slept)
+	}
+}
+
+func TestResilientRetryBudgetBounds(t *testing.T) {
+	backend, hits := flakyBackend(100, http.StatusServiceUnavailable, "")
+	defer backend.Close()
+	rc, _ := newTestResilient(t, backend.URL, ResilienceConfig{
+		MaxAttempts: 6,
+		RetryBudget: 2,
+		RetryRefill: 1e-9, // effectively no refill within the test
+		Breaker:     resilience.BreakerConfig{FailureThreshold: 1 << 30},
+	})
+	_, err := rc.Policies(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	// 1 first attempt + 2 budgeted retries; the other 3 were denied.
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("backend hits = %d, want 3 (budget capacity 2)", n)
+	}
+	if st := rc.Stats(); st.BudgetDenied == 0 {
+		t.Fatalf("stats = %+v, want budget denials", st)
+	}
+}
+
+func TestResilientBreakerFailsFast(t *testing.T) {
+	backend, hits := flakyBackend(100, http.StatusServiceUnavailable, "")
+	defer backend.Close()
+	rc, _ := newTestResilient(t, backend.URL, ResilienceConfig{
+		MaxAttempts: 1,
+		Breaker:     resilience.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Hour},
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := rc.Policies(context.Background()); err == nil {
+			t.Fatal("flaky backend call succeeded")
+		}
+	}
+	// Breaker is open: the next call must not touch the backend.
+	before := hits.Load()
+	_, err := rc.Policies(context.Background())
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker still reached the backend")
+	}
+	if st := rc.Stats(); st.BreakerTrips != 1 || st.BreakerDenied == 0 {
+		t.Fatalf("stats = %+v, want 1 trip and >0 denials", st)
+	}
+}
+
+func TestResilientHedgeWinsOverSlowPrimary(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Primary: stall until the test ends (the hedge should win).
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, []PolicyInfo{{Name: "ID"}})
+	}))
+	defer backend.Close()
+	defer close(release)
+
+	rc := NewResilientClient(NewClient(backend.URL, nil), ResilienceConfig{
+		MaxAttempts: 1,
+		HedgeDelay:  5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := rc.Policies(ctx)
+	if err != nil {
+		t.Fatalf("hedged call failed: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("unexpected result %+v", got)
+	}
+	if st := rc.Stats(); st.Hedges != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hedge", st)
+	}
+}
+
+func TestResilientConcurrentDeterministicSchedules(t *testing.T) {
+	// Two clients with equal backoff seeds produce identical retry
+	// schedules call-for-call, regardless of wall-clock: the delays are
+	// pure functions of (seed, call, attempt).
+	b := resilience.Backoff{Seed: 42}
+	for call := uint64(0); call < 10; call++ {
+		s1 := b.Schedule(call, 4)
+		s2 := resilience.Backoff{Seed: 42}.Schedule(call, 4)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("call %d attempt %d: %v != %v", call, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+func TestClientDecodeErrorDrainsBody(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"truncated`) // malformed JSON
+	}))
+	defer backend.Close()
+	c := NewClient(backend.URL, nil)
+	_, err := c.Policies(context.Background())
+	if err == nil {
+		t.Fatal("malformed body decoded successfully")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("decode failure surfaced as APIError: %v", err)
+	}
+	// The connection must come back to the pool despite the decode error:
+	// a second call over the same client works.
+	if _, err := c.Policies(context.Background()); err == nil {
+		t.Fatal("second call unexpectedly decoded")
+	}
+}

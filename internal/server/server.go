@@ -62,6 +62,22 @@ type Config struct {
 	EnergyQuantum float64
 	// MaxNodes rejects larger request topologies (default 100000).
 	MaxNodes int
+	// CacheTTL bounds how long a cached compute result is served as a
+	// normal (fresh) hit; older entries are recomputed on access. Zero
+	// means entries never expire. Stale entries stay in the cache either
+	// way — they are the brownout inventory.
+	CacheTTL time.Duration
+	// BrownoutEndpoints lists endpoints that degrade under overload
+	// instead of shedding: when the worker queue is full, the endpoint
+	// serves the most recent cached result for the request — stale or
+	// not — flagged degraded:true. Only endpoints with a result cache
+	// can actually degrade (today: "compute"); names without one are
+	// accepted and ignored, so policy can be set fleet-wide.
+	BrownoutEndpoints []string
+	// ShedRetryAfter is the Retry-After hint attached to 503 responses
+	// (load sheds, drain refusals, saturation), rounded up to whole
+	// seconds on the wire (default 1s).
+	ShedRetryAfter time.Duration
 
 	// TestDelay artificially lengthens every computation; tests (both in
 	// this package and in the load harness) use it to hold requests in
@@ -96,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 100000
 	}
+	if c.CacheTTL < 0 {
+		c.CacheTTL = 0
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
 	return c
 }
 
@@ -117,14 +139,15 @@ type Server struct {
 	inflight sync.WaitGroup
 	draining bool
 
-	cache  *lruCache
-	flight *flightGroup
+	cache    *lruCache
+	flight   *flightGroup
+	brownout map[string]bool // endpoints serving degraded responses under overload
 
 	reg        *metrics.Registry
 	mHits      *metrics.Counter
 	mMisses    *metrics.Counter
 	mCoalesced *metrics.Counter
-	mShed      *metrics.Counter
+	mDegraded  *metrics.Counter
 	gQueue     *metrics.Gauge
 	gInflight  *metrics.Gauge
 	gEntries   *metrics.Gauge
@@ -148,17 +171,21 @@ var (
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		jobs:   make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		reg:    metrics.NewRegistry(),
+		cfg:      cfg,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		cache:    newLRUCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		brownout: make(map[string]bool),
+		reg:      metrics.NewRegistry(),
+	}
+	for _, ep := range cfg.BrownoutEndpoints {
+		s.brownout[ep] = true
 	}
 	s.mHits = s.reg.Counter("cdsd_cache_hits_total", "compute results served from the LRU cache")
 	s.mMisses = s.reg.Counter("cdsd_cache_misses_total", "compute requests that ran the full pipeline")
 	s.mCoalesced = s.reg.Counter("cdsd_coalesced_total", "compute requests coalesced onto an identical in-flight computation")
-	s.mShed = s.reg.Counter("cdsd_shed_total", "requests refused because the job queue was full")
+	s.mDegraded = s.reg.Counter(`cdsd_degraded_total{endpoint="compute"}`, "brownout responses served from stale cache instead of shedding")
 	s.gQueue = s.reg.Gauge("cdsd_queue_depth", "jobs waiting for a worker")
 	s.gInflight = s.reg.Gauge("cdsd_inflight_requests", "requests currently being served")
 	s.gEntries = s.reg.Gauge("cdsd_cache_entries", "entries in the result cache")
@@ -173,7 +200,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulate", s.endpoint("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/verify", s.endpoint("verify", s.handleVerify))
 	s.mux.HandleFunc("GET /v1/policies", s.endpoint("policies", s.handlePolicies))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleReady) // back-compat: readiness
+	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -219,8 +248,7 @@ func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error
 	case <-s.quit:
 		return nil, errDraining
 	default:
-		s.mShed.Inc()
-		return nil, errOverloaded
+		return nil, errOverloaded // the endpoint wrapper counts the shed
 	}
 	select {
 	case <-j.done:
@@ -297,15 +325,19 @@ func (s *Server) Close() error {
 
 // endpoint wraps an API handler with the serving cross-cutting concerns:
 // drain refusal, in-flight accounting, request deadline, body limits, and
-// per-endpoint request/error/latency metrics.
+// per-endpoint request/error/latency/shed metrics. Every 503 it writes
+// carries a Retry-After hint so well-behaved clients back off instead of
+// hammering an overloaded server.
 func (s *Server) endpoint(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
 	reqs := s.reg.Counter(fmt.Sprintf("cdsd_requests_total{endpoint=%q}", name), "API requests by endpoint")
 	errs := s.reg.Counter(fmt.Sprintf("cdsd_errors_total{endpoint=%q}", name), "API error responses by endpoint")
+	shed := s.reg.Counter(fmt.Sprintf("cdsd_shed_total{endpoint=%q}", name), "requests refused because the job queue was full")
 	lat := s.reg.Histogram(fmt.Sprintf("cdsd_service_seconds{endpoint=%q}", name), "request service time in seconds", nil)
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		if !s.tryEnter() {
 			errs.Inc()
+			s.setRetryAfter(w)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
 			return
 		}
@@ -324,9 +356,25 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 		lat.Observe(time.Since(start).Seconds())
 		if err != nil {
 			errs.Inc()
+			if errors.Is(err, errOverloaded) {
+				shed.Inc()
+			}
+			if status == http.StatusServiceUnavailable {
+				s.setRetryAfter(w)
+			}
 			writeJSON(w, status, errorResponse{Error: err.Error()})
 		}
 	}
+}
+
+// setRetryAfter attaches the configured Retry-After hint, rounded up to
+// whole seconds (the header's wire granularity).
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int((s.cfg.ShedRetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 // statusFor maps serving errors to HTTP statuses.
@@ -406,7 +454,7 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 	}
 
 	key := cacheKey(g, policy, req.Energy, s.cfg.EnergyQuantum)
-	if v, ok := s.cache.get(key); ok {
+	if v, age, ok := s.cache.get(key); ok && (s.cfg.CacheTTL == 0 || age <= s.cfg.CacheTTL) {
 		s.mHits.Inc()
 		resp := *v.(*ComputeResponse) // shallow copy; cached object is immutable
 		resp.Cached = true
@@ -432,6 +480,20 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 		})
 	})
 	if err != nil {
+		// Brownout: rather than shed, serve the most recent cached result —
+		// stale or not — flagged degraded. Identical inputs give identical
+		// CDSs, so a stale entry is wrong only insofar as the energy tier
+		// may have moved one quantum; routing on it beats a 503.
+		if errors.Is(err, errOverloaded) && s.brownout["compute"] {
+			if v, _, ok := s.cache.get(key); ok {
+				s.mDegraded.Inc()
+				resp := *v.(*ComputeResponse)
+				resp.Cached = true
+				resp.Degraded = true
+				writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+				return 0, nil
+			}
+		}
 		return statusFor(err), err
 	}
 	s.mMisses.Inc()
@@ -565,12 +627,38 @@ func (s *Server) handlePolicies(ctx context.Context, w http.ResponseWriter, r *h
 	return 0, nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
+// handleLive is the liveness probe: the process is up and serving HTTP.
+// It stays 200 while draining — restarting a draining server would turn
+// graceful shutdowns into dropped requests.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 200 only when the server will
+// accept new work right now. Draining or a saturated job queue reports
+// 503 with the queue state, so load balancers rotate traffic away
+// before requests start getting shed.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := ReadinessResponse{
+		Status:        "ready",
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: cap(s.jobs),
+		Inflight:      int(s.gInflight.Value()),
+		Brownout:      append([]string(nil), s.cfg.BrownoutEndpoints...),
+	}
+	status := http.StatusOK
+	switch {
+	case s.Draining():
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case resp.QueueDepth >= resp.QueueCapacity:
+		resp.Status = "saturated"
+		status = http.StatusServiceUnavailable
+	}
+	if status == http.StatusServiceUnavailable {
+		s.setRetryAfter(w)
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

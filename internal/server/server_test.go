@@ -575,8 +575,14 @@ func TestLoadShedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := metricValue(t, text, "cdsd_shed_total"); int(got) != shed {
+	if got := metricValue(t, text, `cdsd_shed_total{endpoint="compute"}`); int(got) != shed {
 		t.Fatalf("shed counter = %v, responses said %d", got, shed)
+	}
+	// Every shed response tells the client when to come back.
+	for _, err := range results {
+		if ae, isAPI := err.(*APIError); isAPI && ae.Status == http.StatusServiceUnavailable && ae.RetryAfter <= 0 {
+			t.Fatalf("shed response missing Retry-After hint: %+v", ae)
+		}
 	}
 }
 
@@ -584,14 +590,14 @@ func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
 	c.add("a", 1)
 	c.add("b", 2)
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
 	c.add("c", 3) // evicts b (least recently used after the get of a)
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("a evicted out of LRU order")
 	}
 	if c.len() != 2 {
@@ -599,8 +605,24 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 	d := newLRUCache(0)
 	d.add("x", 1)
-	if _, ok := d.get("x"); ok {
+	if _, _, ok := d.get("x"); ok {
 		t.Fatal("disabled cache returned a value")
+	}
+}
+
+func TestLRUCacheAge(t *testing.T) {
+	c := newLRUCache(4)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.add("a", 1)
+	now = now.Add(3 * time.Second)
+	if _, age, ok := c.get("a"); !ok || age != 3*time.Second {
+		t.Fatalf("age = %v ok=%v, want 3s", age, ok)
+	}
+	// Re-adding refreshes the timestamp.
+	c.add("a", 2)
+	if _, age, _ := c.get("a"); age != 0 {
+		t.Fatalf("age after refresh = %v, want 0", age)
 	}
 }
 

@@ -39,6 +39,10 @@
 //   - Serving & load: NewCDSServer / StartLocalCDSServer run the cdsd
 //     service; RunLoad drives it with a deterministic seeded workload and
 //     cross-checks responses against the library (see cmd/loadgen).
+//   - Resilience & chaos: NewResilientCDSClient wraps the client with
+//     retries, deterministic backoff, a circuit breaker, and hedging;
+//     NewChaosPlan / NewChaosTransport inject seeded L7 faults for
+//     deterministic resilience soaks (loadgen -chaos).
 package pacds
 
 import (
@@ -48,6 +52,7 @@ import (
 
 	"pacds/internal/broadcast"
 	"pacds/internal/cds"
+	"pacds/internal/chaos"
 	"pacds/internal/des"
 	"pacds/internal/distributed"
 	"pacds/internal/energy"
@@ -57,6 +62,7 @@ import (
 	"pacds/internal/load"
 	"pacds/internal/metrics"
 	"pacds/internal/mobility"
+	"pacds/internal/resilience"
 	"pacds/internal/routing"
 	"pacds/internal/server"
 	"pacds/internal/sim"
@@ -557,6 +563,63 @@ func NewCDSClient(baseURL string, httpClient *http.Client) *CDSClient {
 	return server.NewClient(baseURL, httpClient)
 }
 
+// ResilientCDSClient wraps a CDSClient with retries, deterministic
+// seeded backoff, a circuit breaker, a retry budget, and optional
+// hedging. It retries only errors that plausibly heal (5xx, 429,
+// transport resets) and honors the server's Retry-After hint.
+type ResilientCDSClient = server.ResilientClient
+
+// ResilienceConfig parameterizes a ResilientCDSClient.
+type ResilienceConfig = server.ResilienceConfig
+
+// NewResilientCDSClient wraps c with the given resilience policy.
+func NewResilientCDSClient(c *CDSClient, cfg ResilienceConfig) *ResilientCDSClient {
+	return server.NewResilientClient(c, cfg)
+}
+
+// RetryBackoff computes exponential retry delays with deterministic
+// seeded jitter: the delay is a pure function of (seed, call, attempt),
+// so equal seeds replay byte-identical schedules.
+type RetryBackoff = resilience.Backoff
+
+// CircuitBreaker is a three-state (closed/open/half-open) circuit
+// breaker with a bounded half-open probe budget.
+type CircuitBreaker = resilience.Breaker
+
+// CircuitBreakerConfig parameterizes a CircuitBreaker.
+type CircuitBreakerConfig = resilience.BreakerConfig
+
+// NewCircuitBreaker returns a closed breaker.
+func NewCircuitBreaker(cfg CircuitBreakerConfig) *CircuitBreaker {
+	return resilience.NewBreaker(cfg)
+}
+
+// ChaosConfig parameterizes the deterministic L7 fault injector: seeded
+// per-(index, attempt) latency spikes, bounded 5xx bursts, connection
+// resets, and slow response bodies.
+type ChaosConfig = chaos.Config
+
+// ChaosPlan is an immutable deterministic chaos oracle; wrap an HTTP
+// transport with NewChaosTransport or a handler with chaos.Middleware.
+type ChaosPlan = chaos.Plan
+
+// NewChaosPlan validates cfg and builds a plan.
+func NewChaosPlan(cfg ChaosConfig) (*ChaosPlan, error) { return chaos.NewPlan(cfg) }
+
+// NewChaosTransport wraps base (nil = http.DefaultTransport) with the
+// plan's fault injection. Only requests tagged via WithChaosIndex are
+// eligible, so probes and scrapes stay clean.
+func NewChaosTransport(plan *ChaosPlan, base http.RoundTripper) http.RoundTripper {
+	return chaos.NewTransport(plan, base)
+}
+
+// WithChaosIndex tags ctx with a request's stream index, making requests
+// issued under it eligible for a chaos transport's fault injection. The
+// index is the deterministic coordinate of the request's fate.
+func WithChaosIndex(ctx context.Context, index int) context.Context {
+	return chaos.WithIndex(ctx, index)
+}
+
 // Wire types of the cdsd HTTP/JSON API.
 type (
 	ServerGraphSpec        = server.GraphSpec
@@ -569,6 +632,7 @@ type (
 	ServerFaultSpec        = server.FaultSpec
 	ServerCrashSpec        = server.CrashSpec
 	ServerPolicyInfo       = server.PolicyInfo
+	ServerReadiness        = server.ReadinessResponse
 )
 
 // LocalCDSServer is a cdsd instance bound to an ephemeral loopback
