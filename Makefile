@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify cover bench bench-quick fuzz load chaos clean
+.PHONY: all build test vet race verify cover bench bench-quick bench-sessions fuzz load chaos clean
 
 all: verify
 
@@ -17,11 +17,12 @@ test:
 	$(GO) test ./...
 
 # Race-sensitive packages: the message-passing protocol layers, the
-# concurrent serving subsystem, the parallel experiment engine, the load
-# harness (whose workers share collectors and histograms), and the
+# concurrent serving subsystem, the session manager (lock-striped shards,
+# reaper, eviction), the parallel experiment engine, the load harness
+# (whose workers share collectors and histograms), and the
 # resilience/chaos layers (breakers, token buckets, fault transports).
 race:
-	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/
+	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/topo/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/
 
 # Statement-coverage floors for the core pruning library, the serving
 # subsystem, the load harness, and the resilience primitives. The floors
@@ -31,11 +32,13 @@ COVER_FLOOR_CDS        ?= 88
 COVER_FLOOR_SERVER     ?= 80
 COVER_FLOOR_LOAD       ?= 75
 COVER_FLOOR_RESILIENCE ?= 85
+COVER_FLOOR_TOPO       ?= 80
 cover:
 	@for spec in "./internal/cds/:$(COVER_FLOOR_CDS)" \
 	             "./internal/server/:$(COVER_FLOOR_SERVER)" \
 	             "./internal/load/:$(COVER_FLOOR_LOAD)" \
-	             "./internal/resilience/:$(COVER_FLOOR_RESILIENCE)"; do \
+	             "./internal/resilience/:$(COVER_FLOOR_RESILIENCE)" \
+	             "./internal/topo/:$(COVER_FLOOR_TOPO)"; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -65,13 +68,26 @@ fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadWrite -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzComputeRequest -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzSessionChanges -fuzztime 30s ./internal/server/
 
-# Seeded load/conformance baseline against a self-booted cdsd: 1200
-# requests across all endpoints and policies, every response cross-checked
-# against the in-process library. Exits nonzero on any mismatch.
+# Seeded load/conformance baselines against a self-booted cdsd. The
+# one-shot run issues 1200 requests across all endpoints and policies;
+# the session run streams 1000 delta batches across 50 concurrent
+# sessions with every sampled snapshot replayed against an in-process
+# oracle session. Both exit nonzero on any mismatch.
 load:
 	$(GO) run ./cmd/loadgen -self -seed 2026 -n 1200 -workers 8 -conformance -o LOAD_PR4.json
 	@echo "wrote LOAD_PR4.json"
+	$(GO) run ./cmd/loadgen -self -seed 2026 -sessions 50 -batches 20 -workers 8 \
+		-conformance -slo-error-rate 0 -o LOAD_PR7_SESSIONS.json
+	@echo "wrote LOAD_PR7_SESSIONS.json"
+
+# Maintained-vs-scratch session benchmark behind the streaming-sessions
+# design note (DESIGN.md section 12): incremental delta application on a
+# long-lived session versus a full bootstrap per batch at N=300.
+bench-sessions:
+	$(GO) test -run '^$$' -bench SessionApplyChanges -benchmem -count 5 . | tee bench-sessions.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json bench-sessions.out
 
 # Deterministic chaos soak: seeded L7 faults (5xx bursts, resets, latency
 # spikes) injected into the client transport, ridden out by the resilient

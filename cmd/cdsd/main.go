@@ -60,6 +60,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	brownout := fs.String("brownout", "", "comma-separated endpoints serving stale cache under overload instead of shedding (e.g. compute)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "age beyond which cached results are recomputed (0 = never stale)")
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 503 responses (0 = default 1s)")
+	maxSessions := fs.Int("max-sessions", 0, "live streaming-topology sessions before LRU eviction (0 = default 1024)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle deadline before a session is reaped (0 = default 10m)")
+	sessionReap := fs.Duration("session-reap", 0, "session reaper period (0 = default 30s, negative disables)")
+	sessionChanges := fs.Int("session-max-changes", 0, "largest accepted delta batch (0 = default 4096)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +82,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		BrownoutEndpoints: splitList(*brownout),
 		CacheTTL:          *cacheTTL,
 		ShedRetryAfter:    *retryAfter,
+		MaxSessions:       *maxSessions,
+		SessionIdleTTL:    *sessionTTL,
+		SessionReap:       *sessionReap,
+		SessionMaxChanges: *sessionChanges,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -73,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sloP99 := fs.Float64("slo-p99", 0, "fail if any endpoint p99 exceeds this many seconds (0 = no gate; implies -timing)")
 	timing := fs.Bool("timing", false, "include wall-clock sections (latency quantiles, RPS) in the report")
 	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
+	sessions := fs.Int("sessions", 0, "streaming-session mode: drive this many concurrent topology sessions instead of one-shot requests")
+	batches := fs.Int("batches", 0, "delta batches per session (session mode; default 10)")
+	energyEvery := fs.Int("energy-every", 4, "attach an energy refresh to every k-th batch (session mode; 0 disables)")
 
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -80,6 +83,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if (*url == "") == !*self {
 		fmt.Fprintln(stderr, "loadgen: exactly one of -url or -self is required")
 		return 1
+	}
+
+	if *sessions > 0 {
+		return runSessions(sessionArgs{
+			url: *url, self: *self, seed: *seed, sessions: *sessions, batches: *batches,
+			workers: *workers, energyEvery: *energyEvery, ns: *ns, radii: *radii,
+			policies: *policies, conformance: *conformance, sample: *sample,
+			timeout: *timeout, timing: *timing || *sloP99 > 0,
+			sloErrRate: *sloErrRate, sloP99: *sloP99, out: *out,
+		}, stdout, stderr)
 	}
 
 	opts := load.Options{
@@ -173,6 +186,102 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if report.SLO != nil && !report.SLO.Pass {
+		for _, v := range report.SLO.Violations {
+			fmt.Fprintf(stderr, "loadgen: SLO violation: %s\n", v)
+		}
+		return 2
+	}
+	return 0
+}
+
+// sessionArgs carries the parsed flags of a -sessions run.
+type sessionArgs struct {
+	url         string
+	self        bool
+	seed        uint64
+	sessions    int
+	batches     int
+	workers     int
+	energyEvery int
+	ns          string
+	radii       string
+	policies    string
+	conformance bool
+	sample      int
+	timeout     time.Duration
+	timing      bool
+	sloErrRate  float64
+	sloP99      float64
+	out         string
+}
+
+// runSessions executes the streaming-session mode: stateful sessions fed
+// deterministic mobility-derived delta streams, with optional exact
+// conformance against in-process oracle sessions.
+func runSessions(a sessionArgs, stdout, stderr io.Writer) int {
+	opts := load.SessionOptions{
+		Seed:          a.seed,
+		Sessions:      a.sessions,
+		Batches:       a.batches,
+		Workers:       a.workers,
+		EnergyEvery:   a.energyEvery,
+		Conformance:   a.conformance,
+		Sample:        a.sample,
+		Timeout:       a.timeout,
+		IncludeTiming: a.timing,
+	}
+	var err error
+	if opts.Axes.Ns, err = parseInts(a.ns); err != nil {
+		fmt.Fprintf(stderr, "loadgen: -ns: %v\n", err)
+		return 1
+	}
+	if opts.Axes.Radii, err = parseFloats(a.radii); err != nil {
+		fmt.Fprintf(stderr, "loadgen: -radii: %v\n", err)
+		return 1
+	}
+	if a.policies != "" {
+		opts.Axes.Policies = strings.Split(a.policies, ",")
+	}
+	if a.sloErrRate >= 0 || a.sloP99 > 0 || a.conformance {
+		opts.SLO = &load.SLO{MaxErrorRate: a.sloErrRate, MaxP99Seconds: a.sloP99}
+	}
+
+	target := a.url
+	if a.self {
+		// Size the session table and queue to the workload so a correct
+		// run is shed-free.
+		local, err := server.StartLocal(server.Config{
+			MaxSessions: a.sessions + 16,
+			QueueDepth:  4 * (a.sessions + 16),
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer local.Close()
+		target = local.URL
+	}
+
+	report, err := load.RunSessions(context.Background(), target, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	w := stdout
+	if a.out != "" {
+		f, err := os.Create(a.out)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteJSON(w); err != nil {
+		fmt.Fprintf(stderr, "loadgen: write report: %v\n", err)
+		return 1
+	}
 	if report.SLO != nil && !report.SLO.Pass {
 		for _, v := range report.SLO.Violations {
 			fmt.Fprintf(stderr, "loadgen: SLO violation: %s\n", v)

@@ -39,6 +39,10 @@ type Session struct {
 	nodes  []*node
 	nw     *network
 	policy cds.Policy
+	// epoch counts state-mutating operations since bootstrap: every
+	// successful ApplyChanges or UpdateEnergy increments it exactly once.
+	// The bootstrapped state is epoch 0.
+	epoch uint64
 }
 
 // EdgeChange is one link-layer event: link {A, B} appeared (Up) or
@@ -98,8 +102,54 @@ func (s *Session) Gateways() []bool {
 // Stats returns cumulative protocol costs since bootstrap.
 func (s *Session) Stats() Stats { return s.nw.stats }
 
-// Graph returns a snapshot of the session's current topology.
+// Graph returns a snapshot of the session's current topology. The clone
+// costs O(V+E); pollers that only need counts or the gateway assignment
+// should use the cheap accessors (Epoch, NumNodes, NumGateways,
+// GatewaysInto, EnergySnapshot) instead.
 func (s *Session) Graph() *graph.Graph { return s.g.Clone() }
+
+// Epoch returns the number of successful state mutations (ApplyChanges or
+// UpdateEnergy calls) since bootstrap. It is monotonic: two snapshots with
+// equal epochs describe identical session state.
+func (s *Session) Epoch() uint64 { return s.epoch }
+
+// NumNodes returns the (fixed) host population size without cloning.
+func (s *Session) NumNodes() int { return len(s.nodes) }
+
+// NumGateways counts current gateways without allocating.
+func (s *Session) NumGateways() int {
+	n := 0
+	for _, nd := range s.nodes {
+		if nd.gateway {
+			n++
+		}
+	}
+	return n
+}
+
+// GatewaysInto writes the current gateway assignment into dst, growing it
+// if needed, and returns the slice. Unlike Gateways it lets a poller reuse
+// one buffer across reads instead of allocating per poll.
+func (s *Session) GatewaysInto(dst []bool) []bool {
+	if cap(dst) < len(s.nodes) {
+		dst = make([]bool, len(s.nodes))
+	}
+	dst = dst[:len(s.nodes)]
+	for v, nd := range s.nodes {
+		dst[v] = nd.gateway
+	}
+	return dst
+}
+
+// EnergySnapshot returns a copy of every host's current energy level —
+// O(V), no graph clone.
+func (s *Session) EnergySnapshot() []float64 {
+	out := make([]float64, len(s.nodes))
+	for v, nd := range s.nodes {
+		out[v] = nd.energy
+	}
+	return out
+}
 
 // UpdateEnergy refreshes every host's energy level and broadcasts the new
 // values (energy-aware policies need their neighbors' current levels).
@@ -114,6 +164,7 @@ func (s *Session) UpdateEnergy(energy []float64) error {
 		s.nw.broadcast(Message{From: nd.id, Kind: NeighborList, Neighbors: nd.nbrs, Energy: nd.energy})
 	}
 	s.nw.deliver(s.nodes)
+	s.epoch++
 	return nil
 }
 
@@ -125,6 +176,7 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 		// Still need a rule phase if energies were updated; cheap no-op
 		// otherwise (pure local computation plus unmark broadcasts).
 		runRulePhase(s.nw, s.nodes, s.policy)
+		s.epoch++
 		return 0, nil
 	}
 	// Validate the whole batch before touching any state, so a rejected
@@ -211,6 +263,7 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 	s.nw.deliver(s.nodes)
 
 	runRulePhase(s.nw, s.nodes, s.policy)
+	s.epoch++
 	return changed, nil
 }
 

@@ -165,6 +165,7 @@ type endpointStats struct {
 
 // collector gathers run outcomes from all workers.
 type collector struct {
+	reg       *metrics.Registry
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	sampled   int
@@ -173,23 +174,36 @@ type collector struct {
 	misses    []Mismatch
 }
 
-func newCollector(reg *metrics.Registry) *collector {
+func newCollector(reg *metrics.Registry, endpoints ...string) *collector {
 	c := &collector{
+		reg:       reg,
 		endpoints: make(map[string]*endpointStats),
 		byPolicy:  make(map[string]int),
 		byKind:    make(map[string]int),
 	}
-	for _, name := range []string{EndpointCompute, EndpointVerify, EndpointSimulate} {
-		c.endpoints[name] = &endpointStats{
-			status:  make(map[string]int),
-			latency: reg.Histogram("loadgen_latency_seconds{endpoint="+strconv.Quote(name)+"}", "observed request latency", nil),
-		}
+	for _, name := range endpoints {
+		c.ensure(name)
 	}
 	return c
 }
 
+// ensure returns the endpoint's stats bucket, creating it on first use.
+func (c *collector) ensure(endpoint string) *endpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep, ok := c.endpoints[endpoint]
+	if !ok {
+		ep = &endpointStats{
+			status:  make(map[string]int),
+			latency: c.reg.Histogram("loadgen_latency_seconds{endpoint="+strconv.Quote(endpoint)+"}", "observed request latency", nil),
+		}
+		c.endpoints[endpoint] = ep
+	}
+	return ep
+}
+
 func (c *collector) record(endpoint string, err error, latency time.Duration, degraded bool) {
-	ep := c.endpoints[endpoint]
+	ep := c.ensure(endpoint)
 	ep.latency.Observe(latency.Seconds())
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -218,12 +232,12 @@ func (c *collector) record(endpoint string, err error, latency time.Duration, de
 	}
 }
 
-func (c *collector) conform(req *Request, mismatches []Mismatch) {
+func (c *collector) conform(endpoint, policy string, mismatches []Mismatch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sampled++
-	c.byPolicy[req.Policy.String()]++
-	c.byKind[req.Endpoint]++
+	c.byPolicy[policy]++
+	c.byKind[endpoint]++
 	c.misses = append(c.misses, mismatches...)
 }
 
@@ -278,7 +292,7 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 	}
 
 	reg := metrics.NewRegistry()
-	col := newCollector(reg)
+	col := newCollector(reg, EndpointCompute, EndpointVerify, EndpointSimulate)
 	var next atomic.Int64
 	start := time.Now()
 	deadline := time.Time{}
@@ -392,7 +406,7 @@ func issue(ctx context.Context, client apiClient, col *collector, opts Options, 
 	}
 	col.record(req.Endpoint, err, latency, degraded)
 	if err == nil && opts.Conformance && i%opts.Sample == 0 {
-		col.conform(req, check(req, resp))
+		col.conform(req.Endpoint, req.Policy.String(), check(req, resp))
 	}
 }
 
@@ -416,7 +430,17 @@ func assemble(opts Options, col *collector, issued int) *Report {
 		FaultStart:    opts.FaultStart,
 		Endpoints:     make(map[string]*EndpointReport),
 	}
-	for name, ep := range col.endpoints {
+	r.Endpoints = col.endpointSection(opts.IncludeTiming)
+	if opts.Conformance {
+		r.Conformance = col.conformanceSection()
+	}
+	return r
+}
+
+// endpointSection renders the per-endpoint outcome counts.
+func (c *collector) endpointSection(includeTiming bool) map[string]*EndpointReport {
+	out := make(map[string]*EndpointReport, len(c.endpoints))
+	for name, ep := range c.endpoints {
 		er := &EndpointReport{
 			Requests:     ep.requests,
 			Errors:       ep.errors,
@@ -425,7 +449,7 @@ func assemble(opts Options, col *collector, issued int) *Report {
 			Degraded:     ep.degraded,
 			StatusCounts: ep.status,
 		}
-		if opts.IncludeTiming && ep.requests > 0 {
+		if includeTiming && ep.requests > 0 {
 			er.LatencyMs = &LatencyMs{
 				P50:  ep.latency.Quantile(0.50) * 1000,
 				P95:  ep.latency.Quantile(0.95) * 1000,
@@ -433,28 +457,30 @@ func assemble(opts Options, col *collector, issued int) *Report {
 				Mean: ep.latency.Sum() / float64(ep.latency.Count()) * 1000,
 			}
 		}
-		r.Endpoints[name] = er
+		out[name] = er
 	}
-	if opts.Conformance {
-		sort.Slice(col.misses, func(a, b int) bool {
-			if col.misses[a].Index != col.misses[b].Index {
-				return col.misses[a].Index < col.misses[b].Index
-			}
-			return col.misses[a].Field < col.misses[b].Field
-		})
-		details := col.misses
-		if len(details) > maxMismatchDetails {
-			details = details[:maxMismatchDetails]
+	return out
+}
+
+// conformanceSection renders the differential-check summary.
+func (c *collector) conformanceSection() *ConformanceReport {
+	sort.Slice(c.misses, func(a, b int) bool {
+		if c.misses[a].Index != c.misses[b].Index {
+			return c.misses[a].Index < c.misses[b].Index
 		}
-		r.Conformance = &ConformanceReport{
-			Sampled:           col.sampled,
-			Mismatches:        len(col.misses),
-			SampledByPolicy:   col.byPolicy,
-			SampledByEndpoint: col.byKind,
-			Details:           details,
-		}
+		return c.misses[a].Field < c.misses[b].Field
+	})
+	details := c.misses
+	if len(details) > maxMismatchDetails {
+		details = details[:maxMismatchDetails]
 	}
-	return r
+	return &ConformanceReport{
+		Sampled:           c.sampled,
+		Mismatches:        len(c.misses),
+		SampledByPolicy:   c.byPolicy,
+		SampledByEndpoint: c.byKind,
+		Details:           details,
+	}
 }
 
 // scrape fetches and parses the server's /metrics exposition.

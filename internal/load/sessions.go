@@ -1,0 +1,589 @@
+package load
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"pacds/internal/cds"
+	"pacds/internal/distributed"
+	"pacds/internal/geom"
+	"pacds/internal/graph"
+	"pacds/internal/metrics"
+	"pacds/internal/mobility"
+	"pacds/internal/server"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// Streaming-session load mode: instead of independent one-shot requests,
+// the harness creates long-lived topology sessions and drives each with a
+// deterministic mobility-derived delta stream — the paper's update
+// intervals (Section 4) replayed against cdsd's stateful API.
+//
+// Determinism discipline: session j's initial deployment is a pure
+// function of (Seed, j); batch t of session j is a pure function of
+// (Seed, j, t) and the positions evolved by batches 0..t-1, themselves
+// deterministic. Whichever worker owns session j synthesizes the
+// identical stream, so concurrency changes throughput and nothing else.
+//
+// Conformance is exact, not fuzzy: an in-process distributed.Session is
+// bootstrapped from the same initial state and fed the same batches, so
+// its epochs and gateway sets must match the server's byte for byte (the
+// maintained protocol is deterministic for a shared history; see
+// DESIGN.md on maintained-vs-scratch non-confluence for why the oracle
+// must replay history rather than recompute from scratch). Sampled
+// snapshots additionally verify as CDSs of the maintained topology and
+// exercise the since-epoch diff path.
+
+// Session endpoint names (report keys), matching the server's metric
+// labels.
+const (
+	EndpointSessionCreate  = "session_create"
+	EndpointSessionChanges = "session_changes"
+	EndpointSessionGet     = "session_get"
+	EndpointSessionDelete  = "session_delete"
+)
+
+// Salts isolating the session streams from the one-shot workload stream.
+const (
+	sessionInitSalt   uint64 = 0x5e55_10ad_0000_0001
+	sessionStepSalt   uint64 = 0x5e55_10ad_0000_0002
+	sessionEnergySalt uint64 = 0x5e55_10ad_0000_0003
+)
+
+// SessionOptions configures a streaming-session load run.
+type SessionOptions struct {
+	// Seed roots every per-session stream.
+	Seed uint64
+	// Sessions is the number of concurrent sessions (default 8). All
+	// sessions are created before any delta batch is sent, so the server
+	// really holds this many live sessions at once.
+	Sessions int
+	// Batches is the delta-batch count per session (default 10).
+	Batches int
+	// Workers is the driving concurrency (default 4). Session j is owned
+	// by worker j mod Workers; ownership, like the streams, is
+	// deterministic.
+	Workers int
+	// EnergyEvery attaches a full energy refresh to every k-th batch
+	// (default 4; 0 disables energy updates).
+	EnergyEvery int
+	// Axes shape the per-session topology draws (Radii/Ns/Policies).
+	Axes Axes
+	// Conformance replays every batch through an in-process oracle
+	// session and compares epochs and gateway sets exactly; every
+	// Sample-th batch also reads a snapshot with a since-diff and
+	// verifies the gateway set as a CDS (Sample defaults to 1).
+	Conformance bool
+	Sample      int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// IncludeTiming adds wall-clock sections to the report.
+	IncludeTiming bool
+	// SLO, when non-nil, is evaluated into Report.SLO.
+	SLO *SLO
+}
+
+func (o SessionOptions) withDefaults() SessionOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 8
+	}
+	if o.Batches <= 0 {
+		o.Batches = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.EnergyEvery < 0 {
+		o.EnergyEvery = 0
+	}
+	if o.Sample <= 0 {
+		o.Sample = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	o.Axes = o.Axes.withDefaults()
+	return o
+}
+
+// Validate rejects option values the generator would panic on.
+func (o SessionOptions) Validate() error {
+	for _, name := range o.Axes.Policies {
+		if _, err := cds.ByName(name); err != nil {
+			return fmt.Errorf("load: axes: %w", err)
+		}
+	}
+	for _, n := range o.Axes.Ns {
+		if n < 2 {
+			return fmt.Errorf("load: axes: topology size %d below minimum 2", n)
+		}
+	}
+	return nil
+}
+
+// SessionsReport is the session-mode section of the report.
+type SessionsReport struct {
+	Sessions int `json:"sessions"`
+	// BatchesPerSession echoes the configured stream length; Batches
+	// counts batches actually applied (2xx) across all sessions.
+	BatchesPerSession int `json:"batches_per_session"`
+	Batches           int `json:"batches"`
+	// Changes counts link events carried by applied batches;
+	// EnergyUpdates counts batches that carried an energy refresh.
+	Changes       int `json:"changes"`
+	EnergyUpdates int `json:"energy_updates"`
+	// Snapshots counts sampled GET reads (the since-diff path).
+	Snapshots int `json:"snapshots"`
+	// Desynced counts sessions abandoned after a request-level failure
+	// (the oracle can no longer vouch for the server's state).
+	Desynced int `json:"desynced"`
+}
+
+// sessionPlan is the deterministic initial state of session j.
+type sessionPlan struct {
+	policyName string
+	policy     cds.Policy
+	radius     float64
+	field      geom.Rect
+	positions  []geom.Point
+	g          *graph.Graph
+	energy     []float64
+}
+
+// planSession synthesizes session j's initial deployment — a pure
+// function of (opts, j).
+func planSession(opts SessionOptions, j int) *sessionPlan {
+	rng := xrand.New(xrand.Mix(opts.Seed, sessionInitSalt, uint64(j)))
+	p := &sessionPlan{
+		policyName: opts.Axes.Policies[rng.Intn(len(opts.Axes.Policies))],
+		radius:     opts.Axes.Radii[rng.Intn(len(opts.Axes.Radii))],
+		field:      geom.Square(100),
+	}
+	policy, err := cds.ByName(p.policyName)
+	if err != nil {
+		panic("load: unvalidated policy name " + p.policyName)
+	}
+	p.policy = policy
+	n := opts.Axes.Ns[rng.Intn(len(opts.Axes.Ns))]
+
+	cfg := udg.Config{N: n, Field: p.field, Radius: p.radius}
+	inst, err := udg.RandomConnected(cfg, rng, 60)
+	if err != nil {
+		// Too sparse to connect: accept a disconnected deployment (the
+		// maintenance protocol and the oracle both handle it; CDS
+		// verification skips disconnected instants).
+		if inst, err = udg.Random(cfg, rng); err != nil {
+			panic("load: udg sampling failed: " + err.Error())
+		}
+	}
+	p.positions = inst.Positions
+	p.g = inst.Graph
+	// Energy levels ride along for every policy (they exercise
+	// UpdateEnergy) and are mandatory for EL1/EL2.
+	p.energy = make([]float64, n)
+	for v := range p.energy {
+		p.energy[v] = float64(rng.IntRange(1, 100))
+	}
+	return p
+}
+
+// nextBatch advances session j to batch t: one mobility step, the edge
+// diff against the current topology, and an optional energy refresh. It
+// mutates plan.positions, plan.g, and plan.energy — the evolving
+// deterministic state — and returns the wire batch.
+func nextBatch(opts SessionOptions, plan *sessionPlan, j, t int) server.SessionChangesRequest {
+	rng := xrand.New(xrand.Mix(opts.Seed, sessionStepSalt, uint64(j), uint64(t)))
+	mobility.NewPaper().Step(plan.positions, plan.field, rng)
+	next := udg.Build(plan.positions, plan.field, plan.radius)
+
+	var req server.SessionChangesRequest
+	n := plan.g.NumNodes()
+	key := func(u, v graph.NodeID) int {
+		if u > v {
+			u, v = v, u
+		}
+		return int(u)*n + int(v)
+	}
+	old := make(map[int]bool)
+	plan.g.Edges(func(u, v graph.NodeID) { old[key(u, v)] = true })
+	next.Edges(func(u, v graph.NodeID) {
+		if !old[key(u, v)] {
+			req.Changes = append(req.Changes, server.SessionEdgeChange{A: int(u), B: int(v), Up: true})
+		}
+		delete(old, key(u, v))
+	})
+	plan.g.Edges(func(u, v graph.NodeID) {
+		if old[key(u, v)] {
+			req.Changes = append(req.Changes, server.SessionEdgeChange{A: int(u), B: int(v), Up: false})
+		}
+	})
+	plan.g = next
+
+	if opts.EnergyEvery > 0 && (t+1)%opts.EnergyEvery == 0 {
+		erng := xrand.New(xrand.Mix(opts.Seed, sessionEnergySalt, uint64(j), uint64(t)))
+		for v := range plan.energy {
+			plan.energy[v] = float64(erng.IntRange(1, 100))
+		}
+		req.Energy = append([]float64(nil), plan.energy...)
+	}
+	return req
+}
+
+// RunSessions drives the streaming-session workload and assembles the
+// report. Request-level failures are data (recorded per endpoint and
+// judged by the SLO), not errors.
+func RunSessions(ctx context.Context, baseURL string, opts SessionOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	transport := &http.Transport{}
+	defer transport.CloseIdleConnections()
+	client := server.NewClient(baseURL, &http.Client{Transport: transport})
+
+	reg := metrics.NewRegistry()
+	col := newCollector(reg,
+		EndpointSessionCreate, EndpointSessionChanges, EndpointSessionGet, EndpointSessionDelete)
+	sr := &SessionsReport{Sessions: opts.Sessions, BatchesPerSession: opts.Batches}
+	var srMu sync.Mutex
+
+	drivers := make([]*sessionDriver, opts.Sessions)
+	for j := range drivers {
+		drivers[j] = &sessionDriver{opts: opts, j: j, client: client, col: col, sr: sr, srMu: &srMu}
+	}
+
+	start := time.Now()
+	// Phase 1: create every session before any delta flows, so the server
+	// genuinely holds opts.Sessions concurrent sessions.
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < opts.Sessions; j += opts.Workers {
+				drivers[j].create(ctx)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: stream delta batches, worker w owning sessions w mod
+	// Workers. Per-session order is sequential; cross-session traffic is
+	// concurrent.
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < opts.Sessions; j += opts.Workers {
+				for t := 0; t < opts.Batches; t++ {
+					if ctx.Err() != nil || !drivers[j].live {
+						break
+					}
+					drivers[j].step(ctx, t)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 3: tear down.
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < opts.Sessions; j += opts.Workers {
+				drivers[j].teardown(ctx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, d := range drivers {
+		if d.desynced {
+			sr.Desynced++
+		}
+	}
+
+	report := &Report{
+		Tool:         "loadgen",
+		Mode:         "sessions",
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+		Requests:     opts.Sessions * opts.Batches,
+		Axes:         opts.Axes,
+		StreamDigest: fmt.Sprintf("%016x", SessionStreamDigest(opts)),
+		Endpoints:    col.endpointSection(opts.IncludeTiming),
+		Sessions:     sr,
+	}
+	if opts.Conformance {
+		report.Conformance = col.conformanceSection()
+	}
+	if opts.IncludeTiming {
+		report.Timing = &TimingReport{
+			DurationSeconds: elapsed.Seconds(),
+			AchievedRPS:     float64(opts.Sessions*opts.Batches) / elapsed.Seconds(),
+		}
+	}
+	if opts.SLO != nil {
+		report.SLO = evaluateSLO(*opts.SLO, report)
+	}
+	return report, nil
+}
+
+// sessionDriver owns one session: its deterministic plan, the server-side
+// id, and the in-process oracle. A driver is only ever touched by the
+// worker owning j mod Workers, so it needs no locking of its own.
+type sessionDriver struct {
+	opts   SessionOptions
+	j      int
+	client *server.Client
+	col    *collector
+	sr     *SessionsReport
+	srMu   *sync.Mutex
+
+	plan      *sessionPlan
+	id        string
+	live      bool
+	desynced  bool
+	oracle    *distributed.Session // nil unless Conformance
+	lastEpoch uint64
+	sinceGW   map[int]bool // gateway set as of lastEpoch (diff replay)
+}
+
+func (d *sessionDriver) mismatch(endpoint, field string, got, want any) []Mismatch {
+	return []Mismatch{{
+		Index:    d.j,
+		Endpoint: endpoint,
+		Policy:   d.plan.policyName,
+		Digest:   fmt.Sprintf("%016x", graph.Digest(d.plan.g)),
+		Field:    field,
+		Got:      fmt.Sprint(got),
+		Want:     fmt.Sprint(want),
+	}}
+}
+
+func (d *sessionDriver) create(ctx context.Context) {
+	d.plan = planSession(d.opts, d.j)
+	req := server.SessionCreateRequest{
+		Graph:  graphSpec(d.plan.g),
+		Policy: d.plan.policyName,
+		Energy: append([]float64(nil), d.plan.energy...),
+	}
+	rctx, cancel := context.WithTimeout(ctx, d.opts.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := d.client.CreateSession(rctx, req)
+	d.col.record(EndpointSessionCreate, err, time.Since(t0), false)
+	if err != nil {
+		d.desynced = true
+		return
+	}
+	d.id = resp.ID
+	d.live = true
+	if !d.opts.Conformance {
+		return
+	}
+	sess, err := distributed.NewSession(d.plan.g, d.plan.policy, d.plan.energy)
+	if err != nil {
+		panic("load: oracle bootstrap failed: " + err.Error())
+	}
+	d.oracle = sess
+	d.sinceGW = make(map[int]bool)
+	for _, v := range resp.Gateways {
+		d.sinceGW[v] = true
+	}
+	d.col.conform(EndpointSessionCreate, d.plan.policyName, d.checkSnapshot(EndpointSessionCreate, resp))
+}
+
+// checkSnapshot compares a server snapshot against the oracle exactly.
+func (d *sessionDriver) checkSnapshot(endpoint string, resp *server.SessionResponse) []Mismatch {
+	var misses []Mismatch
+	if resp.Epoch != d.oracle.Epoch() {
+		misses = append(misses, d.mismatch(endpoint, "epoch", resp.Epoch, d.oracle.Epoch())...)
+	}
+	want := d.oracle.Gateways()
+	if resp.NumGateways != countGateways(want) || len(resp.Gateways) != resp.NumGateways {
+		misses = append(misses, d.mismatch(endpoint, "num_gateways", resp.NumGateways, countGateways(want))...)
+	}
+	for _, v := range resp.Gateways {
+		if v < 0 || v >= len(want) || !want[v] {
+			misses = append(misses, d.mismatch(endpoint, "gateways", v, "oracle membership")...)
+			break
+		}
+	}
+	// The maintained assignment must be a CDS whenever the maintained
+	// topology is connected (the oracle's graph IS the server's graph:
+	// identical history).
+	if d.plan.g.IsConnected() && d.plan.g.NumNodes() > 0 {
+		gw := make([]bool, d.plan.g.NumNodes())
+		for _, v := range resp.Gateways {
+			if v >= 0 && v < len(gw) {
+				gw[v] = true
+			}
+		}
+		if err := cds.VerifyCDS(d.plan.g, gw); err != nil {
+			misses = append(misses, d.mismatch(endpoint, "verify_cds", err.Error(), "valid CDS")...)
+		}
+	}
+	return misses
+}
+
+func (d *sessionDriver) step(ctx context.Context, t int) {
+	req := nextBatch(d.opts, d.plan, d.j, t)
+	rctx, cancel := context.WithTimeout(ctx, d.opts.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := d.client.SessionChanges(rctx, d.id, req)
+	d.col.record(EndpointSessionChanges, err, time.Since(t0), false)
+	if err != nil {
+		// The server's state is now unknowable (a timed-out batch may or
+		// may not have been applied); stop driving this session.
+		d.live = false
+		d.desynced = true
+		return
+	}
+	d.srMu.Lock()
+	d.sr.Batches++
+	d.sr.Changes += len(req.Changes)
+	if req.Energy != nil {
+		d.sr.EnergyUpdates++
+	}
+	d.srMu.Unlock()
+	if !d.opts.Conformance {
+		return
+	}
+
+	// Oracle replays the identical batch.
+	if req.Energy != nil {
+		if err := d.oracle.UpdateEnergy(req.Energy); err != nil {
+			panic("load: oracle energy update failed: " + err.Error())
+		}
+	}
+	changes := make([]distributed.EdgeChange, len(req.Changes))
+	for i, ch := range req.Changes {
+		changes[i] = distributed.EdgeChange{A: graph.NodeID(ch.A), B: graph.NodeID(ch.B), Up: ch.Up}
+	}
+	if _, err := d.oracle.ApplyChanges(changes); err != nil {
+		panic("load: oracle apply failed: " + err.Error())
+	}
+	misses := d.checkSnapshot(EndpointSessionChanges, resp)
+	d.col.conform(EndpointSessionChanges, d.plan.policyName, misses)
+	if len(misses) > 0 {
+		return
+	}
+
+	// Every Sample-th batch, read a snapshot with a since-diff and check
+	// that replaying the diff onto the last-seen gateway set reproduces
+	// the current one.
+	if (t+1)%d.opts.Sample != 0 {
+		return
+	}
+	gctx, gcancel := context.WithTimeout(ctx, d.opts.Timeout)
+	defer gcancel()
+	g0 := time.Now()
+	snap, err := d.client.Session(gctx, d.id, int64(d.lastEpoch))
+	d.col.record(EndpointSessionGet, err, time.Since(g0), false)
+	if err != nil {
+		d.live = false
+		d.desynced = true
+		return
+	}
+	d.srMu.Lock()
+	d.sr.Snapshots++
+	d.srMu.Unlock()
+	misses = d.checkSnapshot(EndpointSessionGet, snap)
+	if snap.Summary == nil {
+		misses = append(misses, d.mismatch(EndpointSessionGet, "summary", "nil", "present")...)
+	} else if snap.Summary.Complete {
+		replay := make(map[int]bool, len(d.sinceGW))
+		for v := range d.sinceGW {
+			replay[v] = true
+		}
+		for _, v := range snap.Summary.GatewaysAdded {
+			replay[v] = true
+		}
+		for _, v := range snap.Summary.GatewaysRemoved {
+			delete(replay, v)
+		}
+		ok := len(replay) == snap.NumGateways
+		for _, v := range snap.Gateways {
+			if !replay[v] {
+				ok = false
+			}
+		}
+		if !ok {
+			misses = append(misses, d.mismatch(EndpointSessionGet, "summary_replay",
+				fmt.Sprint(len(replay)), fmt.Sprint(snap.NumGateways))...)
+		}
+	}
+	d.col.conform(EndpointSessionGet, d.plan.policyName, misses)
+	d.lastEpoch = snap.Epoch
+	d.sinceGW = make(map[int]bool, len(snap.Gateways))
+	for _, v := range snap.Gateways {
+		d.sinceGW[v] = true
+	}
+}
+
+func (d *sessionDriver) teardown(ctx context.Context) {
+	if d.id == "" {
+		return
+	}
+	rctx, cancel := context.WithTimeout(ctx, d.opts.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	err := d.client.DeleteSession(rctx, d.id)
+	d.col.record(EndpointSessionDelete, err, time.Since(t0), false)
+}
+
+func countGateways(gw []bool) int {
+	n := 0
+	for _, g := range gw {
+		if g {
+			n++
+		}
+	}
+	return n
+}
+
+// SessionStreamDigest fingerprints every session's full delta stream: the
+// initial deployment and each batch's link events and energy payloads.
+// Equal options yield equal digests at any worker count.
+func SessionStreamDigest(opts SessionOptions) uint64 {
+	opts = opts.withDefaults()
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for j := 0; j < opts.Sessions; j++ {
+		plan := planSession(opts, j)
+		h.Write([]byte(plan.policyName))
+		word(graph.Digest(plan.g))
+		for _, e := range plan.energy {
+			word(uint64(int64(e)))
+		}
+		for t := 0; t < opts.Batches; t++ {
+			req := nextBatch(opts, plan, j, t)
+			for _, ch := range req.Changes {
+				up := uint64(0)
+				if ch.Up {
+					up = 1
+				}
+				word(uint64(ch.A)<<32 | uint64(ch.B)<<1 | up)
+			}
+			for _, e := range req.Energy {
+				word(uint64(int64(e)))
+			}
+			word(graph.Digest(plan.g))
+		}
+	}
+	return h.Sum64()
+}

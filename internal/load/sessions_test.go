@@ -1,0 +1,120 @@
+package load
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pacds/internal/server"
+)
+
+func testSessionOptions() SessionOptions {
+	return SessionOptions{
+		Seed:        7,
+		Sessions:    6,
+		Batches:     4,
+		Workers:     3,
+		EnergyEvery: 2,
+		Axes:        Axes{Ns: []int{10, 14}, Radii: []float64{30, 40}},
+		Conformance: true,
+	}
+}
+
+// TestSessionStreamIsPure: session plans and batch streams must be pure
+// functions of (options, j, t), and the whole-stream digest must be
+// reproducible and seed-sensitive.
+func TestSessionStreamIsPure(t *testing.T) {
+	opts := testSessionOptions().withDefaults()
+	for j := 0; j < opts.Sessions; j++ {
+		p1, p2 := planSession(opts, j), planSession(opts, j)
+		if p1.policyName != p2.policyName || !reflect.DeepEqual(p1.positions, p2.positions) ||
+			!reflect.DeepEqual(p1.energy, p2.energy) {
+			t.Fatalf("planSession(%d) not reproducible", j)
+		}
+		for tt := 0; tt < opts.Batches; tt++ {
+			b1 := nextBatch(opts, p1, j, tt)
+			b2 := nextBatch(opts, p2, j, tt)
+			if !reflect.DeepEqual(b1, b2) {
+				t.Fatalf("nextBatch(%d, %d) diverged:\n%+v\nvs\n%+v", j, tt, b1, b2)
+			}
+		}
+	}
+	d1, d2 := SessionStreamDigest(opts), SessionStreamDigest(opts)
+	if d1 != d2 {
+		t.Fatalf("SessionStreamDigest not reproducible: %x vs %x", d1, d2)
+	}
+	other := opts
+	other.Seed++
+	if d3 := SessionStreamDigest(other); d3 == d1 {
+		t.Fatalf("different seeds produced equal session digests %x", d1)
+	}
+}
+
+// TestRunSessionsConformance drives a real local server and demands an
+// entirely clean run: no request errors, no desyncs, zero mismatches.
+func TestRunSessionsConformance(t *testing.T) {
+	l := startServer(t, server.Config{QueueDepth: 256})
+	opts := testSessionOptions()
+	opts.SLO = &SLO{MaxErrorRate: 0}
+	report, err := RunSessions(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatalf("RunSessions: %v", err)
+	}
+	if report.Mode != "sessions" || report.Sessions == nil {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Sessions.Batches != opts.Sessions*opts.Batches {
+		t.Fatalf("applied %d batches, want %d", report.Sessions.Batches, opts.Sessions*opts.Batches)
+	}
+	if report.Sessions.Desynced != 0 {
+		t.Fatalf("%d sessions desynced", report.Sessions.Desynced)
+	}
+	if report.Conformance == nil || report.Conformance.Mismatches != 0 {
+		t.Fatalf("conformance = %+v", report.Conformance)
+	}
+	// Every endpoint of the session API must have been exercised.
+	for _, ep := range []string{EndpointSessionCreate, EndpointSessionChanges, EndpointSessionGet, EndpointSessionDelete} {
+		er := report.Endpoints[ep]
+		if er == nil || er.Requests == 0 || er.Errors != 0 {
+			t.Fatalf("endpoint %s: %+v", ep, er)
+		}
+	}
+	if report.SLO == nil || !report.SLO.Pass {
+		t.Fatalf("SLO = %+v", report.SLO)
+	}
+	if report.StreamDigest == "" {
+		t.Fatal("missing stream digest")
+	}
+
+	// A second run with the same seed produces the identical digest (the
+	// stream really is worker-count- and wall-clock-independent).
+	opts2 := testSessionOptions()
+	opts2.Workers = 1
+	report2, err := RunSessions(context.Background(), l.URL, opts2)
+	if err != nil {
+		t.Fatalf("RunSessions (2nd): %v", err)
+	}
+	if report2.StreamDigest != report.StreamDigest {
+		t.Fatalf("stream digest changed across runs: %s vs %s", report2.StreamDigest, report.StreamDigest)
+	}
+	if report2.Conformance.Mismatches != 0 {
+		t.Fatalf("second run mismatches: %d", report2.Conformance.Mismatches)
+	}
+}
+
+// TestSessionOptionsValidate rejects streams the generator would panic on.
+func TestSessionOptionsValidate(t *testing.T) {
+	bad := testSessionOptions()
+	bad.Axes.Policies = []string{"bogus"}
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	bad = testSessionOptions()
+	bad.Axes.Ns = []int{1}
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("degenerate topology size accepted")
+	}
+	if _, err := RunSessions(context.Background(), "http://127.0.0.1:1", bad); err == nil {
+		t.Fatal("RunSessions accepted invalid options")
+	}
+}

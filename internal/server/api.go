@@ -165,6 +165,10 @@ type ReadinessResponse struct {
 	Inflight int `json:"inflight"`
 	// Brownout lists the endpoints configured to degrade under overload.
 	Brownout []string `json:"brownout,omitempty"`
+	// SessionsActive/SessionsMax report streaming-session load: how many
+	// maintained topologies are live against the admission cap.
+	SessionsActive int `json:"sessions_active"`
+	SessionsMax    int `json:"sessions_max"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pacds/internal/cds"
+	"pacds/internal/graph"
+)
+
+// FuzzSessionChanges feeds arbitrary bodies into the delta-batch decoder
+// and maintenance pipeline of a live session. The invariants mirror
+// FuzzComputeRequest: every byte sequence is answered with 2xx or 4xx
+// (never a 5xx, never a panic); errors are well-formed JSON envelopes; a
+// rejected batch leaves the session's epoch unchanged; and after a 200
+// the maintained gateway set is a valid CDS of the session's current
+// topology whenever that topology is connected.
+func FuzzSessionChanges(f *testing.F) {
+	seeds := []string{
+		// Well-formed batches.
+		`{"changes":[{"a":0,"b":4,"up":true}]}`,
+		`{"changes":[{"a":1,"b":2,"up":false},{"a":0,"b":5,"up":true}]}`,
+		// Pure energy refresh; wrong-length energy; hostile floats.
+		`{"energy":[1,2,3,4,5,6,7,8]}`,
+		`{"energy":[1,2]}`,
+		`{"energy":[1e999,0,0,0,0,0,0,0]}`,
+		// Self link, out-of-range endpoints, negative ids.
+		`{"changes":[{"a":3,"b":3,"up":true}]}`,
+		`{"changes":[{"a":0,"b":99,"up":true}]}`,
+		`{"changes":[{"a":-1,"b":2,"up":false}]}`,
+		// Duplicate toggles of the same link in one batch.
+		`{"changes":[{"a":0,"b":4,"up":true},{"a":0,"b":4,"up":false},{"a":4,"b":0,"up":true}]}`,
+		// Empty batch, empty object, empty body, truncation, wrong types,
+		// unknown fields.
+		`{"changes":[]}`,
+		`{}`,
+		``,
+		`{"changes":[{"a":0,"b":4`,
+		`{"changes":"nope"}`,
+		`{"changes":[{"a":0,"b":1,"up":true}],"bogus":1}`,
+		// Oversized batch (the server below caps batches at 8).
+		`{"changes":[{"a":0,"b":2,"up":true},{"a":0,"b":3,"up":true},{"a":0,"b":4,"up":true},{"a":0,"b":5,"up":true},{"a":0,"b":6,"up":true},{"a":0,"b":7,"up":true},{"a":1,"b":3,"up":true},{"a":1,"b":4,"up":true},{"a":1,"b":5,"up":true}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	srv := New(Config{
+		Workers: 2, QueueDepth: 256, MaxNodes: 64, SessionMaxChanges: 8,
+		RequestTimeout: 5 * time.Second, SessionReap: -1,
+	})
+	defer srv.Close()
+	handler := srv.Handler()
+
+	// One long-lived 8-node session absorbs every fuzz input; the graph
+	// wanders wherever the fuzzer drives it, which is the point.
+	g := mustGraph(f, chain(8))
+	snap, err := srv.sessions.Create(g, cds.ND, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before, _, err := srv.sessions.Get(snap.ID, 0, false)
+		if err != nil {
+			t.Fatalf("session vanished: %v", err)
+		}
+
+		req := httptest.NewRequest("POST", "/v1/sessions/"+snap.ID+"/changes", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+
+		if rr.Code >= 500 {
+			t.Fatalf("hostile batch produced HTTP %d (want 2xx/4xx)\nbody: %q\nresponse: %s",
+				rr.Code, body, rr.Body.Bytes())
+		}
+		after, _, err := srv.sessions.Get(snap.ID, 0, false)
+		if err != nil {
+			t.Fatalf("session vanished after request: %v", err)
+		}
+		if rr.Code != 200 {
+			var er errorResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("HTTP %d with malformed error body %q", rr.Code, rr.Body.Bytes())
+			}
+			if after.Epoch != before.Epoch {
+				t.Fatalf("rejected batch moved the epoch %d -> %d\nbody: %q",
+					before.Epoch, after.Epoch, body)
+			}
+			return
+		}
+
+		var resp SessionResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 with undecodable response %q", rr.Body.Bytes())
+		}
+		if resp.Epoch <= before.Epoch {
+			t.Fatalf("applied batch did not advance the epoch (%d -> %d)", before.Epoch, resp.Epoch)
+		}
+		// The maintained assignment must be a CDS of the maintained
+		// topology (when connected; a partitioned graph has no CDS).
+		cur, gwBools, err := srv.sessions.Graph(snap.ID)
+		if err != nil {
+			t.Fatalf("Graph: %v", err)
+		}
+		if !cur.IsConnected() {
+			return
+		}
+		if err := cds.VerifyCDS(cur, gwBools); err != nil {
+			t.Fatalf("200 left a non-CDS assignment: %v\nbody: %q", err, body)
+		}
+	})
+}
+
+func mustGraph(f *testing.F, spec GraphSpec) *graph.Graph {
+	g, err := spec.build(0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}

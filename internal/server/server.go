@@ -39,6 +39,7 @@ import (
 	"pacds/internal/metrics"
 	"pacds/internal/sim"
 	"pacds/internal/stats"
+	"pacds/internal/topo"
 )
 
 // Config parameterizes a Server. The zero value gets sensible serving
@@ -78,6 +79,22 @@ type Config struct {
 	// (load sheds, drain refusals, saturation), rounded up to whole
 	// seconds on the wire (default 1s).
 	ShedRetryAfter time.Duration
+
+	// MaxSessions bounds live streaming-topology sessions; admissions
+	// beyond it evict the least-recently-used session (default 1024).
+	MaxSessions int
+	// SessionIdleTTL expires sessions untouched for this long (default
+	// 10m).
+	SessionIdleTTL time.Duration
+	// SessionReap is the session reaper period (default 30s; negative
+	// disables the background goroutine).
+	SessionReap time.Duration
+	// SessionMaxChanges bounds the link events in one delta batch
+	// (default 4096).
+	SessionMaxChanges int
+	// SessionHistory bounds the per-session change-summary ring used for
+	// since-epoch diffs (default 64).
+	SessionHistory int
 
 	// TestDelay artificially lengthens every computation; tests (both in
 	// this package and in the load harness) use it to hold requests in
@@ -142,6 +159,7 @@ type Server struct {
 	cache    *lruCache
 	flight   *flightGroup
 	brownout map[string]bool // endpoints serving degraded responses under overload
+	sessions *topo.Manager   // streaming-topology session subsystem
 
 	reg        *metrics.Registry
 	mHits      *metrics.Counter
@@ -186,6 +204,15 @@ func New(cfg Config) *Server {
 	s.mMisses = s.reg.Counter("cdsd_cache_misses_total", "compute requests that ran the full pipeline")
 	s.mCoalesced = s.reg.Counter("cdsd_coalesced_total", "compute requests coalesced onto an identical in-flight computation")
 	s.mDegraded = s.reg.Counter(`cdsd_degraded_total{endpoint="compute"}`, "brownout responses served from stale cache instead of shedding")
+	s.sessions = topo.NewManager(topo.Config{
+		MaxSessions:  cfg.MaxSessions,
+		MaxNodes:     cfg.MaxNodes,
+		MaxChanges:   cfg.SessionMaxChanges,
+		IdleTTL:      cfg.SessionIdleTTL,
+		ReapInterval: cfg.SessionReap,
+		History:      cfg.SessionHistory,
+		Registry:     s.reg,
+	})
 	s.gQueue = s.reg.Gauge("cdsd_queue_depth", "jobs waiting for a worker")
 	s.gInflight = s.reg.Gauge("cdsd_inflight_requests", "requests currently being served")
 	s.gEntries = s.reg.Gauge("cdsd_cache_entries", "entries in the result cache")
@@ -200,6 +227,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simulate", s.endpoint("simulate", s.handleSimulate))
 	s.mux.HandleFunc("POST /v1/verify", s.endpoint("verify", s.handleVerify))
 	s.mux.HandleFunc("GET /v1/policies", s.endpoint("policies", s.handlePolicies))
+	s.mux.HandleFunc("POST /v1/sessions", s.endpoint("session_create", s.handleSessionCreate))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.endpoint("session_get", s.handleSessionGet))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/changes", s.endpoint("session_changes", s.handleSessionChanges))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.endpoint("session_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("GET /healthz", s.handleReady) // back-compat: readiness
 	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
 	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
@@ -313,6 +344,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.stopWk.Do(func() { close(s.quit) })
 	s.wkDone.Wait()
+	s.sessions.Close() // stop the session reaper (idempotent)
 	return err
 }
 
@@ -643,8 +675,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Status:        "ready",
 		QueueDepth:    len(s.jobs),
 		QueueCapacity: cap(s.jobs),
-		Inflight:      int(s.gInflight.Value()),
-		Brownout:      append([]string(nil), s.cfg.BrownoutEndpoints...),
+		Inflight:       int(s.gInflight.Value()),
+		Brownout:       append([]string(nil), s.cfg.BrownoutEndpoints...),
+		SessionsActive: s.sessions.Len(),
+		SessionsMax:    s.sessions.Cap(),
 	}
 	status := http.StatusOK
 	switch {

@@ -39,6 +39,10 @@
 //   - Serving & load: NewCDSServer / StartLocalCDSServer run the cdsd
 //     service; RunLoad drives it with a deterministic seeded workload and
 //     cross-checks responses against the library (see cmd/loadgen).
+//   - Streaming sessions: NewTopologySessionManager maintains many
+//     long-lived incremental CDS sessions (cdsd's /v1/sessions API);
+//     RunSessionLoad streams deterministic delta batches at them and
+//     replays every sampled snapshot against an in-process oracle.
 //   - Resilience & chaos: NewResilientCDSClient wraps the client with
 //     retries, deterministic backoff, a circuit breaker, and hedging;
 //     NewChaosPlan / NewChaosTransport inject seeded L7 faults for
@@ -66,6 +70,7 @@ import (
 	"pacds/internal/routing"
 	"pacds/internal/server"
 	"pacds/internal/sim"
+	"pacds/internal/topo"
 	"pacds/internal/traffic"
 	"pacds/internal/udg"
 	"pacds/internal/viz"
@@ -635,6 +640,46 @@ type (
 	ServerReadiness        = server.ReadinessResponse
 )
 
+// --- Streaming topology sessions ---
+
+// TopologySessionManager owns cdsd's long-lived incremental CDS sessions:
+// lock-striped shards, admission limits with LRU eviction, an idle-TTL
+// reaper, and per-session since-epoch change summaries. Each session
+// wraps a MaintenanceSession (paper Section 2.2 localized maintenance).
+type TopologySessionManager = topo.Manager
+
+// TopologySessionConfig parameterizes a TopologySessionManager.
+type TopologySessionConfig = topo.Config
+
+// TopologySessionSnapshot is the full state of one session at an epoch.
+type TopologySessionSnapshot = topo.Snapshot
+
+// TopologySessionSummary aggregates the changes since a client-held epoch.
+type TopologySessionSummary = topo.Summary
+
+// NewTopologySessionManager starts the session subsystem (cdsd embeds one;
+// standalone use is for tests and tools). Stop it with Close.
+func NewTopologySessionManager(cfg TopologySessionConfig) *TopologySessionManager {
+	return topo.NewManager(cfg)
+}
+
+// Sentinel errors of the session subsystem; test with errors.Is.
+var (
+	ErrSessionNotFound = topo.ErrNotFound // unknown, reaped, or evicted id
+	ErrSessionInvalid  = topo.ErrInvalid  // malformed graph, batch, or energy input
+	ErrSessionLimit    = topo.ErrLimit    // admission refused at capacity
+)
+
+// Wire types of the cdsd /v1/sessions HTTP/JSON API.
+type (
+	ServerSessionCreateRequest  = server.SessionCreateRequest
+	ServerSessionChangesRequest = server.SessionChangesRequest
+	ServerSessionEdgeChange     = server.SessionEdgeChange
+	ServerSessionResponse       = server.SessionResponse
+	ServerSessionChangeSummary  = server.SessionChangeSummary
+	ServerSessionStats          = server.SessionStats
+)
+
 // LocalCDSServer is a cdsd instance bound to an ephemeral loopback
 // listener — a real HTTP server without picking a port, for tests,
 // examples, and self-driven load runs.
@@ -685,6 +730,33 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 // a stream outside Run. opts must be the same value Run was (or will be)
 // given.
 func GenerateLoadRequest(opts LoadOptions, i int) *load.Request { return load.Generate(opts, i) }
+
+// SessionLoadOptions configures a streaming-session load run: concurrent
+// sessions, delta batches per session, and the conformance oracle. Every
+// session's initial topology and batch stream is a pure function of
+// (options, session index, batch index).
+type SessionLoadOptions = load.SessionOptions
+
+// SessionLoadReport summarizes the session-specific outcomes of a run
+// (batches applied, link changes streamed, snapshots taken, desyncs).
+type SessionLoadReport = load.SessionsReport
+
+// RunSessionLoad drives cdsd's /v1/sessions API with the configured
+// deterministic delta streams. With Conformance set, every sampled
+// snapshot is replayed against an in-process MaintenanceSession fed the
+// identical history and compared field by field (exact equality is sound
+// because maintained-protocol outcomes are deterministic for a shared
+// history; see DESIGN.md section 12).
+func RunSessionLoad(ctx context.Context, baseURL string, opts SessionLoadOptions) (*LoadReport, error) {
+	return load.RunSessions(ctx, baseURL, opts)
+}
+
+// SessionLoadStreamDigest fingerprints the entire synthesized session
+// workload (topologies, batches, energy updates); equal options yield
+// equal digests at any worker count.
+func SessionLoadStreamDigest(opts SessionLoadOptions) uint64 {
+	return load.SessionStreamDigest(opts)
+}
 
 // MetricsSample is one parsed Prometheus exposition sample.
 type MetricsSample = metrics.Sample
