@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify cover bench bench-quick bench-sessions fuzz load chaos clean
+.PHONY: all build test vet race verify cover bench bench-quick bench-sessions bench-check profile fuzz load chaos clean
 
 all: verify
 
@@ -82,12 +82,32 @@ load:
 		-conformance -slo-error-rate 0 -o LOAD_PR7_SESSIONS.json
 	@echo "wrote LOAD_PR7_SESSIONS.json"
 
-# Maintained-vs-scratch session benchmark behind the streaming-sessions
-# design note (DESIGN.md section 12): incremental delta application on a
-# long-lived session versus a full bootstrap per batch at N=300.
+# Session maintenance benchmarks behind the incremental rule phase
+# (DESIGN.md sections 12-13): maintained-vs-scratch delta application at
+# N=300, plus the N=1000 sparse scaling sweep whose per-batch cost tracks
+# the dirty frontier rather than the host population.
 bench-sessions:
 	$(GO) test -run '^$$' -bench SessionApplyChanges -benchmem -count 5 . | tee bench-sessions.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR7.json bench-sessions.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json bench-sessions.out
+
+# Perf regression gate: re-run the session benchmarks once and diff their
+# ns/op against the checked-in session baseline; any benchmark more than
+# 20% slower fails the target. BENCH_PR7.json is the pre-incremental
+# baseline — the gate proves the dirty-frontier phase never regresses
+# below it (the N=1000 sweep postdates PR7 and reports as new).
+BENCH_BASELINE ?= BENCH_PR7.json
+bench-check:
+	$(GO) test -run '^$$' -bench SessionApplyChanges -benchmem . | \
+		$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE)
+
+# CPU and allocation profiles of the maintained session path, for chasing
+# rule-phase hotspots. Writes pprof artifacts under results/.
+profile:
+	mkdir -p results
+	$(GO) test -run '^$$' -bench 'SessionApplyChanges$$/maintained' -benchtime 2000x \
+		-cpuprofile results/session_cpu.pprof -memprofile results/session_mem.pprof .
+	$(GO) tool pprof -top -nodecount 15 results/session_cpu.pprof
+	@echo "wrote results/session_cpu.pprof results/session_mem.pprof"
 
 # Deterministic chaos soak: seeded L7 faults (5xx bursts, resets, latency
 # spikes) injected into the client transport, ridden out by the resilient

@@ -7,9 +7,16 @@
 //
 //	go test -run '^$' -bench . -benchmem -count 5 . | benchjson -o BENCH_PR3.json
 //	benchjson -o BENCH_PR3.json bench.out
+//	go test -run '^$' -bench . -benchmem . | benchjson -baseline BENCH_PR7.json
 //
 // Lines that are not benchmark results (the goos/goarch header, PASS, ok)
 // are ignored, so the raw `go test` stream can be piped in unchanged.
+//
+// With -baseline, the summary is additionally diffed against a previously
+// written JSON file: every benchmark present in both is compared on ns/op,
+// and any regression beyond -threshold (default 20%) fails the run with a
+// non-zero exit — the CI perf gate. Benchmarks only on one side are
+// reported but never fail the gate (they are new or retired, not slower).
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,6 +42,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	baseline := fs.String("baseline", "", "baseline JSON to diff against; regressions fail the run")
+	threshold := fs.Float64("threshold", 0.20, "allowed fractional ns/op regression vs the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,10 +89,64 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		_, err = stdout.Write(buf)
+		if _, err := stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
+	if *baseline == "" {
+		return nil
+	}
+	return diffBaseline(stdout, *baseline, summary, *threshold)
+}
+
+// diffBaseline compares the current summary's ns/op means against a prior
+// benchjson artifact and errors out on any regression beyond threshold.
+func diffBaseline(w io.Writer, path string, cur map[string]map[string]float64, threshold float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base := map[string]map[string]float64{}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		curNs, ok := cur[name]["ns/op"]
+		if !ok {
+			continue
+		}
+		baseNs, ok := base[name]["ns/op"]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %-60s new (no baseline entry)\n", name)
+			continue
+		}
+		ratio := curNs / baseNs
+		fmt.Fprintf(w, "benchjson: %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			name, baseNs, curNs, 100*(ratio-1))
+		if ratio > 1+threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%%)",
+					name, baseNs, curNs, 100*(ratio-1), 100*threshold))
+		}
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(w, "benchjson: %-60s retired (baseline only)\n", name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) vs %s:\n  %s",
+			len(regressions), path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // resultLine matches one benchmark result: name (with the trailing

@@ -64,6 +64,51 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+func TestBaselineDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	// Baseline: dirty at 70000 ns/op, rescan at 100000 ns/op, one retired.
+	writeJSON(t, base, map[string]map[string]float64{
+		"ApplyRulesFixpoint/dirty":  {"ns/op": 70229},
+		"ApplyRulesFixpoint/rescan": {"ns/op": 100000},
+		"Retired":                   {"ns/op": 42},
+	})
+
+	// Current run: dirty flat, rescan 2x slower -> must fail the gate.
+	var out strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(sampleOutput), &out)
+	if err == nil {
+		t.Fatalf("want regression error, got none; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "ApplyRulesFixpoint/rescan") {
+		t.Fatalf("regression error %q does not name the regressed benchmark", err)
+	}
+	if strings.Contains(err.Error(), "ApplyRulesFixpoint/dirty") {
+		t.Fatalf("flat benchmark flagged as regression: %q", err)
+	}
+	for _, want := range []string{"Marking", "new (no baseline entry)", "Retired", "retired (baseline only)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A generous threshold admits the same run.
+	if err := run([]string{"-baseline", base, "-threshold", "1.5"}, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("threshold 150%%: unexpected failure: %v", err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func keys(m map[string]map[string]float64) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

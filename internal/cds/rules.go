@@ -44,64 +44,25 @@ import "pacds/internal/graph"
 // rule1Eligible reports whether currently-marked v may unmark itself under
 // the Rule 1 template, evaluated against the current gateway state gw: some
 // marked neighbor u with less(v, u) has N[v] ⊆ N[u]. The rule is stated on
-// G', so the covering node u must currently be a gateway.
+// G', so the covering node u must currently be a gateway. Passing gw as
+// both halves of the slot view reproduces the in-place sweep semantics
+// exactly (see slots.go).
 func rule1Eligible(g *graph.Graph, gw []bool, less Less, v graph.NodeID) bool {
-	for _, u := range g.Neighbors(v) {
-		if gw[u] && less(v, u) && g.ClosedSubset(v, u) {
-			return true
-		}
-	}
-	return false
+	return Rule1SlotEligible(g, gw, gw, less, v)
 }
 
 // rule2IDEligible reports whether currently-marked v may unmark itself
 // under the original ID-keyed Rule 2: two currently-marked neighbors u, w
 // cover N(v) and v has the minimum ID of the three.
 func rule2IDEligible(g *graph.Graph, gw []bool, v graph.NodeID) bool {
-	nb := g.Neighbors(v)
-	for i := 0; i < len(nb); i++ {
-		u := nb[i]
-		if !gw[u] || u < v {
-			// id(v) must be the minimum of the three, so any marked
-			// neighbor with a smaller ID disqualifies the pair that
-			// includes it. Skipping u < v is not just an optimization:
-			// it enforces the min-ID condition for u.
-			continue
-		}
-		for j := i + 1; j < len(nb); j++ {
-			w := nb[j]
-			if !gw[w] || w < v {
-				continue
-			}
-			if g.OpenSubsetOfUnion(v, u, w) {
-				return true
-			}
-		}
-	}
-	return false
+	return rule2IDSlotEligible(g, gw, v)
 }
 
 // rule2PriorityEligible reports whether currently-marked v may unmark
 // itself under the Rule 2a/2b/2b' template with the given priority order,
 // evaluated against the current gateway state gw.
 func rule2PriorityEligible(g *graph.Graph, gw []bool, less Less, v graph.NodeID) bool {
-	nb := g.Neighbors(v)
-	for i := 0; i < len(nb); i++ {
-		u := nb[i]
-		if !gw[u] {
-			continue
-		}
-		for j := i + 1; j < len(nb); j++ {
-			w := nb[j]
-			if !gw[w] {
-				continue
-			}
-			if rule2Covered(g, v, u, w, less) {
-				return true
-			}
-		}
-	}
-	return false
+	return rule2PrioritySlotEligible(g, gw, gw, less, v)
 }
 
 // ruleEligible reports whether marked v may unmark itself under either of

@@ -1,0 +1,106 @@
+package cds
+
+import "pacds/internal/graph"
+
+// Slot-view rule evaluation.
+//
+// The sequential semantics of ApplyRules (see rules.go) walks the nodes in
+// ascending ID order with every premise judged against the gateway state
+// as it stands at that node's slot. When the whole sweep runs over one
+// in-place array, that state is implicit: entries below the cursor already
+// hold their post-sweep value, entries at or above it still hold their
+// pre-sweep value. The incremental maintenance path (package distributed)
+// re-runs only a subset of slots, so the two halves of that view live in
+// separate arrays — `after` for decided slots (u < v) and `before` for
+// undecided ones (u >= v). The functions below make that split view
+// explicit; the classic full-sweep callers pass the same array twice and
+// get exactly the old behavior.
+
+// statusAt reads node u's gateway status as seen from node v's slot.
+func statusAt(before, after []bool, v, u graph.NodeID) bool {
+	if u < v {
+		return after[u]
+	}
+	return before[u]
+}
+
+// Rule1SlotEligible reports whether node v's Rule-1 slot fires: v is
+// currently a gateway (callers check that against the view they maintain)
+// and some gateway neighbor u with less(v, u) has N[v] ⊆ N[u]. Statuses of
+// neighbors below v are read from after, the rest from before.
+func Rule1SlotEligible(g *graph.Graph, before, after []bool, less Less, v graph.NodeID) bool {
+	for _, u := range g.Neighbors(v) {
+		if statusAt(before, after, v, u) && less(v, u) && g.ClosedSubset(v, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// rule2IDSlotEligible is the original ID-keyed Rule 2 under the split
+// view. The min-ID guard skips every neighbor below v, so only before
+// values are ever read.
+func rule2IDSlotEligible(g *graph.Graph, before []bool, v graph.NodeID) bool {
+	nb := g.Neighbors(v)
+	for i := 0; i < len(nb); i++ {
+		u := nb[i]
+		if u < v || !before[u] {
+			// id(v) must be the minimum of the three, so any marked
+			// neighbor with a smaller ID disqualifies the pair that
+			// includes it. Skipping u < v is not just an optimization:
+			// it enforces the min-ID condition for u.
+			continue
+		}
+		for j := i + 1; j < len(nb); j++ {
+			w := nb[j]
+			if w < v || !before[w] {
+				continue
+			}
+			if g.OpenSubsetOfUnion(v, u, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rule2PrioritySlotEligible is the Rule 2a/2b/2b' template under the
+// split view.
+func rule2PrioritySlotEligible(g *graph.Graph, before, after []bool, less Less, v graph.NodeID) bool {
+	nb := g.Neighbors(v)
+	for i := 0; i < len(nb); i++ {
+		u := nb[i]
+		if !statusAt(before, after, v, u) {
+			continue
+		}
+		for j := i + 1; j < len(nb); j++ {
+			w := nb[j]
+			if !statusAt(before, after, v, w) {
+				continue
+			}
+			if rule2Covered(g, v, u, w, less) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Rule2SlotEligible reports whether node v's Rule-2 slot fires under the
+// policy's Rule 2 variant, with the same split-view contract as
+// Rule1SlotEligible. The policy must not be NR.
+func Rule2SlotEligible(g *graph.Graph, p Policy, before, after []bool, less Less, v graph.NodeID) bool {
+	if p == ID {
+		return rule2IDSlotEligible(g, before, v)
+	}
+	return rule2PrioritySlotEligible(g, before, after, less, v)
+}
+
+// LessFor builds the policy's priority order for external rule-slot
+// callers: closures over g's current degrees and the energy slice's
+// current values, so in-place updates to either are visible to later
+// calls. energy may be nil for policies that do not need it; it is indexed
+// by node id and must not be reallocated by the caller afterwards.
+func LessFor(p Policy, g *graph.Graph, energy []float64) (Less, error) {
+	return lessFor(p, g, energy)
+}

@@ -451,16 +451,17 @@ func (h *hnode) trySlot(r, rule int, rt *hruntime) {
 	if !h.gateway || h.unmarkPending {
 		return
 	}
+	// The rule predicates are pure: the unmark stays tentative until every
+	// neighbor ACKs, so nothing needs rolling back here.
 	var fire bool
 	if rule == 1 {
-		fire = h.tryRule1(rt.policy)
+		fire = h.rule1Applies(rt.policy)
 	} else {
-		fire = h.tryRule2(rt.policy)
+		fire = h.rule2Applies(rt.policy)
 	}
 	if !fire {
 		return
 	}
-	h.gateway = true // undo tryRule's eager unmark: commit happens on full ACK
 	if len(h.nbrs) == 0 {
 		// Nobody to inform: commit immediately.
 		h.gateway = false

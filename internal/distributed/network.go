@@ -149,7 +149,10 @@ func (nw *network) broadcast(m Message) {
 // the round counter.
 func (nw *network) deliver(nodes []*node) {
 	msgs := nw.pending
-	nw.pending = nil
+	// Reuse the queue's capacity across rounds instead of reallocating per
+	// deliver. Safe because receive never broadcasts: nothing can append to
+	// (and alias) the backing array while this loop drains the round.
+	nw.pending = nw.pending[:0]
 	for _, m := range msgs {
 		for _, to := range nw.g.Neighbors(m.From) {
 			nodes[to].receive(m)

@@ -196,9 +196,11 @@ func (n *node) openSubsetUnion(a, u, w graph.NodeID) bool {
 	return true
 }
 
-// tryRule1 evaluates the policy's Rule 1 template locally; reports whether
-// the node unmarked itself.
-func (n *node) tryRule1(p cds.Policy) bool {
+// rule1Applies evaluates the policy's Rule 1 template locally as a pure
+// predicate: it reports whether the node's slot fires without changing any
+// state. tryRule1 commits the unmark for the idealized sweep; the hardened
+// protocol keeps the decision tentative until every neighbor ACKs.
+func (n *node) rule1Applies(p cds.Policy) bool {
 	if !n.gateway {
 		return false
 	}
@@ -207,16 +209,25 @@ func (n *node) tryRule1(p cds.Policy) bool {
 			continue
 		}
 		if n.less(p, n.id, u) && n.closedSubsetSelf(u) {
-			n.gateway = false
 			return true
 		}
 	}
 	return false
 }
 
-// tryRule2 evaluates the policy's Rule 2 locally; reports whether the node
+// tryRule1 runs Rule 1 in the node's slot; reports whether the node
 // unmarked itself.
-func (n *node) tryRule2(p cds.Policy) bool {
+func (n *node) tryRule1(p cds.Policy) bool {
+	if !n.rule1Applies(p) {
+		return false
+	}
+	n.gateway = false
+	return true
+}
+
+// rule2Applies evaluates the policy's Rule 2 locally as a pure predicate
+// (see rule1Applies).
+func (n *node) rule2Applies(p cds.Policy) bool {
 	if !n.gateway {
 		return false
 	}
@@ -238,18 +249,26 @@ func (n *node) tryRule2(p cds.Policy) bool {
 					continue
 				}
 				if n.openSubsetUnion(n.id, u, w) {
-					n.gateway = false
 					return true
 				}
 				continue
 			}
 			if n.rule2Covered(p, u, w) {
-				n.gateway = false
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// tryRule2 runs Rule 2 in the node's slot; reports whether the node
+// unmarked itself.
+func (n *node) tryRule2(p cds.Policy) bool {
+	if !n.rule2Applies(p) {
+		return false
+	}
+	n.gateway = false
+	return true
 }
 
 // rule2Covered is the three-case analysis of Rules 2a/2b/2b', evaluated

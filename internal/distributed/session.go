@@ -3,6 +3,8 @@ package distributed
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 
 	"pacds/internal/cds"
 	"pacds/internal/graph"
@@ -18,22 +20,34 @@ import (
 // fatal.
 var ErrStale = errors.New("distributed: stale session input")
 
+// sessionBitsetMaxNodes bounds the session sizes for which NewSession
+// enables the graph's dense bitset adjacency view (mirrors the udg
+// builder's limit): Θ(N²/64) memory in exchange for word-parallel subset
+// kernels in the rule slots.
+const sessionBitsetMaxNodes = 4096
+
 // Session maintains a connected dominating set across topology changes
-// with localized message traffic — the paper's Section 2.2 claim made
-// executable. After a full-protocol bootstrap, each maintenance interval
-// costs only:
+// with localized traffic AND localized computation — the paper's Section
+// 2.2 claim made executable. After a full-protocol bootstrap, each
+// maintenance interval costs only:
 //
 //   - one NeighborList broadcast per host whose link set changed (its
 //     neighbors absorb the new 2-hop information);
 //   - one Status broadcast per host whose MARKER actually changed (the
 //     affected set of a link toggle is exactly the endpoints plus their
 //     common neighbors);
-//   - the rule-phase StatusUpdate broadcasts (one per unmark), as in the
-//     one-shot protocol.
+//   - one StatusUpdate broadcast per host whose final gateway status
+//     changed, delivered in a single round.
 //
-// A static host population far from any change transmits nothing. Compare
-// with re-running the full protocol, which costs 3N broadcasts per
-// interval before any rule traffic.
+// The rule phase itself is incremental: instead of re-running every
+// host's Rule-1/Rule-2 slot, only the dirty frontier — hosts whose slot
+// inputs could have changed — is re-evaluated. The frontier is seeded
+// from the changed links and markers (L ∪ N(L) ∪ ΔM ∪ N(ΔM), plus
+// energy-dirty hosts for EL policies) and grows dynamically when a
+// re-evaluated slot flips, exactly mirroring the cascades a full sweep
+// would propagate. The result is provably identical to re-running the
+// full sweep (see DESIGN.md §13 and the equivalence property test); a
+// static host far from any change transmits nothing and computes nothing.
 type Session struct {
 	g      *graph.Graph
 	nodes  []*node
@@ -43,6 +57,83 @@ type Session struct {
 	// successful ApplyChanges or UpdateEnergy increments it exactly once.
 	// The bootstrapped state is epoch 0.
 	epoch uint64
+
+	// Centralized mirrors of the converged distributed state. The package's
+	// invariant tests establish that every host's local knowledge agrees
+	// with the global graph at rule-phase time, so the frontier slots can be
+	// evaluated against these mirrors with the graph's bitset kernels
+	// instead of per-host map lookups — same answers, far cheaper.
+	less      cds.Less  // policy priority order; nil for NR
+	energyArr []float64 // mutated in place, never reallocated (less closes over it)
+	markerArr []bool    // m(v) after the latest marking recomputation
+	gw1       []bool    // statuses after the latest Rule-1 sweep
+	gw2       []bool    // final statuses; always equals the hosts' gateway flags
+
+	// Batch-scoped scratch sets, epoch-stamped so a maintenance interval
+	// allocates nothing in steady state.
+	linkChanged  stampSet // hosts whose own link set changed
+	affected     stampSet // hosts whose marker may change
+	seed         stampSet // initial dirty frontier for the rule phase
+	f1, f2       stampSet // per-sweep frontiers (Rule 1, Rule 2)
+	pendingDirty stampSet // energy-dirty hosts awaiting the next rule phase
+
+	lastFrontier int
+	fullSweep    bool // test oracle: unconditional full sweep per interval
+}
+
+// stampSet is an epoch-stamped node set: O(1) add/has and O(1) reset with
+// no per-batch allocation. stamp[v] == cur means v is a member; reset bumps
+// cur, invalidating every stamp at once (with a linear clear only on the
+// practically-unreachable uint32 wraparound). list holds the members in
+// insertion order.
+type stampSet struct {
+	stamp []uint32
+	cur   uint32
+	list  []graph.NodeID
+}
+
+func (s *stampSet) init(n int) {
+	s.stamp = make([]uint32, n)
+	s.cur = 1
+}
+
+func (s *stampSet) reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.list = s.list[:0]
+}
+
+func (s *stampSet) add(v graph.NodeID) {
+	if s.stamp[v] == s.cur {
+		return
+	}
+	s.stamp[v] = s.cur
+	s.list = append(s.list, v)
+}
+
+func (s *stampSet) has(v graph.NodeID) bool { return s.stamp[v] == s.cur }
+
+func (s *stampSet) sort() { slices.Sort(s.list) }
+
+// scheduleAfter admits v into a sorted, in-progress sweep whose cursor is
+// at index i. Cascade targets always lie strictly above the node being
+// processed, so a v already present is necessarily at an index > i and the
+// membership stamp alone is a safe dedup.
+func (s *stampSet) scheduleAfter(v graph.NodeID, i int) {
+	if s.stamp[v] == s.cur {
+		return
+	}
+	s.stamp[v] = s.cur
+	tail := s.list[i+1:]
+	j := i + 1 + sort.Search(len(tail), func(k int) bool { return tail[k] >= v })
+	s.list = append(s.list, 0)
+	copy(s.list[j+1:], s.list[j:])
+	s.list[j] = v
 }
 
 // EdgeChange is one link-layer event: link {A, B} appeared (Up) or
@@ -60,17 +151,32 @@ func NewSession(g *graph.Graph, p cds.Policy, energy []float64) (*Session, error
 		return nil, fmt.Errorf("distributed: policy %v needs energy for all %d nodes, got %d", p, n, len(energy))
 	}
 	s := &Session{
-		g:      g.Clone(),
-		nodes:  make([]*node, n),
-		policy: p,
+		g:         g.Clone(),
+		nodes:     make([]*node, n),
+		policy:    p,
+		energyArr: make([]float64, n),
+		markerArr: make([]bool, n),
+		gw1:       make([]bool, n),
+		gw2:       make([]bool, n),
 	}
+	if n <= sessionBitsetMaxNodes {
+		s.g.EnableBitset()
+	}
+	copy(s.energyArr, energy)
+	less, err := cds.LessFor(p, s.g, s.energyArr)
+	if err != nil {
+		return nil, err
+	}
+	s.less = less
+	s.linkChanged.init(n)
+	s.affected.init(n)
+	s.seed.init(n)
+	s.f1.init(n)
+	s.f2.init(n)
+	s.pendingDirty.init(n)
 	s.nw = newNetwork(s.g)
 	for v := 0; v < n; v++ {
-		var e float64
-		if len(energy) == n {
-			e = energy[v]
-		}
-		s.nodes[v] = newNode(graph.NodeID(v), e)
+		s.nodes[v] = newNode(graph.NodeID(v), s.energyArr[v])
 	}
 	// Bootstrap phases (identical to Run).
 	for _, nd := range s.nodes {
@@ -83,10 +189,15 @@ func NewSession(g *graph.Graph, p cds.Policy, energy []float64) (*Session, error
 	s.nw.deliver(s.nodes)
 	for _, nd := range s.nodes {
 		nd.computeMarker()
+		s.markerArr[nd.id] = nd.marker
 		s.nw.broadcast(Message{From: nd.id, Kind: Status, Marked: nd.marker})
 	}
 	s.nw.deliver(s.nodes)
-	runRulePhase(s.nw, s.nodes, s.policy)
+	runRulePhaseRecord(s.nw, s.nodes, s.policy, s.gw1)
+	for v, nd := range s.nodes {
+		s.gw2[v] = nd.gateway
+	}
+	s.lastFrontier = n
 	return s, nil
 }
 
@@ -151,34 +262,55 @@ func (s *Session) EnergySnapshot() []float64 {
 	return out
 }
 
-// UpdateEnergy refreshes every host's energy level and broadcasts the new
-// values (energy-aware policies need their neighbors' current levels).
-// Costs one NeighborList broadcast per host; topology-keyed policies (ID,
-// ND) never need this.
+// LastFrontier returns the number of rule slots the most recent rule phase
+// re-evaluated — the dirty-frontier size. After bootstrap (or on the
+// full-sweep oracle path) it equals NumNodes; in steady state it tracks
+// the size of the change's 2-hop neighborhood, not the network.
+func (s *Session) LastFrontier() int { return s.lastFrontier }
+
+// forceFullSweep reverts the session to the pre-incremental behavior — an
+// unconditional full rule sweep every maintenance interval. It exists as
+// the equivalence oracle for the incremental rule phase's property tests
+// and is deliberately unexported.
+func (s *Session) forceFullSweep() { s.fullSweep = true }
+
+// UpdateEnergy refreshes the hosts' energy levels and broadcasts the new
+// value for every host whose level actually changed (energy-aware policies
+// need their neighbors' current levels; an unchanged level is already
+// correctly cached at the neighbors). For EL1/EL2 the changed hosts and
+// their neighbors are queued as dirty for the next rule phase;
+// topology-keyed policies (ID, ND) never need this call.
 func (s *Session) UpdateEnergy(energy []float64) error {
 	if len(energy) != len(s.nodes) {
 		return fmt.Errorf("%w: %d energy values for %d hosts", ErrStale, len(energy), len(s.nodes))
 	}
 	for v, nd := range s.nodes {
+		if nd.energy == energy[v] {
+			continue
+		}
 		nd.energy = energy[v]
+		s.energyArr[v] = energy[v]
 		s.nw.broadcast(Message{From: nd.id, Kind: NeighborList, Neighbors: nd.nbrs, Energy: nd.energy})
+		if s.policy.NeedsEnergy() {
+			// The priority order reads el() of a slot's neighbors, so a
+			// changed level dirties the host and everyone adjacent to it.
+			s.pendingDirty.add(nd.id)
+			for _, u := range s.g.Neighbors(nd.id) {
+				s.pendingDirty.add(u)
+			}
+		}
 	}
-	s.nw.deliver(s.nodes)
+	if len(s.nw.pending) > 0 {
+		s.nw.deliver(s.nodes)
+	}
 	s.epoch++
 	return nil
 }
 
 // ApplyChanges applies a batch of link events, propagates the localized
-// updates, and re-runs the rule phase. It returns the number of hosts
-// whose marker changed.
+// updates, and re-runs the rule phase over the dirty frontier. It returns
+// the number of hosts whose marker changed.
 func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
-	if len(changes) == 0 {
-		// Still need a rule phase if energies were updated; cheap no-op
-		// otherwise (pure local computation plus unmark broadcasts).
-		runRulePhase(s.nw, s.nodes, s.policy)
-		s.epoch++
-		return 0, nil
-	}
 	// Validate the whole batch before touching any state, so a rejected
 	// batch leaves the session unchanged (the ErrStale contract).
 	for _, ch := range changes {
@@ -193,8 +325,9 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 	// marker could change (endpoints ∪ common neighbors, computed before
 	// and after each toggle — membership of the common-neighbor set is
 	// unchanged by toggling {a, b} itself).
-	linkChanged := map[graph.NodeID]bool{}
-	affected := map[graph.NodeID]bool{}
+	s.linkChanged.reset()
+	s.affected.reset()
+	s.seed.reset()
 	for _, ch := range changes {
 		if ch.Up {
 			if s.g.HasEdge(ch.A, ch.B) {
@@ -206,19 +339,13 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 				continue
 			}
 		}
-		linkChanged[ch.A] = true
-		linkChanged[ch.B] = true
-		affected[ch.A] = true
-		affected[ch.B] = true
-		if x, ok := s.g.CommonNeighbor(ch.A, ch.B); ok {
-			// All common neighbors: scan A's list once.
-			_ = x
-			for _, u := range s.g.Neighbors(ch.A) {
-				if s.g.HasEdge(ch.B, u) {
-					affected[u] = true
-				}
-			}
-		}
+		s.linkChanged.add(ch.A)
+		s.linkChanged.add(ch.B)
+		s.affected.add(ch.A)
+		s.affected.add(ch.B)
+		s.g.ForEachCommonNeighbor(ch.A, ch.B, func(u graph.NodeID) {
+			s.affected.add(u)
+		})
 		// Link-layer beacon detection: the endpoints learn the change
 		// directly.
 		a, b := s.nodes[ch.A], s.nodes[ch.B]
@@ -238,40 +365,167 @@ func (s *Session) ApplyChanges(changes []EdgeChange) (int, error) {
 	}
 
 	// Hosts with changed link sets broadcast their new neighbor lists.
-	for v := range linkChanged {
+	for _, v := range s.linkChanged.list {
 		nd := s.nodes[v]
 		s.nw.broadcast(Message{From: nd.id, Kind: NeighborList, Neighbors: nd.nbrs, Energy: nd.energy})
 	}
-	s.nw.deliver(s.nodes)
+	if len(s.nw.pending) > 0 {
+		s.nw.deliver(s.nodes)
+	}
 
 	// Affected hosts recompute their markers. A changed marker is
 	// broadcast; hosts whose link set changed broadcast their marker
 	// unconditionally, because a NEW neighbor has no stored marker for
-	// them yet (in a real system the status rides on the beacon).
+	// them yet (in a real system the status rides on the beacon). A marker
+	// flip dirties the flipped host and its readers — its neighbors.
+	s.affected.sort()
 	changed := 0
-	for v := range affected {
+	for _, v := range s.affected.list {
 		nd := s.nodes[v]
 		old := nd.marker
 		nd.computeMarker()
+		s.markerArr[v] = nd.marker
 		if nd.marker != old {
 			changed++
+			s.seed.add(v)
+			for _, u := range s.g.Neighbors(v) {
+				s.seed.add(u)
+			}
 		}
-		if nd.marker != old || linkChanged[v] {
+		if nd.marker != old || s.linkChanged.has(v) {
 			s.nw.broadcast(Message{From: nd.id, Kind: Status, Marked: nd.marker})
 		}
 	}
-	s.nw.deliver(s.nodes)
+	if len(s.nw.pending) > 0 {
+		s.nw.deliver(s.nodes)
+	}
 
-	runRulePhase(s.nw, s.nodes, s.policy)
+	// Seed the rule-phase frontier with every host whose slot inputs may
+	// have changed: the rules read adjacency, degree, and energy only
+	// within N[v], so changed links dirty their endpoints plus neighbors,
+	// and energy updates queued the analogous set in pendingDirty.
+	for _, v := range s.linkChanged.list {
+		s.seed.add(v)
+		for _, u := range s.g.Neighbors(v) {
+			s.seed.add(u)
+		}
+	}
+	for _, v := range s.pendingDirty.list {
+		s.seed.add(v)
+	}
+	s.pendingDirty.reset()
+
+	if s.fullSweep {
+		runRulePhaseRecord(s.nw, s.nodes, s.policy, s.gw1)
+		for v, nd := range s.nodes {
+			s.gw2[v] = nd.gateway
+		}
+		s.lastFrontier = len(s.nodes)
+	} else {
+		s.incrementalRulePhase()
+	}
 	s.epoch++
 	return changed, nil
 }
 
-func removeSorted(list []graph.NodeID, v graph.NodeID) []graph.NodeID {
-	for i, x := range list {
-		if x == v {
-			return append(list[:i], list[i+1:]...)
+// incrementalRulePhase re-evaluates the rule slots of the seeded dirty
+// frontier, growing it with the cascades a full ID-ordered sweep would
+// propagate, and commits the resulting status flips to the hosts with one
+// batched StatusUpdate round. The final gw1/gw2 arrays are identical to
+// what runRulePhase would produce from the current markers (the property
+// tests replay histories against the full-sweep oracle to check exactly
+// this):
+//
+//   - A slot outside the frontier keeps its previous value, which is
+//     correct because none of its inputs (adjacency, degree, energy,
+//     markers, or the statuses visible at its slot) changed.
+//   - A slot inside the frontier is evaluated under the split view
+//     (cds.Rule1SlotEligible / Rule2SlotEligible): decided slots below it
+//     read the updated array, undecided slots above it read the
+//     previous-sweep array — exactly the state a full sweep would show it.
+//   - When a re-evaluated slot flips, its readers are admitted: Rule-1
+//     flips schedule the higher-ID neighbors into the Rule-1 sweep and all
+//     neighbors into the Rule-2 sweep (gw1 is every Rule-2 slot's
+//     baseline); Rule-2 flips schedule the higher-ID neighbors.
+func (s *Session) incrementalRulePhase() {
+	s.seed.sort()
+	if s.policy == cds.NR {
+		// No rules: a host's gateway status is its marker, with no
+		// status-update traffic (matching the full phase, which only
+		// resets local state for NR).
+		for _, v := range s.seed.list {
+			nd := s.nodes[v]
+			s.gw1[v] = nd.marker
+			s.gw2[v] = nd.marker
+			nd.gateway = nd.marker
 		}
+		s.lastFrontier = len(s.seed.list)
+		return
+	}
+
+	// Rule-1 sweep over the frontier, ascending. Every seeded slot is also
+	// a Rule-2 candidate (the static inputs feed both rules); cascade
+	// admissions enter f2 via the flip handler below.
+	s.f1.reset()
+	s.f2.reset()
+	for _, v := range s.seed.list {
+		s.f1.add(v)
+		s.f2.add(v)
+	}
+	for i := 0; i < len(s.f1.list); i++ {
+		v := s.f1.list[i]
+		now := s.markerArr[v] && !cds.Rule1SlotEligible(s.g, s.markerArr, s.gw1, s.less, v)
+		if now == s.gw1[v] {
+			continue
+		}
+		s.gw1[v] = now
+		for _, u := range s.g.Neighbors(v) {
+			if u > v {
+				s.f1.scheduleAfter(u, i)
+			}
+			s.f2.add(u)
+		}
+	}
+
+	// Rule-2 sweep over its frontier, ascending.
+	s.f2.sort()
+	for i := 0; i < len(s.f2.list); i++ {
+		v := s.f2.list[i]
+		now := s.gw1[v] && !cds.Rule2SlotEligible(s.g, s.policy, s.gw1, s.gw2, s.less, v)
+		if now == s.gw2[v] {
+			continue
+		}
+		s.gw2[v] = now
+		for _, u := range s.g.Neighbors(v) {
+			if u > v {
+				s.f2.scheduleAfter(u, i)
+			}
+		}
+	}
+
+	// Commit: one StatusUpdate per host whose final status changed,
+	// delivered in a single round. (The bootstrap sweep pays one round per
+	// unmark because its slot serialization is load-bearing; here the
+	// final statuses are already decided, so the survivors batch.)
+	for _, v := range s.f2.list {
+		nd := s.nodes[v]
+		if nd.gateway == s.gw2[v] {
+			continue
+		}
+		nd.gateway = s.gw2[v]
+		s.nw.broadcast(Message{From: nd.id, Kind: StatusUpdate, Marked: nd.gateway})
+		s.nw.stats.StatusChanges++
+	}
+	if len(s.nw.pending) > 0 {
+		s.nw.deliver(s.nodes)
+	}
+	s.lastFrontier = len(s.f2.list)
+}
+
+func removeSorted(list []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	if i < len(list) && list[i] == v {
+		return append(list[:i], list[i+1:]...)
 	}
 	return list
 }

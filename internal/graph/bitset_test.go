@@ -107,6 +107,31 @@ func TestQuickBitsetMarkingAgrees(t *testing.T) {
 	}
 }
 
+func TestQuickBitsetForEachCommonNeighborAgrees(t *testing.T) {
+	f := func(in udgGraph) bool {
+		bits, merge := withAndWithoutBits(in)
+		n := NodeID(bits.NumNodes())
+		for u := NodeID(0); u < n; u++ {
+			for _, w := range merge.Neighbors(u) {
+				if w < u {
+					continue
+				}
+				var got, want []NodeID
+				bits.ForEachCommonNeighbor(u, w, func(x NodeID) { got = append(got, x) })
+				merge.ForEachCommonNeighbor(u, w, func(x NodeID) { want = append(want, x) })
+				if !reflect.DeepEqual(got, want) {
+					t.Logf("ForEachCommonNeighbor(%d, %d): bits %v, merge %v", u, w, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickBitsetTracksMutation(t *testing.T) {
 	// AddEdge/RemoveEdge must keep the dense view coherent: HasEdge via the
 	// bitset path must agree with a bitset-free clone after random toggles.

@@ -116,6 +116,43 @@ func (g *Graph) CommonNeighbor(u, w NodeID) (NodeID, bool) {
 	return 0, false
 }
 
+// ForEachCommonNeighbor calls fn for every common neighbor of u and w, in
+// ascending node order. This is the affected-set enumeration of the
+// maintenance protocol (the hosts whose marker a link toggle can flip are
+// exactly the endpoints plus their common neighbors), so it runs on the
+// word-parallel bitset view when enabled and the rows are dense enough,
+// falling back to the sorted merge scan otherwise.
+func (g *Graph) ForEachCommonNeighbor(u, w NodeID, fn func(NodeID)) {
+	g.check(u)
+	g.check(w)
+	nu, nw := g.adj[u], g.adj[w]
+	if g.bits != nil && g.bits.worth(len(nu)+len(nw)) {
+		bu, bw := g.bits.row(u), g.bits.row(w)
+		for i := range bu {
+			x := bu[i] & bw[i]
+			for x != 0 {
+				low := x & -x
+				fn(NodeID(i<<6 + popcount(low-1)))
+				x ^= low
+			}
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(nu) && j < len(nw) {
+		switch {
+		case nu[i] < nw[j]:
+			i++
+		case nu[i] > nw[j]:
+			j++
+		default:
+			fn(nu[i])
+			i++
+			j++
+		}
+	}
+}
+
 // HasUnconnectedNeighbors reports whether v has two neighbors that are not
 // adjacent to each other — the marking-process condition (step 3): m(v) = T
 // iff ∃ u, w ∈ N(v) with {u, w} ∉ E.

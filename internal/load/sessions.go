@@ -143,6 +143,17 @@ type SessionsReport struct {
 	// Desynced counts sessions abandoned after a request-level failure
 	// (the oracle can no longer vouch for the server's state).
 	Desynced int `json:"desynced"`
+	// MeanFrontier is the mean dirty-frontier size over applied batches —
+	// how many rule slots the server re-evaluated per delta batch. It is a
+	// deterministic function of the stream (the incremental rule phase is
+	// deterministic), so the golden test locks it down.
+	MeanFrontier float64 `json:"mean_frontier"`
+	// ApplyLatencyMs summarizes the session_changes latency distribution
+	// (present only with timing; duplicated from the endpoint section for
+	// the reader who only cares about steady-state apply cost).
+	ApplyLatencyMs *LatencyMs `json:"apply_latency_ms,omitempty"`
+
+	frontierSum uint64
 }
 
 // sessionPlan is the deterministic initial state of session j.
@@ -310,6 +321,9 @@ func RunSessions(ctx context.Context, baseURL string, opts SessionOptions) (*Rep
 			sr.Desynced++
 		}
 	}
+	if sr.Batches > 0 {
+		sr.MeanFrontier = float64(sr.frontierSum) / float64(sr.Batches)
+	}
 
 	report := &Report{
 		Tool:         "loadgen",
@@ -329,6 +343,9 @@ func RunSessions(ctx context.Context, baseURL string, opts SessionOptions) (*Rep
 		report.Timing = &TimingReport{
 			DurationSeconds: elapsed.Seconds(),
 			AchievedRPS:     float64(opts.Sessions*opts.Batches) / elapsed.Seconds(),
+		}
+		if ep := report.Endpoints[EndpointSessionChanges]; ep != nil {
+			sr.ApplyLatencyMs = ep.LatencyMs
 		}
 	}
 	if opts.SLO != nil {
@@ -452,6 +469,7 @@ func (d *sessionDriver) step(ctx context.Context, t int) {
 	d.srMu.Lock()
 	d.sr.Batches++
 	d.sr.Changes += len(req.Changes)
+	d.sr.frontierSum += uint64(resp.FrontierSize)
 	if req.Energy != nil {
 		d.sr.EnergyUpdates++
 	}

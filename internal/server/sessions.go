@@ -82,6 +82,10 @@ type SessionResponse struct {
 	// MarkerChanges reports how many hosts' markers flipped in the batch
 	// just applied (changes responses only).
 	MarkerChanges int `json:"marker_changes,omitempty"`
+	// FrontierSize is the number of rule slots the session's most recent
+	// rule phase re-evaluated (see the incremental maintenance path in
+	// package distributed).
+	FrontierSize int `json:"frontier_size,omitempty"`
 	// Summary is present on GET when the client passed ?since=E.
 	Summary *SessionChangeSummary `json:"summary,omitempty"`
 }
@@ -104,6 +108,7 @@ func sessionResponse(snap *topo.Snapshot, sum *topo.Summary) *SessionResponse {
 			Bytes:         snap.Stats.Bytes,
 		},
 		MarkerChanges: snap.MarkerChanges,
+		FrontierSize:  snap.FrontierSize,
 	}
 	if sum != nil {
 		resp.Summary = &SessionChangeSummary{

@@ -136,6 +136,11 @@ type Snapshot struct {
 	// MarkerChanges is the number of hosts whose marker flipped in the
 	// batch that produced this snapshot (Apply only; zero on Get/Create).
 	MarkerChanges int
+	// FrontierSize is the number of rule slots the session's most recent
+	// rule phase re-evaluated — the dirty frontier of the incremental
+	// maintenance path. Right after creation it equals Nodes (bootstrap is
+	// a full sweep).
+	FrontierSize int
 	// Stats are the cumulative maintenance-protocol costs (broadcasts,
 	// deliveries, unmark events) since bootstrap.
 	Stats distributed.Stats
@@ -217,6 +222,7 @@ type Manager struct {
 	cEvictIdle *metrics.Counter
 	cEvictLRU  *metrics.Counter
 	hApply     *metrics.Histogram
+	hFrontier  *metrics.Histogram
 }
 
 // NewManager builds a Manager and starts its background reaper (unless
@@ -238,6 +244,9 @@ func NewManager(cfg Config) *Manager {
 		cEvictIdle: reg.Counter(`cdsd_session_evictions_total{reason="idle"}`, "sessions expired by the idle TTL"),
 		cEvictLRU:  reg.Counter(`cdsd_session_evictions_total{reason="lru"}`, "sessions evicted to admit new ones"),
 		hApply:     reg.Histogram("cdsd_session_apply_seconds", "delta-batch apply latency in seconds", nil),
+		hFrontier: reg.Histogram("cdsd_session_frontier_size",
+			"rule slots re-evaluated per delta batch (dirty-frontier size)",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}),
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{entries: make(map[string]*entry)}
@@ -423,6 +432,7 @@ func (m *Manager) Apply(id string, changes []EdgeChange, energy []float64) (*Sna
 	m.cBatches.Inc()
 	m.cChanges.Add(uint64(len(changes)))
 	m.hApply.Observe(time.Since(start).Seconds())
+	m.hFrontier.Observe(float64(e.sess.LastFrontier()))
 
 	snap := e.snapshotLocked()
 	snap.MarkerChanges = markerChanges
@@ -571,9 +581,10 @@ func (e *entry) snapshotLocked() *Snapshot {
 		Nodes:       e.sess.NumNodes(),
 		Policy:      e.policy,
 		NumGateways: e.sess.NumGateways(),
-		Batches:     e.batches,
-		Changes:     e.changes,
-		Stats:       e.sess.Stats(),
+		Batches:      e.batches,
+		Changes:      e.changes,
+		FrontierSize: e.sess.LastFrontier(),
+		Stats:        e.sess.Stats(),
 	}
 	s.Gateways = make([]int, 0, s.NumGateways)
 	for v, in := range e.sess.GatewaysInto(nil) {
