@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify cover bench bench-quick bench-sessions bench-check profile fuzz load chaos clean
+.PHONY: all build test vet race verify cover bench bench-quick bench-sessions bench-check bench-server bench-server-check trace-demo profile fuzz load chaos clean
 
 all: verify
 
@@ -19,10 +19,11 @@ test:
 # Race-sensitive packages: the message-passing protocol layers, the
 # concurrent serving subsystem, the session manager (lock-striped shards,
 # reaper, eviction), the parallel experiment engine, the load harness
-# (whose workers share collectors and histograms), and the
-# resilience/chaos layers (breakers, token buckets, fault transports).
+# (whose workers share collectors and histograms), the resilience/chaos
+# layers (breakers, token buckets, fault transports), and the tracing
+# ring (concurrent span commits racing /debug/traces readers).
 race:
-	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/topo/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/
+	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/topo/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/ ./internal/obs/
 
 # Statement-coverage floors for the core pruning library, the serving
 # subsystem, the load harness, and the resilience primitives. The floors
@@ -33,12 +34,14 @@ COVER_FLOOR_SERVER     ?= 80
 COVER_FLOOR_LOAD       ?= 75
 COVER_FLOOR_RESILIENCE ?= 85
 COVER_FLOOR_TOPO       ?= 80
+COVER_FLOOR_OBS        ?= 80
 cover:
 	@for spec in "./internal/cds/:$(COVER_FLOOR_CDS)" \
 	             "./internal/server/:$(COVER_FLOOR_SERVER)" \
 	             "./internal/load/:$(COVER_FLOOR_LOAD)" \
 	             "./internal/resilience/:$(COVER_FLOOR_RESILIENCE)" \
-	             "./internal/topo/:$(COVER_FLOOR_TOPO)"; do \
+	             "./internal/topo/:$(COVER_FLOOR_TOPO)" \
+	             "./internal/obs/:$(COVER_FLOOR_OBS)"; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -69,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadWrite -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzComputeRequest -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzSessionChanges -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzParseText -fuzztime 30s ./internal/metrics/
 
 # Seeded load/conformance baselines against a self-booted cdsd. The
 # one-shot run issues 1200 requests across all endpoints and policies;
@@ -99,6 +103,27 @@ BENCH_BASELINE ?= BENCH_PR7.json
 bench-check:
 	$(GO) test -run '^$$' -bench SessionApplyChanges -benchmem . | \
 		$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE)
+
+# Serving-path benchmarks: the compute endpoint through the full HTTP
+# stack, cold cache / warm cache / cold-with-tracing. Writes the raw
+# stream to bench-server.out and a JSON summary to BENCH_PR9.json.
+bench-server:
+	$(GO) test -run '^$$' -bench ServerCompute -benchmem -count 5 . | tee bench-server.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json bench-server.out
+
+# Tracing-overhead regression gate: with tracing disabled (the nil-safe
+# no-op path) the compute endpoint must stay within 2% ns/op of the
+# pre-tracing ServerCompute baseline folded into BENCH_PR8.json. The
+# traced variant postdates the baseline and reports as new.
+bench-server-check:
+	$(GO) test -run '^$$' -bench 'ServerCompute/(cold|warm)' -benchmem -count 3 . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -threshold 0.02
+
+# Render one traced request end to end: pinned client trace id, server
+# stage spans, /debug/traces join, span tree on stdout. The same demo is
+# smoke-tested in CI by TestTraceDemo, so this target cannot rot.
+trace-demo:
+	$(GO) test -run 'TestTraceDemo$$' -v ./internal/server/
 
 # CPU and allocation profiles of the maintained session path, for chasing
 # rule-phase hotspots. Writes pprof artifacts under results/.

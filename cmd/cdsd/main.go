@@ -7,6 +7,12 @@
 //
 //	cdsd -addr :8080 [-workers 8] [-queue 128] [-cache 1024]
 //	     [-timeout 10s] [-drain 5s] [-quantum 1.0] [-maxnodes 100000]
+//	     [-trace-capacity 4096] [-debug] [-log-level info]
+//
+// The daemon always serves its request-trace ring at GET /debug/traces
+// (sized by -trace-capacity); -debug additionally mounts the
+// net/http/pprof profiles under /debug/pprof/. Logs are leveled
+// key=value lines on stderr; the listen address stays on stdout.
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight requests complete,
 // new requests are refused with 503, and the listener closes within the
@@ -32,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"pacds/internal/obs"
 	"pacds/internal/server"
 )
 
@@ -64,12 +71,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	sessionTTL := fs.Duration("session-ttl", 0, "idle deadline before a session is reaped (0 = default 10m)")
 	sessionReap := fs.Duration("session-reap", 0, "session reaper period (0 = default 30s, negative disables)")
 	sessionChanges := fs.Int("session-max-changes", 0, "largest accepted delta batch (0 = default 4096)")
+	traceCap := fs.Int("trace-capacity", 4096, "completed request traces retained for GET /debug/traces (0 disables tracing)")
+	debug := fs.Bool("debug", true, "mount net/http/pprof profiles under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	log := obs.NewLogger(os.Stderr, obs.LoggerOptions{Level: level})
 
 	srv := server.New(server.Config{
 		Workers:           *workers,
@@ -86,6 +101,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		SessionIdleTTL:    *sessionTTL,
 		SessionReap:       *sessionReap,
 		SessionMaxChanges: *sessionChanges,
+		Tracing:           obs.TracerConfig{Capacity: *traceCap},
+		Debug:             *debug,
+		Logger:            log,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -112,7 +130,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if drainDeadline <= 0 {
 		drainDeadline = 5 * time.Second
 	}
-	fmt.Fprintf(stdout, "cdsd draining (deadline %s)\n", drainDeadline)
+	log.Info("draining", "deadline", drainDeadline)
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
 	defer cancel()
@@ -124,7 +142,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if drainErr != nil {
 		return drainErr
 	}
-	fmt.Fprintln(stdout, "cdsd stopped")
+	log.Info("stopped")
 	return nil
 }
 

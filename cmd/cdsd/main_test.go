@@ -165,6 +165,48 @@ func TestDaemonHealthSplitAndBrownoutFlags(t *testing.T) {
 	}
 }
 
+// TestDaemonDebugRoutes: the daemon serves its trace ring and pprof by
+// default, honors -trace-capacity 0 / -debug=false, and rejects a bad
+// -log-level before binding.
+func TestDaemonDebugRoutes(t *testing.T) {
+	get := func(base, path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	base, _ := startDaemon(t)
+	body := `{"graph":{"nodes":3,"edges":[[0,1],[1,2]]},"policy":"ID"}`
+	resp, err := http.Post(base+"/v1/compute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := get(base, "/debug/traces?n=1"); got != http.StatusOK {
+		t.Errorf("/debug/traces = %d (want 200 by default)", got)
+	}
+	if got := get(base, "/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d (want 200 with -debug)", got)
+	}
+
+	bare, _ := startDaemon(t, "-trace-capacity", "0", "-debug=false")
+	if got := get(bare, "/debug/traces"); got != http.StatusNotFound {
+		t.Errorf("untraced /debug/traces = %d (want 404)", got)
+	}
+	if got := get(bare, "/debug/pprof/cmdline"); got != http.StatusNotFound {
+		t.Errorf("no-debug /debug/pprof/cmdline = %d (want 404)", got)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-log-level", "bogus"}, &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}
+
 func TestSplitList(t *testing.T) {
 	got := splitList(" compute, verify ,,")
 	if len(got) != 2 || got[0] != "compute" || got[1] != "verify" {

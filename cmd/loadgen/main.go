@@ -15,6 +15,14 @@
 //
 //	loadgen -self -seed 7 -n 600 -chaos -retries 4 -conformance -slo-error-rate 0
 //
+// With -trace every request carries a deterministic X-Trace-Id; after
+// the run the harness reads the server's /debug/traces ring, joins the
+// span trees back to their stream indices, and adds a traces section to
+// the report: per-stage counts and latency quantiles, stage-sum
+// consistency checks, and a worker-count-invariant stage-set digest:
+//
+//	loadgen -self -seed 7 -n 200 -trace
+//
 // The exit status is 0 on success, 1 on setup errors, and 2 when the
 // run violates an SLO gate (including the zero-mismatch conformance
 // gate).
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +41,7 @@ import (
 
 	"pacds/internal/chaos"
 	"pacds/internal/load"
+	"pacds/internal/obs"
 	"pacds/internal/resilience"
 	"pacds/internal/server"
 )
@@ -71,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retryBudget := fs.Float64("retry-budget", -1, "retry token-bucket capacity (negative = unlimited, keeps chaos runs deterministic)")
 	sloErrRate := fs.Float64("slo-error-rate", -1, "fail if error rate exceeds this (negative = no gate)")
 	sloP99 := fs.Float64("slo-p99", 0, "fail if any endpoint p99 exceeds this many seconds (0 = no gate; implies -timing)")
+	trace := fs.Bool("trace", false, "pin deterministic trace ids, join server span trees into the report (implies -timing; -self boots a traced server)")
+	logLevel := fs.String("log-level", "info", "stderr log verbosity: debug, info, warn, or error")
 	timing := fs.Bool("timing", false, "include wall-clock sections (latency quantiles, RPS) in the report")
 	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
 	sessions := fs.Int("sessions", 0, "streaming-session mode: drive this many concurrent topology sessions instead of one-shot requests")
@@ -80,19 +92,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: -log-level: %v\n", err)
+		return 1
+	}
+	log := obs.NewLogger(stderr, obs.LoggerOptions{Level: level})
 	if (*url == "") == !*self {
-		fmt.Fprintln(stderr, "loadgen: exactly one of -url or -self is required")
+		log.Error("exactly one of -url or -self is required")
 		return 1
 	}
 
 	if *sessions > 0 {
+		if *trace {
+			log.Error("-trace is not supported in -sessions mode")
+			return 1
+		}
 		return runSessions(sessionArgs{
 			url: *url, self: *self, seed: *seed, sessions: *sessions, batches: *batches,
 			workers: *workers, energyEvery: *energyEvery, ns: *ns, radii: *radii,
 			policies: *policies, conformance: *conformance, sample: *sample,
 			timeout: *timeout, timing: *timing || *sloP99 > 0,
 			sloErrRate: *sloErrRate, sloP99: *sloP99, out: *out,
-		}, stdout, stderr)
+		}, stdout, log)
 	}
 
 	opts := load.Options{
@@ -106,20 +128,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FaultFraction: *faultFrac,
 		FaultStart:    *faultStart,
 		Timeout:       *timeout,
-		IncludeTiming: *timing || *sloP99 > 0,
+		Trace:         *trace,
+		IncludeTiming: *timing || *sloP99 > 0 || *trace,
 		Scrape:        true,
 	}
-	var err error
 	if opts.Mix, err = parseMix(*mixFlag); err != nil {
-		fmt.Fprintf(stderr, "loadgen: -mix: %v\n", err)
+		log.Error("bad -mix", "err", err)
 		return 1
 	}
 	if opts.Axes.Ns, err = parseInts(*ns); err != nil {
-		fmt.Fprintf(stderr, "loadgen: -ns: %v\n", err)
+		log.Error("bad -ns", "err", err)
 		return 1
 	}
 	if opts.Axes.Radii, err = parseFloats(*radii); err != nil {
-		fmt.Fprintf(stderr, "loadgen: -radii: %v\n", err)
+		log.Error("bad -radii", "err", err)
 		return 1
 	}
 	if *policies != "" {
@@ -156,18 +178,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	target := *url
 	if *self {
-		local, err := server.StartLocal(server.Config{})
+		cfg := server.Config{}
+		if *trace {
+			// Size the ring to retain the whole run; one stripe because the
+			// report joins every trace by id, so retention must be exact
+			// (striped rings retain per stripe, not globally).
+			capacity := *n + 64
+			if *soak > 0 {
+				capacity = 1 << 16
+			}
+			cfg.Tracing = obs.TracerConfig{Capacity: capacity, Stripes: 1, Seed: *seed}
+		}
+		local, err := server.StartLocal(cfg)
 		if err != nil {
-			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			log.Error("self-boot failed", "err", err)
 			return 1
 		}
 		defer local.Close()
 		target = local.URL
+		log.Debug("self-booted private cdsd", "url", target, "traced", *trace)
 	}
 
 	report, err := load.Run(context.Background(), target, opts)
 	if err != nil {
-		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		log.Error("run failed", "err", err)
 		return 1
 	}
 
@@ -175,20 +209,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			log.Error("cannot create report file", "path", *out, "err", err)
 			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := report.WriteJSON(w); err != nil {
-		fmt.Fprintf(stderr, "loadgen: write report: %v\n", err)
+		log.Error("write report failed", "err", err)
 		return 1
 	}
 
 	if report.SLO != nil && !report.SLO.Pass {
 		for _, v := range report.SLO.Violations {
-			fmt.Fprintf(stderr, "loadgen: SLO violation: %s\n", v)
+			log.Error("SLO violation", "violation", v)
 		}
 		return 2
 	}
@@ -219,7 +253,7 @@ type sessionArgs struct {
 // runSessions executes the streaming-session mode: stateful sessions fed
 // deterministic mobility-derived delta streams, with optional exact
 // conformance against in-process oracle sessions.
-func runSessions(a sessionArgs, stdout, stderr io.Writer) int {
+func runSessions(a sessionArgs, stdout io.Writer, log *slog.Logger) int {
 	opts := load.SessionOptions{
 		Seed:          a.seed,
 		Sessions:      a.sessions,
@@ -233,11 +267,11 @@ func runSessions(a sessionArgs, stdout, stderr io.Writer) int {
 	}
 	var err error
 	if opts.Axes.Ns, err = parseInts(a.ns); err != nil {
-		fmt.Fprintf(stderr, "loadgen: -ns: %v\n", err)
+		log.Error("bad -ns", "err", err)
 		return 1
 	}
 	if opts.Axes.Radii, err = parseFloats(a.radii); err != nil {
-		fmt.Fprintf(stderr, "loadgen: -radii: %v\n", err)
+		log.Error("bad -radii", "err", err)
 		return 1
 	}
 	if a.policies != "" {
@@ -256,7 +290,7 @@ func runSessions(a sessionArgs, stdout, stderr io.Writer) int {
 			QueueDepth:  4 * (a.sessions + 16),
 		})
 		if err != nil {
-			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			log.Error("self-boot failed", "err", err)
 			return 1
 		}
 		defer local.Close()
@@ -265,26 +299,26 @@ func runSessions(a sessionArgs, stdout, stderr io.Writer) int {
 
 	report, err := load.RunSessions(context.Background(), target, opts)
 	if err != nil {
-		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		log.Error("run failed", "err", err)
 		return 1
 	}
 	w := stdout
 	if a.out != "" {
 		f, err := os.Create(a.out)
 		if err != nil {
-			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			log.Error("cannot create report file", "path", a.out, "err", err)
 			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := report.WriteJSON(w); err != nil {
-		fmt.Fprintf(stderr, "loadgen: write report: %v\n", err)
+		log.Error("write report failed", "err", err)
 		return 1
 	}
 	if report.SLO != nil && !report.SLO.Pass {
 		for _, v := range report.SLO.Violations {
-			fmt.Fprintf(stderr, "loadgen: SLO violation: %s\n", v)
+			log.Error("SLO violation", "violation", v)
 		}
 		return 2
 	}

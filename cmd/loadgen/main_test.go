@@ -106,6 +106,39 @@ func TestConformanceSweepAllPolicies(t *testing.T) {
 	}
 }
 
+// TestTraceFlag: a -trace run self-boots a traced server, joins every
+// server span tree back to its request, and reports stage latencies.
+func TestTraceFlag(t *testing.T) {
+	code, out := gold(t, "-seed", "7", "-n", "80", "-workers", "4", "-trace")
+	if code != 0 {
+		t.Fatalf("exit code %d (want 0)\n%s", code, out)
+	}
+	var r load.Report
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if r.Traces == nil {
+		t.Fatal("-trace produced no traces section")
+	}
+	if r.Traces.ServerTraces != 80 {
+		t.Errorf("ServerTraces = %d, want 80", r.Traces.ServerTraces)
+	}
+	if r.Traces.SumViolations != 0 {
+		t.Errorf("SumViolations = %d, want 0", r.Traces.SumViolations)
+	}
+	// -trace implies timing: stage latency summaries must be present.
+	if len(r.Traces.Stages) == 0 {
+		t.Error("-trace did not include per-stage latencies")
+	}
+	if code, _ := gold(t, "-trace", "-sessions", "2"); code != 1 {
+		t.Errorf("-trace with -sessions exited %d (want 1)", code)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-self", "-log-level", "bogus"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad -log-level exited %d (want 1)", code)
+	}
+}
+
 // TestSLOGateExitCode: an impossible latency gate must trip exit code 2.
 func TestSLOGateExitCode(t *testing.T) {
 	code, out := gold(t, "-seed", "5", "-n", "40", "-conformance", "-slo-p99", "0.000000001")

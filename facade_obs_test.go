@@ -1,0 +1,60 @@
+package pacds
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// End-to-end observability through the facade: a traced load run against
+// a traced local server, trace-id codecs, and the shared logger — all
+// via exported identifiers only.
+func TestFacadeObservability(t *testing.T) {
+	local, err := StartLocalCDSServer(ServerConfig{
+		Tracing: TracerConfig{Capacity: 64, Stripes: 1, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	report, err := RunLoad(context.Background(), local.URL, LoadOptions{
+		Seed:     5,
+		Requests: 20,
+		Workers:  2,
+		Trace:    true,
+		Axes:     LoadAxes{Ns: []int{10}, Radii: []float64{35}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Traces == nil || report.Traces.ServerTraces != 20 {
+		t.Fatalf("traced facade run did not join all traces: %+v", report.Traces)
+	}
+
+	id := LoadTraceID(5, 3)
+	if id == 0 {
+		t.Fatal("LoadTraceID returned zero")
+	}
+	wire := FormatTraceID(id)
+	if len(wire) != 16 {
+		t.Fatalf("FormatTraceID(%d) = %q, want 16 hex digits", id, wire)
+	}
+	back, ok := ParseTraceID(wire)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %d, %v; want %d", wire, back, ok, id)
+	}
+
+	level, err := ParseLogLevel("warn")
+	if err != nil || level != slog.LevelWarn {
+		t.Fatalf("ParseLogLevel: %v, %v", level, err)
+	}
+	var buf strings.Builder
+	log := NewLogger(&buf, LoggerOptions{Level: level, NoTime: true})
+	log.Info("dropped")
+	log.Warn("kept", "trace", wire)
+	if got := buf.String(); got != `level=WARN msg=kept trace=`+wire+"\n" {
+		t.Fatalf("logger output %q", got)
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"pacds/internal/cds"
 	"pacds/internal/chaos"
 	"pacds/internal/metrics"
+	"pacds/internal/obs"
 	"pacds/internal/server"
+	"pacds/internal/xrand"
 )
 
 // Options configures a load run. The zero value is not directly usable;
@@ -80,6 +82,16 @@ type Options struct {
 	// the raw non-retrying client — the configuration under which a chaos
 	// run is expected to fail its SLO gate.
 	Resilience *server.ResilienceConfig
+
+	// Trace pins a deterministic trace id (TraceID(Seed, i)) on every
+	// request via the X-Trace-Id header and, after the run, joins the
+	// server-side span trees back into Report.Traces: stage counts, a
+	// worker-count-invariant stage-set digest, stage-sum consistency
+	// checks, and (with IncludeTiming) a per-stage latency breakdown.
+	// The target server must have tracing enabled and a ring large enough
+	// to retain the run (/debug/traces answers 404 or partially
+	// otherwise).
+	Trace bool
 
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
@@ -291,6 +303,24 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 		}
 	}
 
+	var tracer *obs.Tracer
+	if opts.Trace {
+		// The client ring must retain every traced request; soak runs are
+		// bounded by a generous cap instead of an exact count.
+		capacity := opts.Requests
+		if opts.Duration > 0 {
+			capacity = 1 << 16
+		}
+		// One stripe: capacity is split per stripe, and the report needs
+		// every client trace retained exactly — worker counts this low
+		// never contend enough for striping to matter.
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity: capacity + 16,
+			Stripes:  1,
+			Seed:     xrand.Mix(opts.Seed, traceSalt),
+		})
+	}
+
 	reg := metrics.NewRegistry()
 	col := newCollector(reg, EndpointCompute, EndpointVerify, EndpointSimulate)
 	var next atomic.Int64
@@ -327,7 +357,7 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 						}
 					}
 				}
-				issue(ctx, api, col, opts, i)
+				issue(ctx, api, col, opts, tracer, i)
 			}
 		}()
 	}
@@ -365,6 +395,13 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 			AchievedRPS:     float64(issued) / elapsed.Seconds(),
 		}
 	}
+	if tracer != nil {
+		traces, err := collectTraces(ctx, client, tracer, opts, issued)
+		if err != nil {
+			return nil, fmt.Errorf("load: trace collection: %w", err)
+		}
+		report.Traces = traces
+	}
 	if opts.Scrape {
 		after, err := scrape(ctx, client)
 		if err != nil {
@@ -380,12 +417,19 @@ func Run(ctx context.Context, baseURL string, opts Options) (*Report, error) {
 
 // issue sends request i and records its outcome (and, when sampled, its
 // conformance verdict).
-func issue(ctx context.Context, client apiClient, col *collector, opts Options, i int) {
+func issue(ctx context.Context, client apiClient, col *collector, opts Options, tracer *obs.Tracer, i int) {
 	req := Generate(opts, i)
 	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
 	if opts.Chaos != nil {
 		rctx = chaos.WithIndex(rctx, i)
+	}
+	var tr *obs.Trace
+	if tracer != nil {
+		rctx, tr = tracer.StartRequest(rctx, "loadgen", TraceID(opts.Seed, i))
+		tr.SetAttr("index", strconv.Itoa(i))
+		tr.SetAttr("endpoint", req.Endpoint)
+		defer tr.Finish()
 	}
 
 	var resp any
@@ -400,6 +444,18 @@ func issue(ctx context.Context, client apiClient, col *collector, opts Options, 
 		resp, err = client.Simulate(rctx, *req.Simulate)
 	}
 	latency := time.Since(t0)
+	if tr != nil {
+		switch {
+		case err == nil:
+			tr.SetStatus(http.StatusOK)
+		default:
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) {
+				tr.SetStatus(apiErr.Status)
+			}
+			tr.SetAttr("error", "true")
+		}
+	}
 	degraded := false
 	if cr, ok := resp.(*server.ComputeResponse); ok && cr != nil {
 		degraded = cr.Degraded

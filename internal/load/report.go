@@ -35,6 +35,7 @@ type Report struct {
 	Endpoints map[string]*EndpointReport `json:"endpoints"`
 
 	Conformance *ConformanceReport `json:"conformance,omitempty"`
+	Traces      *TraceReport       `json:"traces,omitempty"`
 	Sessions    *SessionsReport    `json:"sessions,omitempty"`
 	Cache       *CacheReport       `json:"cache,omitempty"`
 	Chaos       *ChaosReport       `json:"chaos,omitempty"`

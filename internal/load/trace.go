@@ -1,0 +1,145 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"pacds/internal/obs"
+	"pacds/internal/server"
+)
+
+// Trace joining: after a traced run, the harness reads the server's
+// /debug/traces ring and joins every server-side span tree back to its
+// stream index via the deterministic trace id, then distills the result
+// into a report section that separates what must be reproducible (which
+// stages each request went through) from what never is (how long they
+// took).
+
+// TraceReport summarizes the joined client- and server-side traces of a
+// run. Everything except Stages is timing-free: for a cache-collision-free
+// seeded workload the stage sets are a pure function of the options, so
+// StageSetDigest is identical at any worker count.
+type TraceReport struct {
+	// Requested counts traced requests issued.
+	Requested int `json:"requested"`
+	// ServerTraces counts requests whose server span tree was recovered
+	// from the ring (lower than Requested when the ring overwrote entries
+	// or a request never reached a handler).
+	ServerTraces int `json:"server_traces"`
+	// StageSetDigest fingerprints, in stream order, each request's set of
+	// server stage names — FNV-1a over "index:stage,stage,...". Timings
+	// and attrs are excluded, so the digest is worker-count-invariant.
+	StageSetDigest string `json:"stage_set_digest"`
+	// StageCounts totals span occurrences by stage name across the run,
+	// server stages and client stages (http, attempt, ...) together.
+	StageCounts map[string]int `json:"stage_counts"`
+	// SumViolations counts server traces whose stage durations sum to
+	// more than the root duration. Server stages are sequential, so any
+	// violation is an instrumentation bug, not load.
+	SumViolations int `json:"sum_violations"`
+	// Stages is the per-stage latency breakdown, present only with
+	// timing (it is wall-clock and never reproducible).
+	Stages map[string]*StageLatencyMs `json:"stages,omitempty"`
+}
+
+// StageLatencyMs summarizes one stage's duration distribution in
+// milliseconds (exact quantiles over all observed spans).
+type StageLatencyMs struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+}
+
+// collectTraces reads the server trace ring and joins it with the
+// client-side tracer into the report section.
+func collectTraces(ctx context.Context, client *server.Client, tracer *obs.Tracer, opts Options, issued int) (*TraceReport, error) {
+	resp, err := client.DebugTraces(ctx, "n=0")
+	if err != nil {
+		return nil, fmt.Errorf("reading /debug/traces (is server tracing enabled?): %w", err)
+	}
+	byID := make(map[string][]*obs.TraceRecord, len(resp.Traces))
+	for _, rec := range resp.Traces {
+		byID[rec.TraceID] = append(byID[rec.TraceID], rec)
+	}
+
+	tr := &TraceReport{Requested: issued, StageCounts: make(map[string]int)}
+	samples := make(map[string][]float64) // stage -> duration samples (ms)
+	note := func(stage string, durUS int64) {
+		tr.StageCounts[stage]++
+		samples[stage] = append(samples[stage], float64(durUS)/1000)
+	}
+
+	h := fnv.New64a()
+	for i := 0; i < issued; i++ {
+		recs := byID[obs.FormatTraceID(TraceID(opts.Seed, i))]
+		if len(recs) == 0 {
+			continue
+		}
+		tr.ServerTraces++
+		// One request can own several server traces (hedges, retries);
+		// the stage set is their union.
+		set := make(map[string]bool)
+		for _, rec := range recs {
+			var sum int64
+			for _, sp := range rec.Spans {
+				set[sp.Name] = true
+				note(sp.Name, sp.DurUS)
+				sum += sp.DurUS
+			}
+			if sum > rec.DurUS {
+				tr.SumViolations++
+			}
+		}
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(h, "%d:%s;", i, strings.Join(names, ","))
+	}
+	tr.StageSetDigest = fmt.Sprintf("%016x", h.Sum64())
+
+	// Client-side stages: the wire round-trips plus whatever the
+	// resilience layer recorded (attempt, backoff-wait, hedge-launched).
+	for _, rec := range tracer.Snapshot(obs.Filter{}) {
+		for _, sp := range rec.Spans {
+			note(sp.Name, sp.DurUS)
+		}
+	}
+
+	if opts.IncludeTiming {
+		tr.Stages = make(map[string]*StageLatencyMs, len(samples))
+		for stage, ds := range samples {
+			tr.Stages[stage] = summarizeStage(ds)
+		}
+	}
+	return tr, nil
+}
+
+// summarizeStage computes exact nearest-rank quantiles over the samples.
+func summarizeStage(ds []float64) *StageLatencyMs {
+	sort.Float64s(ds)
+	sum := 0.0
+	for _, d := range ds {
+		sum += d
+	}
+	q := func(p float64) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(ds)-1))
+		return ds[idx]
+	}
+	return &StageLatencyMs{
+		Count: len(ds),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Mean:  sum / float64(len(ds)),
+	}
+}

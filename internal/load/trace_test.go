@@ -1,0 +1,149 @@
+package load
+
+import (
+	"context"
+	"testing"
+
+	"pacds/internal/obs"
+	"pacds/internal/server"
+)
+
+func traceTestOptions(workers int) Options {
+	o := testOptions()
+	o.Workers = workers
+	o.Trace = true
+	return o
+}
+
+// tracedServer boots a cdsd whose ring retains the whole test run.
+func tracedServer(t *testing.T) *server.Local {
+	t.Helper()
+	return startServer(t, server.Config{
+		Tracing: obs.TracerConfig{Capacity: 256, Seed: 1},
+	})
+}
+
+// TestTraceIDIsPureAndUnique: trace ids are reproducible and collision-
+// free over a run-sized index range.
+func TestTraceIDIsPureAndUnique(t *testing.T) {
+	seen := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		id := TraceID(42, i)
+		if id == 0 {
+			t.Fatalf("TraceID(42, %d) = 0", i)
+		}
+		if id != TraceID(42, i) {
+			t.Fatalf("TraceID(42, %d) not reproducible", i)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("TraceID collision: indices %d and %d -> %x", prev, i, id)
+		}
+		seen[id] = i
+	}
+	if TraceID(42, 7) == TraceID(43, 7) {
+		t.Error("different seeds produced the same trace id")
+	}
+}
+
+// TestTraceRunJoinsServerTraces: a traced run recovers a server span tree
+// for every request and the stage sums stay consistent.
+func TestTraceRunJoinsServerTraces(t *testing.T) {
+	l := tracedServer(t)
+	opts := traceTestOptions(4)
+	opts.IncludeTiming = true
+	report, err := Run(context.Background(), l.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := report.Traces
+	if tr == nil {
+		t.Fatal("traced run produced no Traces section")
+	}
+	if tr.Requested != opts.Requests {
+		t.Errorf("Requested = %d, want %d", tr.Requested, opts.Requests)
+	}
+	if tr.ServerTraces != opts.Requests {
+		t.Errorf("ServerTraces = %d, want %d (ring too small or ids lost)", tr.ServerTraces, opts.Requests)
+	}
+	if tr.SumViolations != 0 {
+		t.Errorf("SumViolations = %d, want 0: server stage durations exceed their root", tr.SumViolations)
+	}
+	// Every request runs queue-wait and encode; compute requests add
+	// cache-lookup. The http client span is per wire call.
+	if tr.StageCounts["queue-wait"] != opts.Requests {
+		t.Errorf("queue-wait count = %d, want %d", tr.StageCounts["queue-wait"], opts.Requests)
+	}
+	if tr.StageCounts["http"] != opts.Requests {
+		t.Errorf("http count = %d, want %d", tr.StageCounts["http"], opts.Requests)
+	}
+	if tr.StageCounts["cache-lookup"] == 0 || tr.StageCounts["compute"] == 0 {
+		t.Errorf("compute stages missing: %v", tr.StageCounts)
+	}
+	// Timing was requested: every counted stage has a latency summary
+	// with matching sample count.
+	if len(tr.Stages) == 0 {
+		t.Fatal("IncludeTiming set but no Stages section")
+	}
+	for stage, n := range tr.StageCounts {
+		s := tr.Stages[stage]
+		if s == nil || s.Count != n {
+			t.Errorf("stage %s: summary %+v does not match count %d", stage, s, n)
+		}
+		if s != nil && (s.P50 > s.P95 || s.P95 > s.P99) {
+			t.Errorf("stage %s: quantiles out of order: %+v", stage, s)
+		}
+	}
+}
+
+// TestTraceDeterminismAcrossWorkers is the end-to-end determinism gate:
+// the same seeded traced run at 1 worker and at 8 workers must produce
+// the identical stream digest and the identical per-request server
+// stage-set digest — concurrency may only change timings, never which
+// stages a request passes through.
+func TestTraceDeterminismAcrossWorkers(t *testing.T) {
+	digests := make(map[int]*Report)
+	for _, workers := range []int{1, 8} {
+		l := tracedServer(t) // fresh server per run: no cross-run cache hits
+		report, err := Run(context.Background(), l.URL, traceTestOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Traces == nil || report.Traces.ServerTraces != report.Requests {
+			t.Fatalf("workers=%d: incomplete trace join: %+v", workers, report.Traces)
+		}
+		digests[workers] = report
+	}
+	one, eight := digests[1], digests[8]
+	if one.StreamDigest != eight.StreamDigest {
+		t.Errorf("stream digest varies with workers: %s vs %s", one.StreamDigest, eight.StreamDigest)
+	}
+	if one.Traces.StageSetDigest != eight.Traces.StageSetDigest {
+		t.Errorf("stage-set digest varies with workers: %s vs %s",
+			one.Traces.StageSetDigest, eight.Traces.StageSetDigest)
+	}
+	// Stage totals are part of the same invariant (sets identical =>
+	// counts identical).
+	for stage, n := range one.Traces.StageCounts {
+		if eight.Traces.StageCounts[stage] != n {
+			t.Errorf("stage %s count varies with workers: %d vs %d",
+				stage, n, eight.Traces.StageCounts[stage])
+		}
+	}
+	// Timing excluded: the reports' deterministic sections agree byte
+	// for byte except the worker count itself.
+	if one.Traces.SumViolations != 0 || eight.Traces.SumViolations != 0 {
+		t.Errorf("sum violations: %d and %d, want 0 and 0",
+			one.Traces.SumViolations, eight.Traces.SumViolations)
+	}
+}
+
+// TestTraceAgainstUntracedServer: a traced run against a server without
+// tracing fails with a setup error instead of emitting a hollow report.
+func TestTraceAgainstUntracedServer(t *testing.T) {
+	l := startServer(t, server.Config{})
+	opts := traceTestOptions(2)
+	opts.Requests = 4
+	if _, err := Run(context.Background(), l.URL, opts); err == nil {
+		t.Fatal("traced run against untraced server should fail")
+	}
+}

@@ -26,6 +26,23 @@ import (
 // experiment sweeps' cells (which mix their own salts).
 const workloadSalt uint64 = 0x10adc0de0a0a0a0a
 
+// traceSalt isolates trace-id derivation from the workload stream: the
+// id attached to request i must not correlate with the request's own
+// randomness.
+const traceSalt uint64 = 0x7ace1d0000000001
+
+// TraceID derives the trace id pinned on request i of a traced run — a
+// pure function of (seed, index), so the same run always addresses the
+// same server-side traces, at any worker count. Never zero (zero means
+// "generate" on the wire).
+func TraceID(seed uint64, i int) uint64 {
+	for extra := uint64(0); ; extra++ {
+		if id := xrand.Mix(seed, traceSalt, uint64(i), extra); id != 0 {
+			return id
+		}
+	}
+}
+
 // Endpoint names, also used as report keys.
 const (
 	EndpointCompute  = "compute"

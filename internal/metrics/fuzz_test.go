@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pacds/internal/xrand"
+)
+
+// Fuzz and property tests for the exposition codec: WritePrometheus and
+// ParseText are inverse enough that anything the parser accepts must
+// survive a canonical re-render byte-for-byte in parsed form, and no
+// input — however hostile — may panic the parser.
+
+// renderScrape writes a scrape back out in the same dialect ParseText
+// accepts: one `name value` or `name{k="v",...} value` line per sample,
+// label keys sorted, values escaped with the format's three escapes.
+func renderScrape(s Scrape) string {
+	var b strings.Builder
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	for _, sm := range s {
+		b.WriteString(sm.Name)
+		if sm.Labels != nil {
+			b.WriteByte('{')
+			keys := make([]string, 0, len(sm.Labels))
+			for k := range sm.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(k)
+				b.WriteString(`="`)
+				b.WriteString(esc.Replace(sm.Labels[k]))
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(sm.Value, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// scrapesEqual compares sample-by-sample, treating NaN as equal to NaN
+// (reflect.DeepEqual would not).
+func scrapesEqual(a, b Scrape) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Name != y.Name || len(x.Labels) != len(y.Labels) {
+			return false
+		}
+		if (x.Labels == nil) != (y.Labels == nil) {
+			return false
+		}
+		for k, v := range x.Labels {
+			if y.Labels[k] != v {
+				return false
+			}
+		}
+		if x.Value != y.Value && !(math.IsNaN(x.Value) && math.IsNaN(y.Value)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseText: the parser never panics, and every accepted input
+// round-trips — parse, canonical re-render, re-parse, identical samples.
+func FuzzParseText(f *testing.F) {
+	for _, seed := range []string{
+		"cdsd_cache_hits_total 42\n",
+		"# HELP x y\n# TYPE x counter\nx 1\n",
+		`cdsd_requests_total{endpoint="compute"} 7` + "\n",
+		`m{a="x\n\"\\y",b=""} 1.5e-3 1700000000` + "\n",
+		"name 3 1234567890\n",
+		"nan_metric NaN\ninf_metric +Inf\n",
+		"\n\n   \n",
+		`n{a="b"}` + "\n", // labeled line with no value: must error, not panic
+		`n{a="b}` + "\n",
+		`n{a=b} 1` + "\n",
+		`n{a="b" 1` + "\n",
+		`n{a="\q"} 1` + "\n",
+		"{} 1\n",
+		"n\x00m 1\n",
+		strings.Repeat("y", 100) + " 1\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		rendered := renderScrape(parsed)
+		again, err := ParseText(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("canonical render of accepted input does not re-parse: %v\ninput: %q\nrender: %q", err, input, rendered)
+		}
+		if !scrapesEqual(parsed, again) {
+			t.Fatalf("round trip changed samples:\ninput: %q\nfirst: %+v\nagain: %+v", input, parsed, again)
+		}
+	})
+}
+
+// TestParseSampleMissingValue pins the fuzz-class crasher: a labeled
+// sample with no value must be a parse error, not an index panic.
+func TestParseSampleMissingValue(t *testing.T) {
+	for _, line := range []string{`n{a="b"}`, `n{a="b"}   `, `n{}`} {
+		if _, err := ParseText(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseText accepted %q", line)
+		}
+	}
+}
+
+// TestRenderParseRenderRoundTrip is the seeded property test over the
+// real renderer: random registries full of counters, gauges, and
+// histograms — label values drawn from an escape-heavy alphabet — render
+// via WritePrometheus, parse back, and must (a) report every registered
+// value exactly and (b) survive a canonical re-render unchanged.
+func TestRenderParseRenderRoundTrip(t *testing.T) {
+	alphabet := []rune{'a', 'Z', '0', ' ', '"', '\\', '\n', '/', '=', ','}
+	for trial := 0; trial < 50; trial++ {
+		rng := xrand.New(xrand.Mix(0xf022, uint64(trial)))
+		reg := NewRegistry()
+		type want struct {
+			name  string
+			value float64
+		}
+		var wants []want
+
+		label := func() string {
+			n := 1 + rng.Intn(6)
+			runes := make([]rune, n)
+			for i := range runes {
+				runes[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			return string(runes)
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			name := "rt_counter_" + strconv.Itoa(i) + "_total{lbl=" + strconv.Quote(label()) + "}"
+			v := uint64(rng.Intn(1000))
+			reg.Counter(name, "round-trip counter").Add(v)
+			wants = append(wants, want{name, float64(v)})
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			name := "rt_gauge_" + strconv.Itoa(i)
+			v := int64(rng.Intn(2000) - 1000)
+			reg.Gauge(name, "round-trip gauge").Set(v)
+			wants = append(wants, want{name, float64(v)})
+		}
+		h := reg.Histogram("rt_seconds", "round-trip histogram", []float64{0.1, 1, 10})
+		for i := 0; i < rng.Intn(20); i++ {
+			h.Observe(rng.Float64() * 20)
+		}
+
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseText(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("trial %d: own exposition does not parse: %v\n%s", trial, err, buf.String())
+		}
+		for _, w := range wants {
+			fam, clause := labeled(w.name)
+			var lbls map[string]string
+			if clause != "" {
+				if lbls, err = parseLabels(clause); err != nil {
+					t.Fatalf("trial %d: bad test label clause %q: %v", trial, clause, err)
+				}
+			}
+			got, ok := parsed.Get(fam, lbls)
+			if !ok || got != w.value {
+				t.Fatalf("trial %d: %s = %v (found %v), want %v\n%s", trial, w.name, got, ok, w.value, buf.String())
+			}
+		}
+		if got := parsed.Sum("rt_seconds_count"); got != float64(h.Count()) {
+			t.Fatalf("trial %d: histogram count %v, want %d", trial, got, h.Count())
+		}
+
+		again, err := ParseText(strings.NewReader(renderScrape(parsed)))
+		if err != nil {
+			t.Fatalf("trial %d: canonical re-render does not parse: %v", trial, err)
+		}
+		if !scrapesEqual(parsed, again) {
+			t.Fatalf("trial %d: render→parse→render changed samples", trial)
+		}
+	}
+}

@@ -84,7 +84,11 @@ func parseSample(line string) (Sample, error) {
 	if s.Name == "" {
 		return s, fmt.Errorf("empty metric name in %q", line)
 	}
-	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
 		return s, fmt.Errorf("bad value in %q: %w", line, err)
 	}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// TracesResponse is the JSON body of GET /debug/traces.
+type TracesResponse struct {
+	// Total counts traces ever committed, including overwritten ones.
+	Total uint64 `json:"total"`
+	// Count is len(Traces).
+	Count int `json:"count"`
+	// Traces are the retained matches, oldest first.
+	Traces []*TraceRecord `json:"traces"`
+}
+
+// defaultTracesLast bounds an unqualified /debug/traces read; pass ?n=0
+// for everything the ring retains.
+const defaultTracesLast = 50
+
+// TracesHandler serves the trace ring as JSON. Query parameters:
+//
+//	n=50            last n matches (0 = all retained)
+//	name=compute    root name (endpoint) filter
+//	trace=<16 hex>  a single trace by id
+//	min_dur_us=500  only traces at least this long
+//
+// A nil tracer serves 404, so the route can be registered unconditionally.
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		f := Filter{Last: defaultTracesLast, Name: q.Get("name"), TraceID: q.Get("trace")}
+		if s := q.Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			f.Last = n
+		}
+		if s := q.Get("min_dur_us"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad min_dur_us: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			f.MinDurUS = v
+		}
+		traces := t.Snapshot(f)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TracesResponse{Total: t.Total(), Count: len(traces), Traces: traces})
+	})
+}
+
+// RegisterPprof wires the net/http/pprof handlers onto mux under
+// /debug/pprof/, without touching http.DefaultServeMux (the daemon never
+// serves the default mux, so the package's init-time registrations are
+// unreachable there).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging: thin helpers over log/slog so cdsd and loadgen
+// share one leveled, attribute-carrying logger instead of ad-hoc
+// fmt.Fprintf output. Request-scoped attrs (trace_id, endpoint, status,
+// duration) ride on the per-request log records, which is what makes a
+// slow request greppable next to its span tree.
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// LoggerOptions shape NewLogger's output.
+type LoggerOptions struct {
+	// Level is the minimum level emitted.
+	Level slog.Level
+	// NoTime drops the time attribute, making output byte-reproducible —
+	// what golden tests and deterministic harness runs want.
+	NoTime bool
+}
+
+// NewLogger returns a leveled text logger writing to w.
+func NewLogger(w io.Writer, opts LoggerOptions) *slog.Logger {
+	ho := &slog.HandlerOptions{Level: opts.Level}
+	if opts.NoTime {
+		ho.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	return slog.New(slog.NewTextHandler(w, ho))
+}
+
+// Discard is a logger that drops everything; the default wherever a
+// *slog.Logger is optional.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,363 @@
+// Package obs is the zero-dependency observability layer for cdsd:
+// request-scoped tracing with a lock-striped in-process ring buffer, and
+// leveled structured logging built on log/slog.
+//
+// Tracing answers the question the aggregate metrics of internal/metrics
+// cannot: where did *this* request spend its time? Every traced request
+// carries a 64-bit trace id — taken from the client's X-Trace-Id header
+// when present, generated otherwise — and records a flat tree of stage
+// spans (queue-wait, cache-lookup, compute, verify, encode, ...) under a
+// single root. Completed traces land in a bounded ring readable at
+// GET /debug/traces, so the last few thousand requests are always
+// explainable without external infrastructure.
+//
+// Determinism is a first-class concern, as everywhere in this repository:
+// trace ids are derived via xrand.Mix from a configurable seed, and the
+// tracer's clock is injectable, so a seeded request under a fake clock
+// produces a byte-identical span tree — the property the golden tests and
+// the load harness's cross-worker-count determinism check lock down.
+//
+// The whole package is nil-safe: a nil *Tracer, *Trace, or *Span accepts
+// every call as a no-op, so instrumented code pays nothing — zero
+// allocations, no context values — when tracing is disabled.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pacds/internal/xrand"
+)
+
+// TraceHeader is the HTTP header carrying the request's trace id (16 hex
+// digits). Clients set it to correlate their attempt timelines with the
+// server-side work they caused; servers echo it on the response.
+const TraceHeader = "X-Trace-Id"
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig struct {
+	// Capacity bounds the completed traces retained across all stripes.
+	// NewTracer returns a nil (disabled, nil-safe) tracer when it is <= 0.
+	Capacity int
+	// Stripes is the ring's lock-stripe count, rounded up to a power of
+	// two (default 8). Traces hash onto stripes by id, so concurrent
+	// requests rarely contend on commit.
+	Stripes int
+	// Seed roots generated trace ids via xrand.Mix(Seed, counter): equal
+	// seeds generate equal id sequences. Zero seeds from the clock, for
+	// production uniqueness across restarts.
+	Seed uint64
+	// Clock is the tracer's time source (default time.Now). Tests inject
+	// a deterministic clock so span offsets are byte-stable.
+	Clock func() time.Time
+}
+
+// Tracer records request traces into a lock-striped ring. Create with
+// NewTracer; a nil Tracer is valid and ignores every call.
+type Tracer struct {
+	clock   func() time.Time
+	idSeed  uint64
+	idCtr   atomic.Uint64
+	seq     atomic.Uint64 // commit order across stripes
+	mask    uint64
+	stripes []stripe
+}
+
+// NewTracer returns a tracer retaining the last cfg.Capacity completed
+// traces, or nil (tracing disabled) when cfg.Capacity <= 0.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		return nil
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 8
+	}
+	n := 1
+	for n < cfg.Stripes {
+		n <<= 1
+	}
+	if n > cfg.Capacity {
+		n = 1 // tiny rings keep one stripe so capacity is exact
+	}
+	t := &Tracer{
+		clock:   cfg.Clock,
+		idSeed:  cfg.Seed,
+		mask:    uint64(n - 1),
+		stripes: make([]stripe, n),
+	}
+	if t.idSeed == 0 {
+		t.idSeed = uint64(cfg.Clock().UnixNano())
+	}
+	// Split the capacity across stripes, rounding up so the total is
+	// never below the configured bound.
+	per := (cfg.Capacity + n - 1) / n
+	for i := range t.stripes {
+		t.stripes[i].buf = make([]*TraceRecord, 0, per)
+		t.stripes[i].cap = per
+	}
+	return t
+}
+
+// NewTraceID derives the next generated trace id: a pure function of
+// (Seed, counter), never zero.
+func (t *Tracer) NewTraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	for {
+		if id := xrand.Mix(t.idSeed, t.idCtr.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// SpanRecord is one completed stage span: a name, a start offset from the
+// trace's start, a duration, and optional attributes. Offsets and
+// durations are microseconds — the resolution tail-latency attribution
+// needs, compact on the wire.
+type SpanRecord struct {
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one completed request trace: the root request span plus
+// its flat list of stage spans in start order.
+type TraceRecord struct {
+	// TraceID is the 16-hex-digit request id (see TraceHeader).
+	TraceID string `json:"trace_id"`
+	// Name is the root operation, e.g. the endpoint name.
+	Name string `json:"name"`
+	// Status is the HTTP status the request resolved to (0 if never set).
+	Status int `json:"status"`
+	// StartUnixUS is the trace's absolute start in Unix microseconds.
+	StartUnixUS int64 `json:"start_unix_us"`
+	// DurUS is the root duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs are root-level attributes (shed/brownout/coalesced verdicts).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Spans are the stage spans in start order.
+	Spans []SpanRecord `json:"spans,omitempty"`
+
+	seq uint64 // commit order, for cross-stripe merges
+}
+
+// Trace is one request's span tree under construction. All methods are
+// safe for concurrent use (hedged client attempts share one trace) and
+// nil-safe.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+
+	mu       sync.Mutex
+	start    time.Time
+	rec      TraceRecord
+	open     int // spans started but not yet ended
+	finished bool
+}
+
+type ctxKey struct{}
+
+// FromContext returns the trace carried by ctx, or nil. The nil result
+// accepts every Trace method as a no-op, so call sites never branch.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// StartRequest begins a trace named name with the given id (0 generates
+// one) and returns a derived context carrying it. On a nil tracer it
+// returns ctx unchanged and a nil trace — no allocation, no context
+// value.
+func (t *Tracer) StartRequest(ctx context.Context, name string, id uint64) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	if id == 0 {
+		id = t.NewTraceID()
+	}
+	now := t.clock()
+	tr := &Trace{
+		tracer: t,
+		id:     id,
+		start:  now,
+		rec: TraceRecord{
+			TraceID:     FormatTraceID(id),
+			Name:        name,
+			StartUnixUS: now.UnixMicro(),
+		},
+	}
+	return context.WithValue(ctx, ctxKey{}, tr), tr
+}
+
+// ID returns the trace id (0 on a nil trace).
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.id
+}
+
+// SetStatus records the HTTP status the request resolved to.
+func (tr *Trace) SetStatus(code int) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.rec.Status = code
+	tr.mu.Unlock()
+}
+
+// SetAttr records a root-level attribute.
+func (tr *Trace) SetAttr(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.rec.Attrs == nil {
+		tr.rec.Attrs = make(map[string]string, 2)
+	}
+	tr.rec.Attrs[key] = value
+	tr.mu.Unlock()
+}
+
+// Span is one in-flight stage span. Obtain with Trace.StartSpan; finish
+// with End. A nil Span ignores every call.
+type Span struct {
+	tr  *Trace
+	idx int
+}
+
+// StartSpan opens a stage span under the trace root. Spans are recorded
+// in start order; overlapping spans (hedged attempts) are fine.
+func (tr *Trace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	now := tr.tracer.clock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.finished {
+		return nil // late span after Finish: drop rather than corrupt
+	}
+	tr.rec.Spans = append(tr.rec.Spans, SpanRecord{
+		Name:    name,
+		StartUS: now.Sub(tr.start).Microseconds(),
+		DurUS:   -1, // open marker; Finish repairs leaked spans
+	})
+	tr.open++
+	return &Span{tr: tr, idx: len(tr.rec.Spans) - 1}
+}
+
+// Attr records an attribute on the span. It returns the span so calls
+// chain: tr.StartSpan("x").Attr("k", "v").
+func (sp *Span) Attr(key, value string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.tr.mu.Lock()
+	if sp.tr.finished {
+		// The committed record shares this span array with ring readers;
+		// a write after Finish would race with them. Drop the attribute.
+		sp.tr.mu.Unlock()
+		return sp
+	}
+	rec := &sp.tr.rec.Spans[sp.idx]
+	if rec.Attrs == nil {
+		rec.Attrs = make(map[string]string, 2)
+	}
+	rec.Attrs[key] = value
+	sp.tr.mu.Unlock()
+	return sp
+}
+
+// AttrInt is Attr for integer values.
+func (sp *Span) AttrInt(key string, value int) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.Attr(key, strconv.Itoa(value))
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	now := sp.tr.tracer.clock()
+	sp.tr.mu.Lock()
+	if sp.tr.finished {
+		// Finish already repaired this span; the committed record is
+		// shared with ring readers and must not be written.
+		sp.tr.mu.Unlock()
+		return
+	}
+	rec := &sp.tr.rec.Spans[sp.idx]
+	if rec.DurUS < 0 {
+		rec.DurUS = now.Sub(sp.tr.start).Microseconds() - rec.StartUS
+		sp.tr.open--
+	}
+	sp.tr.mu.Unlock()
+}
+
+// Finish seals the trace and commits it to the tracer's ring. Open spans
+// are closed at the finish instant (a crash-safe default, not an error).
+// Finishing twice commits once.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	now := tr.tracer.clock()
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	end := now.Sub(tr.start).Microseconds()
+	tr.rec.DurUS = end
+	if tr.open > 0 {
+		for i := range tr.rec.Spans {
+			if tr.rec.Spans[i].DurUS < 0 {
+				tr.rec.Spans[i].DurUS = end - tr.rec.Spans[i].StartUS
+			}
+		}
+		tr.open = 0
+	}
+	rec := tr.rec // copy under the lock; the ring owns the copy
+	tr.mu.Unlock()
+	tr.tracer.commit(tr.id, &rec)
+}
+
+// FormatTraceID renders a trace id as 16 lowercase hex digits, the wire
+// form of TraceHeader.
+func FormatTraceID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTraceID parses a TraceHeader value. It accepts 1..16 hex digits
+// and rejects everything else (including zero, which means "generate").
+func ParseTraceID(s string) (uint64, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}

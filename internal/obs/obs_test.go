@@ -1,0 +1,432 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source: every call advances by step.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0).UTC(), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func newTestTracer(t *testing.T, cap int) *Tracer {
+	t.Helper()
+	tr := NewTracer(TracerConfig{Capacity: cap, Seed: 1, Clock: newFakeClock(time.Millisecond).Now})
+	if tr == nil {
+		t.Fatal("NewTracer returned nil for positive capacity")
+	}
+	return tr
+}
+
+// TestGoldenTrace locks down the byte-exact JSON of a seeded trace under a
+// deterministic clock: the property every golden span-tree test in
+// internal/server depends on.
+func TestGoldenTrace(t *testing.T) {
+	tr := newTestTracer(t, 8)
+	_, trace := tr.StartRequest(context.Background(), "compute", 0)
+	sp := trace.StartSpan("queue-wait")
+	sp.End()
+	trace.StartSpan("compute").Attr("outcome", "miss").AttrInt("n", 7).End()
+	trace.SetStatus(200)
+	trace.SetAttr("brownout", "full")
+	trace.Finish()
+
+	recs := tr.Snapshot(Filter{})
+	if len(recs) != 1 {
+		t.Fatalf("got %d traces, want 1", len(recs))
+	}
+	b, err := json.Marshal(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"trace_id":"12134522ee8a4b6d","name":"compute","status":200,` +
+		`"start_unix_us":1700000000000000,"dur_us":5000,"attrs":{"brownout":"full"},` +
+		`"spans":[{"name":"queue-wait","start_us":1000,"dur_us":1000},` +
+		`{"name":"compute","start_us":3000,"dur_us":1000,"attrs":{"n":"7","outcome":"miss"}}]}`
+	if string(b) != want {
+		t.Errorf("golden trace mismatch:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestSeedDeterminism: equal seeds generate equal id sequences.
+func TestSeedDeterminism(t *testing.T) {
+	a := NewTracer(TracerConfig{Capacity: 4, Seed: 42, Clock: newFakeClock(0).Now})
+	b := NewTracer(TracerConfig{Capacity: 4, Seed: 42, Clock: newFakeClock(0).Now})
+	for i := 0; i < 10; i++ {
+		ia, ib := a.NewTraceID(), b.NewTraceID()
+		if ia != ib {
+			t.Fatalf("id %d diverged: %x vs %x", i, ia, ib)
+		}
+		if ia == 0 {
+			t.Fatal("generated a zero trace id")
+		}
+	}
+	c := NewTracer(TracerConfig{Capacity: 4, Seed: 43, Clock: newFakeClock(0).Now})
+	if a.NewTraceID() == c.NewTraceID() {
+		t.Error("different seeds produced the same next id")
+	}
+}
+
+// TestNilSafety: every call on nil Tracer/Trace/Span is a no-op, and a
+// disabled tracer adds zero allocations to the request path.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	ctx2, trace := tr.StartRequest(ctx, "x", 0)
+	if ctx2 != ctx {
+		t.Error("nil tracer should return ctx unchanged")
+	}
+	if trace != nil {
+		t.Error("nil tracer should return nil trace")
+	}
+	if got := FromContext(ctx2); got != nil {
+		t.Errorf("FromContext on untraced ctx = %v, want nil", got)
+	}
+	if tr.NewTraceID() != 0 || tr.Total() != 0 || tr.Snapshot(Filter{}) != nil {
+		t.Error("nil tracer accessors should return zeros")
+	}
+	// All of these must be silent no-ops.
+	trace.SetStatus(500)
+	trace.SetAttr("k", "v")
+	if trace.ID() != 0 {
+		t.Error("nil trace ID should be 0")
+	}
+	sp := trace.StartSpan("s")
+	sp.Attr("k", "v").AttrInt("n", 1)
+	sp.End()
+	trace.Finish()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		ctx, trace := tr.StartRequest(ctx, "compute", 0)
+		sp := trace.StartSpan("queue-wait")
+		sp.End()
+		trace.SetStatus(200)
+		trace.Finish()
+		_ = FromContext(ctx)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocated %.1f per request, want 0", allocs)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	tr := newTestTracer(t, 4)
+	ctx, trace := tr.StartRequest(context.Background(), "verify", 99)
+	if got := FromContext(ctx); got != trace {
+		t.Error("FromContext did not return the started trace")
+	}
+	if trace.ID() != 99 {
+		t.Errorf("trace id = %d, want 99", trace.ID())
+	}
+}
+
+// TestFinishRepairsOpenSpans: spans leaked open are closed at the finish
+// instant, never committed with the -1 open marker.
+func TestFinishRepairsOpenSpans(t *testing.T) {
+	tr := newTestTracer(t, 4)
+	_, trace := tr.StartRequest(context.Background(), "compute", 0)
+	leaked := trace.StartSpan("leaked")
+	trace.Finish()
+	leaked.End() // after Finish: must not panic or mutate the committed record
+
+	recs := tr.Snapshot(Filter{})
+	if len(recs) != 1 || len(recs[0].Spans) != 1 {
+		t.Fatalf("unexpected snapshot %+v", recs)
+	}
+	sp := recs[0].Spans[0]
+	if sp.DurUS < 0 {
+		t.Errorf("leaked span committed with open marker dur=%d", sp.DurUS)
+	}
+	if sp.StartUS+sp.DurUS != recs[0].DurUS {
+		t.Errorf("leaked span should end at the trace end: start=%d dur=%d trace=%d",
+			sp.StartUS, sp.DurUS, recs[0].DurUS)
+	}
+}
+
+func TestDoubleEndAndDoubleFinish(t *testing.T) {
+	tr := newTestTracer(t, 4)
+	_, trace := tr.StartRequest(context.Background(), "compute", 0)
+	sp := trace.StartSpan("s")
+	sp.End()
+	first := trace.rec.Spans[0].DurUS
+	sp.End() // second End keeps the first duration
+	if got := trace.rec.Spans[0].DurUS; got != first {
+		t.Errorf("double End changed duration %d -> %d", first, got)
+	}
+	trace.Finish()
+	trace.Finish() // second Finish must not double-commit
+	if tr.Total() != 1 {
+		t.Errorf("double Finish committed %d traces, want 1", tr.Total())
+	}
+	if sp := trace.StartSpan("late"); sp != nil {
+		t.Error("StartSpan after Finish should return nil")
+	}
+}
+
+// TestRingOverwrite: the ring retains at most its capacity, dropping the
+// oldest traces, and Total keeps counting past the bound.
+func TestRingOverwrite(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, Stripes: 1, Seed: 1, Clock: newFakeClock(0).Now})
+	for i := 1; i <= 10; i++ {
+		_, trace := tr.StartRequest(context.Background(), fmt.Sprintf("op%d", i), uint64(i))
+		trace.Finish()
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+	recs := tr.Snapshot(Filter{})
+	if len(recs) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := fmt.Sprintf("op%d", 7+i); rec.Name != want {
+			t.Errorf("slot %d = %s, want %s (oldest-first order)", i, rec.Name, want)
+		}
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := newTestTracer(t, 16)
+	for i := 1; i <= 6; i++ {
+		name := "compute"
+		if i%2 == 0 {
+			name = "verify"
+		}
+		_, trace := tr.StartRequest(context.Background(), name, uint64(i))
+		if i == 5 {
+			trace.StartSpan("slow") // fake clock ticks widen this trace
+		}
+		trace.Finish()
+	}
+	if got := len(tr.Snapshot(Filter{Name: "verify"})); got != 3 {
+		t.Errorf("name filter: got %d, want 3", got)
+	}
+	if got := tr.Snapshot(Filter{TraceID: FormatTraceID(3)}); len(got) != 1 || got[0].TraceID != FormatTraceID(3) {
+		t.Errorf("trace-id filter returned %+v", got)
+	}
+	if got := len(tr.Snapshot(Filter{Last: 2})); got != 2 {
+		t.Errorf("last filter: got %d, want 2", got)
+	}
+	long := tr.Snapshot(Filter{MinDurUS: 1500})
+	if len(long) != 1 || long[0].TraceID != FormatTraceID(5) {
+		t.Errorf("min-dur filter returned %+v", long)
+	}
+}
+
+// TestRingConcurrency: snapshot readers race-cleanly with committing
+// writers (run under -race in the race gate).
+func TestRingConcurrency(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 64, Stripes: 4, Seed: 1})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				_, trace := tr.StartRequest(context.Background(), "compute", 0)
+				sp := trace.StartSpan("stage")
+				sp.AttrInt("i", i)
+				sp.End()
+				trace.SetStatus(200)
+				trace.Finish()
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range tr.Snapshot(Filter{Last: 16}) {
+				_ = rec.DurUS
+				for _, sp := range rec.Spans {
+					_ = sp.Attrs["i"]
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := tr.Total(); got != 2000 {
+		t.Errorf("Total = %d, want 2000", got)
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0), 0x0123456789abcdef} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Errorf("FormatTraceID(%x) = %q, want 16 chars", id, s)
+		}
+		got, ok := ParseTraceID(s)
+		if !ok || got != id {
+			t.Errorf("round trip %x -> %q -> %x ok=%v", id, s, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "0", "0000000000000000", "11112222333344445", "-1", "0x12"} {
+		if id, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted as %x", bad, id)
+		}
+	}
+	// Short hex is legal: headers from terse clients still parse.
+	if id, ok := ParseTraceID("ff"); !ok || id != 0xff {
+		t.Errorf(`ParseTraceID("ff") = %x, %v`, id, ok)
+	}
+}
+
+func TestTracerDefaults(t *testing.T) {
+	if NewTracer(TracerConfig{}) != nil {
+		t.Error("zero capacity should disable tracing")
+	}
+	if NewTracer(TracerConfig{Capacity: -5}) != nil {
+		t.Error("negative capacity should disable tracing")
+	}
+	// Stripes round up to a power of two, clamped so capacity stays exact.
+	tr := NewTracer(TracerConfig{Capacity: 100, Stripes: 5, Seed: 1})
+	if len(tr.stripes) != 8 {
+		t.Errorf("stripes = %d, want 8", len(tr.stripes))
+	}
+	tiny := NewTracer(TracerConfig{Capacity: 2, Seed: 1})
+	if len(tiny.stripes) != 1 {
+		t.Errorf("tiny ring stripes = %d, want 1", len(tiny.stripes))
+	}
+	// Zero seed falls back to the clock; ids must still be generated.
+	seeded := NewTracer(TracerConfig{Capacity: 2, Clock: newFakeClock(time.Second).Now})
+	if seeded.NewTraceID() == 0 {
+		t.Error("clock-seeded tracer generated a zero id")
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := newTestTracer(t, 16)
+	for i := 1; i <= 5; i++ {
+		name := "compute"
+		if i == 3 {
+			name = "verify"
+		}
+		_, trace := tr.StartRequest(context.Background(), name, uint64(i))
+		trace.SetStatus(200)
+		trace.Finish()
+	}
+	h := tr.TracesHandler()
+
+	get := func(query string) (*httptest.ResponseRecorder, TracesResponse) {
+		t.Helper()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		var resp TracesResponse
+		if w.Code == 200 {
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("bad JSON for %q: %v", query, err)
+			}
+		}
+		return w, resp
+	}
+
+	if w, resp := get(""); w.Code != 200 || resp.Total != 5 || resp.Count != 5 {
+		t.Errorf("plain: code=%d total=%d count=%d", w.Code, resp.Total, resp.Count)
+	}
+	if _, resp := get("?n=2"); resp.Count != 2 || resp.Traces[1].TraceID != FormatTraceID(5) {
+		t.Errorf("n=2 returned %+v", resp.Traces)
+	}
+	if _, resp := get("?name=verify"); resp.Count != 1 || resp.Traces[0].Name != "verify" {
+		t.Errorf("name filter returned %+v", resp.Traces)
+	}
+	if _, resp := get("?trace=" + FormatTraceID(2)); resp.Count != 1 {
+		t.Errorf("trace filter count = %d", resp.Count)
+	}
+	if _, resp := get("?n=0"); resp.Count != 5 {
+		t.Errorf("n=0 (all) count = %d", resp.Count)
+	}
+	if _, resp := get("?min_dur_us=999999"); resp.Count != 0 {
+		t.Errorf("min_dur_us filter count = %d", resp.Count)
+	}
+	for _, bad := range []string{"?n=-1", "?n=x", "?min_dur_us=-2", "?min_dur_us=z"} {
+		if w, _ := get(bad); w.Code != 400 {
+			t.Errorf("%s: code = %d, want 400", bad, w.Code)
+		}
+	}
+
+	var disabled *Tracer
+	w := httptest.NewRecorder()
+	disabled.TracesHandler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	if w.Code != 404 {
+		t.Errorf("disabled tracer: code = %d, want 404", w.Code)
+	}
+}
+
+func TestRegisterPprof(t *testing.T) {
+	m := http.NewServeMux()
+	RegisterPprof(m)
+	w := httptest.NewRecorder()
+	m.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "profile") {
+		t.Errorf("pprof index: code=%d body=%q", w.Code, w.Body.String()[:min(120, w.Body.Len())])
+	}
+	w = httptest.NewRecorder()
+	m.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if w.Code != 200 {
+		t.Errorf("pprof cmdline: code=%d", w.Code)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		" INFO ": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, LoggerOptions{Level: slog.LevelInfo, NoTime: true})
+	log.Debug("hidden")
+	log.Info("request done", "trace_id", "00000000000000ff", "status", 200)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug line leaked through info level")
+	}
+	if want := `level=INFO msg="request done" trace_id=00000000000000ff status=200` + "\n"; out != want {
+		t.Errorf("log output:\n got %q\nwant %q", out, want)
+	}
+	Discard().Info("dropped") // must not panic
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// The trace ring: completed traces land in lock-striped bounded buffers.
+// Writers (request goroutines committing a finished trace) hash onto a
+// stripe by trace id and touch one short critical section; readers
+// (/debug/traces) snapshot every stripe independently and merge by commit
+// sequence, so reads never block writers for longer than one stripe copy.
+
+type stripe struct {
+	mu  sync.Mutex
+	buf []*TraceRecord // append until cap, then overwrite round-robin
+	cap int
+	w   int // next overwrite position once full
+}
+
+// commit appends a completed trace to its stripe, overwriting the oldest
+// entry once the stripe is full.
+func (t *Tracer) commit(id uint64, rec *TraceRecord) {
+	rec.seq = t.seq.Add(1)
+	s := &t.stripes[id&t.mask]
+	s.mu.Lock()
+	if len(s.buf) < s.cap {
+		s.buf = append(s.buf, rec)
+	} else {
+		s.buf[s.w] = rec
+		s.w = (s.w + 1) % s.cap
+	}
+	s.mu.Unlock()
+}
+
+// Total reports how many traces have ever been committed (including ones
+// the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Filter selects traces out of a Snapshot. The zero value matches all.
+type Filter struct {
+	// Name keeps only traces whose root name matches exactly.
+	Name string
+	// TraceID keeps only the trace with this id (16-hex form).
+	TraceID string
+	// MinDurUS keeps only traces at least this long.
+	MinDurUS int64
+	// Last bounds the result to the most recent n matches (0 = all).
+	Last int
+}
+
+// Snapshot returns the retained traces matching f, oldest first. The
+// records are shared snapshots: committed traces are immutable, so
+// callers may read them freely but must not modify them.
+func (t *Tracer) Snapshot(f Filter) []*TraceRecord {
+	if t == nil {
+		return nil
+	}
+	var out []*TraceRecord
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for _, rec := range s.buf {
+			if f.Name != "" && rec.Name != f.Name {
+				continue
+			}
+			if f.TraceID != "" && rec.TraceID != f.TraceID {
+				continue
+			}
+			if f.MinDurUS > 0 && rec.DurUS < f.MinDurUS {
+				continue
+			}
+			out = append(out, rec)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	if f.Last > 0 && len(out) > f.Last {
+		out = out[len(out)-f.Last:]
+	}
+	return out
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"pacds/internal/obs"
 )
 
 // Client is a typed HTTP client for a cdsd server. The zero value is not
@@ -80,10 +82,21 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// When ctx carries a trace, propagate its id so the server-side span
+	// tree joins the client's view of this call, and record the wire
+	// round-trip as an http span.
+	tr := obs.FromContext(ctx)
+	var sp *obs.Span
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(tr.ID()))
+		sp = tr.StartSpan("http").Attr("path", path)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		sp.Attr("error", "transport").End()
 		return err
 	}
+	sp.AttrInt("status", resp.StatusCode).End()
 	// Drain whatever the handlers below leave unread (bounded, so a
 	// broken server cannot pin the connection) before closing: only a
 	// fully read body lets net/http return the connection to the keep-
@@ -168,6 +181,22 @@ func (c *Client) Live(ctx context.Context) error {
 func (c *Client) Ready(ctx context.Context) (*ReadinessResponse, error) {
 	var resp ReadinessResponse
 	if err := c.call(ctx, http.MethodGet, "/healthz/ready", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DebugTraces fetches the server's trace ring via GET /debug/traces.
+// rawQuery filters the read ("" = server default; e.g. "n=0" for all
+// retained traces, "name=compute&min_dur_us=500"). A server with tracing
+// disabled answers 404, surfaced as an *APIError.
+func (c *Client) DebugTraces(ctx context.Context, rawQuery string) (*obs.TracesResponse, error) {
+	path := "/debug/traces"
+	if rawQuery != "" {
+		path += "?" + rawQuery
+	}
+	var resp obs.TracesResponse
+	if err := c.call(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"pacds/internal/obs"
 	"pacds/internal/resilience"
 )
 
@@ -161,10 +163,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // Client methods satisfy this by allocating a fresh response per call.
 func (rc *ResilientClient) do(ctx context.Context, attempt func(ctx context.Context) (any, error)) (any, error) {
 	call := rc.calls.Add(1) - 1
+	tr := obs.FromContext(ctx)
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
 			if rc.budget != nil && !rc.budget.Allow() {
+				tr.SetAttr("retry_budget", "exhausted")
 				break // budget exhausted: the last error stands
 			}
 			rc.retries.Add(1)
@@ -172,7 +176,10 @@ func (rc *ResilientClient) do(ctx context.Context, attempt func(ctx context.Cont
 			if ra := retryAfterOf(lastErr); ra > delay {
 				delay = ra
 			}
-			if err := rc.sleep(ctx, delay); err != nil {
+			bs := tr.StartSpan("backoff-wait")
+			err := rc.sleep(ctx, delay)
+			bs.End()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -182,20 +189,37 @@ func (rc *ResilientClient) do(ctx context.Context, attempt func(ctx context.Cont
 			// keep looping — the open window may expire before the
 			// attempts run out.
 			rc.breakerDenied.Add(1)
+			tr.StartSpan("attempt").AttrInt("n", a).Attr("outcome", "breaker-open").End()
 			lastErr = berr
 			continue
 		}
+		as := tr.StartSpan("attempt").AttrInt("n", a)
 		v, err := rc.attempt(ctx, attempt)
 		done(!backendFailure(err))
 		if err == nil {
+			as.Attr("outcome", "ok").End()
 			return v, nil
 		}
+		as.Attr("outcome", errClass(err)).End()
 		lastErr = err
 		if !retryable(err) {
 			return nil, err
 		}
 	}
 	return nil, lastErr
+}
+
+// errClass buckets an attempt error for span attributes: the HTTP status
+// for API errors, "canceled" for a dead context, "transport" otherwise.
+func errClass(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return "http-" + strconv.Itoa(apiErr.Status)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "canceled"
+	}
+	return "transport"
 }
 
 // attempt runs attempt once, or twice overlapped when hedging is on:
@@ -231,6 +255,9 @@ func (rc *ResilientClient) attempt(ctx context.Context, attempt func(ctx context
 			timerC = nil // at most one hedge per attempt
 			if rc.budget == nil || rc.budget.Allow() {
 				rc.hedges.Add(1)
+				// Instant marker: the hedge's own wire call records its
+				// http span; this span just pins the launch decision.
+				obs.FromContext(ctx).StartSpan("hedge-launched").End()
 				outstanding++
 				go run()
 			}
@@ -299,4 +326,10 @@ func (rc *ResilientClient) Ready(ctx context.Context) (*ReadinessResponse, error
 // MetricsText passes through to Client.MetricsText.
 func (rc *ResilientClient) MetricsText(ctx context.Context) (string, error) {
 	return rc.c.MetricsText(ctx)
+}
+
+// DebugTraces passes through to Client.DebugTraces: a diagnostic read,
+// like the probes, must observe the server as it is.
+func (rc *ResilientClient) DebugTraces(ctx context.Context, rawQuery string) (*obs.TracesResponse, error) {
+	return rc.c.DebugTraces(ctx, rawQuery)
 }

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"pacds/internal/distributed"
 	"pacds/internal/energy"
 	"pacds/internal/metrics"
+	"pacds/internal/obs"
 	"pacds/internal/sim"
 	"pacds/internal/stats"
 	"pacds/internal/topo"
@@ -96,6 +98,16 @@ type Config struct {
 	// since-epoch diffs (default 64).
 	SessionHistory int
 
+	// Tracing parameterizes request-scoped tracing (see internal/obs).
+	// The zero value — Capacity 0 — disables tracing entirely: no trace
+	// ring, no context values, zero allocations on the request path.
+	Tracing obs.TracerConfig
+	// Debug exposes net/http/pprof under /debug/pprof/ on the API mux.
+	Debug bool
+	// Logger receives structured per-request logs (default: discard).
+	// Request lines are Debug level; failures are Warn.
+	Logger *slog.Logger
+
 	// TestDelay artificially lengthens every computation; tests (both in
 	// this package and in the load harness) use it to hold requests in
 	// flight deterministically and to force shed/timeout paths. It must
@@ -135,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.ShedRetryAfter <= 0 {
 		c.ShedRetryAfter = time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
 	return c
 }
 
@@ -160,6 +175,8 @@ type Server struct {
 	flight   *flightGroup
 	brownout map[string]bool // endpoints serving degraded responses under overload
 	sessions *topo.Manager   // streaming-topology session subsystem
+	tracer   *obs.Tracer     // nil when tracing is disabled (nil-safe)
+	log      *slog.Logger
 
 	reg        *metrics.Registry
 	mHits      *metrics.Counter
@@ -172,11 +189,13 @@ type Server struct {
 }
 
 type job struct {
-	ctx  context.Context
-	fn   func() (any, error)
-	val  any
-	err  error
-	done chan struct{}
+	ctx    context.Context
+	stage  string    // span name for the on-worker execution ("" = untraced stage)
+	queued *obs.Span // queue-wait span, ended when a worker picks the job up
+	fn     func() (any, error)
+	val    any
+	err    error
+	done   chan struct{}
 }
 
 // Sentinel serving errors, mapped to HTTP statuses by the handlers.
@@ -195,6 +214,8 @@ func New(cfg Config) *Server {
 		cache:    newLRUCache(cfg.CacheSize),
 		flight:   newFlightGroup(),
 		brownout: make(map[string]bool),
+		tracer:   obs.NewTracer(cfg.Tracing),
+		log:      cfg.Logger,
 		reg:      metrics.NewRegistry(),
 	}
 	for _, ep := range cfg.BrownoutEndpoints {
@@ -235,6 +256,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
 	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The traces route is registered even when tracing is off: a nil
+	// tracer's handler answers 404, so probes get a clear signal instead
+	// of the mux's generic not-found.
+	s.mux.Handle("GET /debug/traces", s.tracer.TracesHandler())
+	if cfg.Debug {
+		obs.RegisterPprof(s.mux)
+	}
 	return s
 }
 
@@ -244,6 +272,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the server's metrics registry (shared, live).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+// Tracer returns the server's trace ring (nil when tracing is disabled;
+// the nil tracer is safe to use).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 func (s *Server) worker() {
 	defer s.wkDone.Done()
 	for {
@@ -252,9 +284,14 @@ func (s *Server) worker() {
 			return
 		case j := <-s.jobs:
 			s.gQueue.Add(-1)
+			j.queued.End()
 			if j.ctx.Err() != nil {
 				j.err = j.ctx.Err() // deadline passed while queued: skip the work
 			} else {
+				var sp *obs.Span
+				if j.stage != "" {
+					sp = obs.FromContext(j.ctx).StartSpan(j.stage)
+				}
 				if s.cfg.TestDelay > 0 {
 					select {
 					case <-time.After(s.cfg.TestDelay):
@@ -262,6 +299,7 @@ func (s *Server) worker() {
 					}
 				}
 				j.val, j.err = j.fn()
+				sp.End()
 			}
 			close(j.done)
 		}
@@ -270,15 +308,21 @@ func (s *Server) worker() {
 
 // submit runs fn on the worker pool and waits for it under ctx. A full
 // queue sheds the request immediately rather than queueing unbounded
-// work.
-func (s *Server) submit(ctx context.Context, fn func() (any, error)) (any, error) {
-	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+// work. When ctx carries a trace, a queue-wait span covers the time
+// between submission and worker pickup, and the on-worker execution runs
+// inside a span named stage ("" records no stage span — used where the
+// callee records finer-grained spans itself).
+func (s *Server) submit(ctx context.Context, stage string, fn func() (any, error)) (any, error) {
+	qs := obs.FromContext(ctx).StartSpan("queue-wait")
+	j := &job{ctx: ctx, stage: stage, queued: qs, fn: fn, done: make(chan struct{})}
 	select {
 	case s.jobs <- j:
 		s.gQueue.Add(1)
 	case <-s.quit:
+		qs.Attr("outcome", "draining").End()
 		return nil, errDraining
 	default:
+		qs.Attr("outcome", "shed").End()
 		return nil, errOverloaded // the endpoint wrapper counts the shed
 	}
 	select {
@@ -367,10 +411,20 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 	lat := s.reg.Histogram(fmt.Sprintf("cdsd_service_seconds{endpoint=%q}", name), "request service time in seconds", nil)
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
+		// The client's X-Trace-Id (when parsable) becomes the trace id, so
+		// client- and server-side views of one request join on it; the id
+		// is echoed on the response either way.
+		id, _ := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+		rctx, tr := s.tracer.StartRequest(r.Context(), name, id)
+		if tr != nil {
+			w.Header().Set(obs.TraceHeader, obs.FormatTraceID(tr.ID()))
+			defer tr.Finish()
+		}
 		if !s.tryEnter() {
 			errs.Inc()
+			tr.SetAttr("refused", "draining")
 			s.setRetryAfter(w)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
+			s.writeJSONCtx(rctx, w, http.StatusServiceUnavailable, errorResponse{Error: errDraining.Error()})
 			return
 		}
 		s.gInflight.Add(1)
@@ -379,7 +433,7 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 			s.inflight.Done()
 		}()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
 		defer cancel()
 		r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
 
@@ -390,13 +444,28 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 			errs.Inc()
 			if errors.Is(err, errOverloaded) {
 				shed.Inc()
+				tr.SetAttr("shed", "true")
 			}
 			if status == http.StatusServiceUnavailable {
 				s.setRetryAfter(w)
 			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
+			s.writeJSONCtx(ctx, w, status, errorResponse{Error: err.Error()})
+			s.log.Warn("request failed",
+				"endpoint", name, "trace", traceIDOf(tr), "status", status,
+				"err", err, "dur", time.Since(start))
+			return
 		}
+		s.log.Debug("request",
+			"endpoint", name, "trace", traceIDOf(tr), "dur", time.Since(start))
 	}
+}
+
+// traceIDOf renders a trace's id for log attrs ("" when untraced).
+func traceIDOf(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return obs.FormatTraceID(tr.ID())
 }
 
 // setRetryAfter attaches the configured Retry-After hint, rounded up to
@@ -425,6 +494,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONCtx is writeJSON with tracing: the response status lands on
+// the request trace and the serialization runs inside an encode span.
+func (s *Server) writeJSONCtx(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	tr := obs.FromContext(ctx)
+	tr.SetStatus(status)
+	sp := tr.StartSpan("encode")
+	writeJSON(w, status, v)
+	sp.End()
 }
 
 func decodeJSON(r *http.Request, v any) error {
@@ -463,7 +542,7 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 		if err != nil {
 			return http.StatusBadRequest, err
 		}
-		v, err := s.submit(ctx, func() (any, error) {
+		v, err := s.submit(ctx, "compute", func() (any, error) {
 			res, err := distributed.RunHardened(g, policy, req.Energy, distributed.HardenedConfig{Faults: plan})
 			if err != nil {
 				return nil, err
@@ -481,20 +560,33 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 		if err != nil {
 			return statusFor(err), err
 		}
-		writeJSON(w, http.StatusOK, v)
+		s.writeJSONCtx(ctx, w, http.StatusOK, v)
 		return 0, nil
 	}
 
+	tr := obs.FromContext(ctx)
 	key := cacheKey(g, policy, req.Energy, s.cfg.EnergyQuantum)
-	if v, age, ok := s.cache.get(key); ok && (s.cfg.CacheTTL == 0 || age <= s.cfg.CacheTTL) {
+	ls := tr.StartSpan("cache-lookup")
+	v, age, ok := s.cache.get(key)
+	fresh := ok && (s.cfg.CacheTTL == 0 || age <= s.cfg.CacheTTL)
+	switch {
+	case fresh:
+		ls.Attr("outcome", "hit")
+	case ok:
+		ls.Attr("outcome", "stale")
+	default:
+		ls.Attr("outcome", "miss")
+	}
+	ls.End()
+	if fresh {
 		s.mHits.Inc()
 		resp := *v.(*ComputeResponse) // shallow copy; cached object is immutable
 		resp.Cached = true
-		writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+		s.writeJSONCtx(ctx, w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
 		return 0, nil
 	}
 	v, shared, err := s.flight.do(key, func() (any, error) {
-		return s.submit(ctx, func() (any, error) {
+		return s.submit(ctx, "compute", func() (any, error) {
 			res, err := cds.Compute(g, policy, req.Energy)
 			if err != nil {
 				return nil, err
@@ -519,10 +611,11 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 		if errors.Is(err, errOverloaded) && s.brownout["compute"] {
 			if v, _, ok := s.cache.get(key); ok {
 				s.mDegraded.Inc()
+				tr.SetAttr("brownout", "degraded")
 				resp := *v.(*ComputeResponse)
 				resp.Cached = true
 				resp.Degraded = true
-				writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+				s.writeJSONCtx(ctx, w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
 				return 0, nil
 			}
 		}
@@ -531,10 +624,11 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 	s.mMisses.Inc()
 	if shared {
 		s.mCoalesced.Inc()
+		tr.SetAttr("coalesced", "true")
 	}
 	resp := *v.(*ComputeResponse)
 	resp.Coalesced = shared
-	writeJSON(w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
+	s.writeJSONCtx(ctx, w, http.StatusOK, s.trimMarked(&resp, req.IncludeMarked))
 	return 0, nil
 }
 
@@ -560,7 +654,7 @@ func (s *Server) handleVerify(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	v, err := s.submit(ctx, func() (any, error) {
+	v, err := s.submit(ctx, "verify", func() (any, error) {
 		report, err := cds.Analyze(g, gateway)
 		if err != nil {
 			return nil, err
@@ -580,7 +674,7 @@ func (s *Server) handleVerify(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return statusFor(err), err
 	}
-	writeJSON(w, http.StatusOK, v)
+	s.writeJSONCtx(ctx, w, http.StatusOK, v)
 	return 0, nil
 }
 
@@ -612,7 +706,7 @@ func (s *Server) handleSimulate(ctx context.Context, w http.ResponseWriter, r *h
 	if trials <= 0 {
 		trials = 1
 	}
-	v, err := s.submit(ctx, func() (any, error) {
+	v, err := s.submit(ctx, "simulate", func() (any, error) {
 		resp := &SimulateResponse{Policy: policy.String(), Drain: drain.Name(), Trials: trials}
 		if trials == 1 {
 			m, err := sim.Run(cfg)
@@ -642,7 +736,7 @@ func (s *Server) handleSimulate(ctx context.Context, w http.ResponseWriter, r *h
 	if err != nil {
 		return statusFor(err), err
 	}
-	writeJSON(w, http.StatusOK, v)
+	s.writeJSONCtx(ctx, w, http.StatusOK, v)
 	return 0, nil
 }
 
@@ -655,7 +749,7 @@ func (s *Server) handlePolicies(ctx context.Context, w http.ResponseWriter, r *h
 			Description: policyDescriptions[p],
 		})
 	}
-	writeJSON(w, http.StatusOK, infos)
+	s.writeJSONCtx(ctx, w, http.StatusOK, infos)
 	return 0, nil
 }
 

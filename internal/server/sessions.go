@@ -165,7 +165,7 @@ func (s *Server) handleSessionCreate(ctx context.Context, w http.ResponseWriter,
 		return http.StatusBadRequest,
 			fmt.Errorf("%d energy levels for %d nodes", len(req.Energy), g.NumNodes())
 	}
-	v, err := s.submit(ctx, func() (any, error) {
+	v, err := s.submit(ctx, "session-bootstrap", func() (any, error) {
 		snap, err := s.sessions.Create(g, policy, req.Energy)
 		if err != nil {
 			return nil, err
@@ -175,7 +175,7 @@ func (s *Server) handleSessionCreate(ctx context.Context, w http.ResponseWriter,
 	if err != nil {
 		return sessionStatus(err), err
 	}
-	writeJSON(w, http.StatusCreated, v)
+	s.writeJSONCtx(ctx, w, http.StatusCreated, v)
 	return 0, nil
 }
 
@@ -192,8 +192,11 @@ func (s *Server) handleSessionChanges(ctx context.Context, w http.ResponseWriter
 	for i, ch := range req.Changes {
 		changes[i] = topo.EdgeChange{A: graph.NodeID(ch.A), B: graph.NodeID(ch.B), Up: ch.Up}
 	}
-	v, err := s.submit(ctx, func() (any, error) {
-		snap, err := s.sessions.Apply(id, changes, req.Energy)
+	// Stage "" because ApplyCtx records its own finer-grained spans
+	// (session-lock-wait, session-apply); a wrapper span would just
+	// duplicate their union.
+	v, err := s.submit(ctx, "", func() (any, error) {
+		snap, err := s.sessions.ApplyCtx(ctx, id, changes, req.Energy)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +208,7 @@ func (s *Server) handleSessionChanges(ctx context.Context, w http.ResponseWriter
 		}
 		return sessionStatus(err), err
 	}
-	writeJSON(w, http.StatusOK, v)
+	s.writeJSONCtx(ctx, w, http.StatusOK, v)
 	return 0, nil
 }
 
@@ -227,7 +230,7 @@ func (s *Server) handleSessionGet(ctx context.Context, w http.ResponseWriter, r 
 	if err != nil {
 		return sessionStatus(err), err
 	}
-	writeJSON(w, http.StatusOK, sessionResponse(snap, sum))
+	s.writeJSONCtx(ctx, w, http.StatusOK, sessionResponse(snap, sum))
 	return 0, nil
 }
 
@@ -236,7 +239,7 @@ func (s *Server) handleSessionDelete(ctx context.Context, w http.ResponseWriter,
 	if err := s.sessions.Delete(r.PathValue("id")); err != nil {
 		return sessionStatus(err), err
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	s.writeJSONCtx(ctx, w, http.StatusOK, map[string]string{"status": "deleted"})
 	return 0, nil
 }
 

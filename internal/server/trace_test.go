@@ -1,0 +1,288 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pacds/internal/obs"
+)
+
+// serverFakeClock mirrors the obs test clock: every call advances by step,
+// so span offsets are a pure function of the clock-call sequence.
+type serverFakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *serverFakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// TestTraceGoldenSpanTree locks the byte-exact span tree of one seeded
+// compute request: Workers=1 and a deterministic tracer clock serialize
+// every clock call, so the JSON is reproducible down to the byte.
+func TestTraceGoldenSpanTree(t *testing.T) {
+	clock := &serverFakeClock{now: time.Unix(1_700_000_000, 0).UTC(), step: time.Millisecond}
+	_, c := newTestServer(t, Config{
+		Workers:   1,
+		TestDelay: 5 * time.Millisecond,
+		Tracing:   obs.TracerConfig{Capacity: 16, Seed: 7, Clock: clock.Now},
+	})
+	inst := randomInstance(t, 20, 1)
+	ctx := context.Background()
+
+	// The client pins the trace id via X-Trace-Id, so the server-side
+	// trace is addressable without scraping.
+	tracer := obs.NewTracer(obs.TracerConfig{Capacity: 4, Seed: 9, Clock: clock.Now})
+	rctx, tr := tracer.StartRequest(ctx, "loadgen", 0xabcdef12345)
+	if _, err := c.Compute(rctx, ComputeRequest{Graph: specFor(inst.Graph), Policy: "NR"}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+
+	resp, err := c.DebugTraces(ctx, "trace="+obs.FormatTraceID(0xabcdef12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 {
+		t.Fatalf("server retained %d traces for the id, want 1", resp.Count)
+	}
+	got := *resp.Traces[0]
+	// The absolute start depends on how many clock ticks the client side
+	// consumed first; the offsets and durations are the golden part.
+	got.StartUnixUS = 0
+	b, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"trace_id":"00000abcdef12345","name":"compute","status":200,` +
+		`"start_unix_us":0,"dur_us":9000,` +
+		`"spans":[{"name":"cache-lookup","start_us":1000,"dur_us":1000,"attrs":{"outcome":"miss"}},` +
+		`{"name":"queue-wait","start_us":3000,"dur_us":1000},` +
+		`{"name":"compute","start_us":5000,"dur_us":1000},` +
+		`{"name":"encode","start_us":7000,"dur_us":1000}]}`
+	if string(b) != want {
+		t.Errorf("golden server span tree mismatch:\n got %s\nwant %s", b, want)
+	}
+
+	// The client-side trace must carry the wire span joined on the same id.
+	crecs := tracer.Snapshot(obs.Filter{})
+	if len(crecs) != 1 {
+		t.Fatalf("client retained %d traces, want 1", len(crecs))
+	}
+	crec := crecs[0]
+	if crec.TraceID != obs.FormatTraceID(0xabcdef12345) {
+		t.Errorf("client trace id %s != pinned id", crec.TraceID)
+	}
+	if len(crec.Spans) != 1 || crec.Spans[0].Name != "http" {
+		t.Fatalf("client spans = %+v, want one http span", crec.Spans)
+	}
+	if got := crec.Spans[0].Attrs["status"]; got != "200" {
+		t.Errorf("http span status attr = %q, want 200", got)
+	}
+	if got := crec.Spans[0].Attrs["path"]; got != "/v1/compute" {
+		t.Errorf("http span path attr = %q", got)
+	}
+}
+
+// TestTraceDisabledByDefault: the zero Config records nothing, serves 404
+// on /debug/traces, and echoes no trace header.
+func TestTraceDisabledByDefault(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	if s.Tracer() != nil {
+		t.Fatal("zero config should leave the tracer nil")
+	}
+	inst := randomInstance(t, 20, 1)
+	resp, err := c.Compute(context.Background(), ComputeRequest{Graph: specFor(inst.Graph), Policy: "NR"})
+	if err != nil || resp.NumGateways == 0 {
+		t.Fatalf("compute failed without tracing: %v", err)
+	}
+	if _, err := c.DebugTraces(context.Background(), ""); err == nil {
+		t.Error("DebugTraces should fail 404 when tracing is disabled")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Status != 404 {
+		t.Errorf("DebugTraces error = %v, want APIError 404", err)
+	}
+}
+
+// TestTraceHeaderEcho: a traced server echoes the request's trace id, and
+// generates one when the client sent none.
+func TestTraceHeaderEcho(t *testing.T) {
+	_, c := newTestServer(t, Config{Tracing: obs.TracerConfig{Capacity: 16, Seed: 3}})
+	inst := randomInstance(t, 20, 2)
+	if _, err := c.Compute(context.Background(), ComputeRequest{Graph: specFor(inst.Graph), Policy: "NR"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.DebugTraces(context.Background(), "n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || resp.Traces[0].Name != "compute" {
+		t.Fatalf("traces = %+v", resp.Traces)
+	}
+	if _, ok := obs.ParseTraceID(resp.Traces[0].TraceID); !ok {
+		t.Errorf("generated trace id %q does not parse", resp.Traces[0].TraceID)
+	}
+}
+
+// TestTraceShedOutcome: a shed request's queue-wait span carries the shed
+// outcome, and the root is flagged.
+func TestTraceShedOutcome(t *testing.T) {
+	s := New(Config{
+		Workers: 1, QueueDepth: 1,
+		TestDelay: 200 * time.Millisecond,
+		Tracing:   obs.TracerConfig{Capacity: 64, Seed: 5},
+	})
+	defer s.Close()
+	inst := randomInstance(t, 20, 3)
+	spec := specFor(inst.Graph)
+
+	// Saturate: 1 worker + queue depth 1; the rest shed. Distinct seeds
+	// give distinct cache keys, so no coalescing absorbs the burst.
+	var wg sync.WaitGroup
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL, hs.Client())
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := randomInstance(t, 20, uint64(10+i)).Graph
+			c.Compute(context.Background(), ComputeRequest{Graph: specFor(g), Policy: "NR"})
+		}(i)
+	}
+	wg.Wait()
+	_ = spec
+
+	shed := 0
+	for _, rec := range s.Tracer().Snapshot(obs.Filter{Name: "compute"}) {
+		if rec.Attrs["shed"] != "true" {
+			continue
+		}
+		shed++
+		found := false
+		for _, sp := range rec.Spans {
+			if sp.Name == "queue-wait" && sp.Attrs["outcome"] == "shed" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shed trace %s lacks a queue-wait shed span: %+v", rec.TraceID, rec.Spans)
+		}
+		if rec.Status != 503 {
+			t.Errorf("shed trace status = %d, want 503", rec.Status)
+		}
+	}
+	if shed == 0 {
+		t.Error("burst of 8 onto 1 worker + queue 1 shed nothing")
+	}
+}
+
+// TestTraceSessionSpans: a traced session delta batch records the
+// session-lock-wait and session-apply spans from topo.ApplyCtx.
+func TestTraceSessionSpans(t *testing.T) {
+	_, c := newTestServer(t, Config{Tracing: obs.TracerConfig{Capacity: 16, Seed: 11}})
+	inst := randomInstance(t, 20, 4)
+	ctx := context.Background()
+	sess, err := c.CreateSession(ctx, SessionCreateRequest{Graph: specFor(inst.Graph), Policy: "NR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SessionChanges(ctx, sess.ID, SessionChangesRequest{
+		Changes: []SessionEdgeChange{{A: 0, B: 1, Up: false}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.mustTraces(t, "name=session_changes")
+	if len(recs) != 1 {
+		t.Fatalf("got %d session_changes traces, want 1", len(recs))
+	}
+	names := map[string]bool{}
+	for _, sp := range recs[0].Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"queue-wait", "session-lock-wait", "session-apply", "encode"} {
+		if !names[want] {
+			t.Errorf("session trace lacks %s span (have %v)", want, names)
+		}
+	}
+	// The apply span carries the resulting epoch.
+	for _, sp := range recs[0].Spans {
+		if sp.Name == "session-apply" && sp.Attrs["epoch"] == "" {
+			t.Error("session-apply span lacks the epoch attr")
+		}
+	}
+	// Bootstrap got its own stage name.
+	boot := c.mustTraces(t, "name=session_create")
+	if len(boot) != 1 {
+		t.Fatalf("got %d session_create traces, want 1", len(boot))
+	}
+	hasBootstrap := false
+	for _, sp := range boot[0].Spans {
+		if sp.Name == "session-bootstrap" {
+			hasBootstrap = true
+		}
+	}
+	if !hasBootstrap {
+		t.Errorf("session_create trace lacks session-bootstrap span: %+v", boot[0].Spans)
+	}
+}
+
+// mustTraces fetches /debug/traces with the query, failing the test on
+// error.
+func (c *Client) mustTraces(t *testing.T, rawQuery string) []*obs.TraceRecord {
+	t.Helper()
+	resp, err := c.DebugTraces(context.Background(), rawQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Traces
+}
+
+// getRaw fetches an arbitrary path as text, erroring on non-2xx.
+func (c *Client) getRaw(path string) (string, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// TestDebugRoutes: pprof appears only with Debug on; bad trace queries 400.
+func TestDebugRoutes(t *testing.T) {
+	_, c := newTestServer(t, Config{Debug: true, Tracing: obs.TracerConfig{Capacity: 4, Seed: 1}})
+	body, err := c.getRaw("/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "profile") {
+		t.Errorf("pprof index unexpected body: %.80s", body)
+	}
+	if _, err := c.DebugTraces(context.Background(), "n=bogus"); err == nil {
+		t.Error("bad n should 400")
+	}
+
+	_, plain := newTestServer(t, Config{})
+	if _, err := plain.getRaw("/debug/pprof/"); err == nil {
+		t.Error("pprof should be absent without Debug")
+	}
+}

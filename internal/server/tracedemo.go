@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"pacds/internal/obs"
+	"pacds/internal/udg"
+	"pacds/internal/xrand"
+)
+
+// TraceDemo boots a traced in-process cdsd, issues one traced compute,
+// and pretty-prints the resulting server span tree to w — the guts of
+// `make trace-demo`, kept as library code so CI smoke-tests it as a Go
+// test instead of a shell pipeline.
+func TraceDemo(w io.Writer) error {
+	local, err := StartLocal(Config{
+		Workers: 2,
+		Tracing: obs.TracerConfig{Capacity: 64, Seed: 1},
+	})
+	if err != nil {
+		return err
+	}
+	defer local.Close()
+
+	inst, err := udg.RandomConnected(udg.PaperConfig(60), xrand.New(1), 2000)
+	if err != nil {
+		return err
+	}
+	spec := GraphSpec{Nodes: inst.Graph.NumNodes()}
+	inst.Graph.Edges(func(u, v int32) {
+		spec.Edges = append(spec.Edges, [2]int{int(u), int(v)})
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := local.Client(nil)
+
+	// Pin the trace id client-side, exactly as loadgen -trace does.
+	tracer := obs.NewTracer(obs.TracerConfig{Capacity: 4, Seed: 2})
+	rctx, tr := tracer.StartRequest(ctx, "trace-demo", 0)
+	resp, err := c.Compute(rctx, ComputeRequest{Graph: spec, Policy: "NR"})
+	tr.Finish()
+	if err != nil {
+		return err
+	}
+
+	id := obs.FormatTraceID(tr.ID())
+	traces, err := c.DebugTraces(ctx, "trace="+id)
+	if err != nil {
+		return err
+	}
+	if traces.Count != 1 {
+		return fmt.Errorf("trace demo: server retained %d traces for id %s, want 1", traces.Count, id)
+	}
+
+	fmt.Fprintf(w, "compute: %d nodes -> %d gateways (policy %s)\n", resp.Nodes, resp.NumGateways, resp.Policy)
+	WriteTraceTree(w, traces.Traces[0])
+	return nil
+}
+
+// WriteTraceTree pretty-prints one trace as an indented span tree with
+// aligned timings, e.g.:
+//
+//	trace 7b2f… compute 412us status=200
+//	├─ cache-lookup      2us   [outcome=miss]
+//	├─ queue-wait       11us
+//	├─ compute         371us
+//	└─ encode           13us
+func WriteTraceTree(w io.Writer, rec *obs.TraceRecord) {
+	fmt.Fprintf(w, "trace %s %s %dus status=%d%s\n",
+		rec.TraceID, rec.Name, rec.DurUS, rec.Status, attrsSuffix(rec.Attrs))
+	for i, sp := range rec.Spans {
+		branch := "├─"
+		if i == len(rec.Spans)-1 {
+			branch = "└─"
+		}
+		fmt.Fprintf(w, "%s %-18s %6dus%s\n", branch, sp.Name, sp.DurUS, attrsSuffix(sp.Attrs))
+	}
+}
+
+// attrsSuffix renders span attributes as " [k=v ...]" with sorted keys
+// ("" when empty).
+func attrsSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}

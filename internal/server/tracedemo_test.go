@@ -1,0 +1,22 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceDemo smoke-tests the `make trace-demo` walkthrough end to end:
+// boot, traced compute, span-tree fetch, pretty-print.
+func TestTraceDemo(t *testing.T) {
+	var b strings.Builder
+	if err := TraceDemo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	t.Log("\n" + out)
+	for _, want := range []string{"gateways", "trace ", "status=200", "cache-lookup", "queue-wait", "compute", "encode", "outcome=miss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace demo output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package topo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"pacds/internal/distributed"
 	"pacds/internal/graph"
 	"pacds/internal/metrics"
+	"pacds/internal/obs"
 	"pacds/internal/xrand"
 )
 
@@ -358,15 +360,42 @@ func (m *Manager) claim(id string) (*entry, error) {
 // to one session are serialized; batches to different sessions run
 // concurrently.
 func (m *Manager) Apply(id string, changes []EdgeChange, energy []float64) (*Snapshot, error) {
+	return m.ApplyCtx(context.Background(), id, changes, energy)
+}
+
+// ApplyCtx is Apply with request-scoped tracing: when ctx carries an obs
+// trace, a session-lock-wait span covers the lookup plus the per-session
+// serialization wait, and a session-apply span covers the batch itself
+// (annotated with the resulting epoch, marker flips, and frontier size).
+// Untraced contexts pay nothing.
+func (m *Manager) ApplyCtx(ctx context.Context, id string, changes []EdgeChange, energy []float64) (*Snapshot, error) {
+	tr := obs.FromContext(ctx)
+	lk := tr.StartSpan("session-lock-wait")
 	e, err := m.claim(id)
 	if err != nil {
+		lk.End()
 		return nil, err
 	}
 	e.mu.Lock()
+	lk.End()
 	defer e.mu.Unlock()
 	if e.dead {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	sp := tr.StartSpan("session-apply")
+	defer sp.End()
+	snap, err := m.applyLocked(e, changes, energy)
+	if err != nil {
+		return nil, err
+	}
+	sp.AttrInt("epoch", int(snap.Epoch)).
+		AttrInt("marker_changes", snap.MarkerChanges).
+		AttrInt("frontier", snap.FrontierSize)
+	return snap, nil
+}
+
+// applyLocked validates and applies one delta batch. e.mu must be held.
+func (m *Manager) applyLocked(e *entry, changes []EdgeChange, energy []float64) (*Snapshot, error) {
 	n := e.sess.NumNodes()
 	if len(changes) > m.cfg.MaxChanges {
 		return nil, fmt.Errorf("%w: batch of %d changes exceeds the limit %d", ErrInvalid, len(changes), m.cfg.MaxChanges)

@@ -52,6 +52,7 @@ package pacds
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 
 	"pacds/internal/broadcast"
@@ -66,6 +67,7 @@ import (
 	"pacds/internal/load"
 	"pacds/internal/metrics"
 	"pacds/internal/mobility"
+	"pacds/internal/obs"
 	"pacds/internal/resilience"
 	"pacds/internal/routing"
 	"pacds/internal/server"
@@ -767,3 +769,55 @@ type MetricsScrape = metrics.Scrape
 // ParseMetricsText parses a Prometheus text exposition (as served by
 // cdsd's /metrics) into samples queryable by name and labels.
 func ParseMetricsText(r io.Reader) (MetricsScrape, error) { return metrics.ParseText(r) }
+
+// --- Observability (tracing & structured logging) ---
+
+// TracerConfig parameterizes a request tracer: ring capacity (0 disables
+// tracing entirely), lock-stripe count, id seed, and an injectable clock
+// for deterministic span trees. Pass one in ServerConfig.Tracing to give
+// a cdsd a /debug/traces ring.
+type TracerConfig = obs.TracerConfig
+
+// Tracer records request traces into a bounded in-process ring. A nil
+// Tracer is valid and ignores every call, so instrumented code pays
+// nothing when tracing is disabled.
+type Tracer = obs.Tracer
+
+// TraceRecord is one completed request trace: id, name, status, root
+// attributes, and the flat list of stage spans.
+type TraceRecord = obs.TraceRecord
+
+// TraceSpanRecord is one completed stage span within a trace.
+type TraceSpanRecord = obs.SpanRecord
+
+// TraceFilter selects traces from a ring snapshot (by name, id, minimum
+// duration, last-n).
+type TraceFilter = obs.Filter
+
+// NewTracer returns a tracer retaining the last cfg.Capacity completed
+// traces, or nil (tracing disabled) when cfg.Capacity <= 0.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// FormatTraceID renders a trace id as the 16-hex-digit wire form carried
+// in the X-Trace-Id header; ParseTraceID is its inverse.
+func FormatTraceID(id uint64) string { return obs.FormatTraceID(id) }
+
+// ParseTraceID parses the 16-hex-digit wire form of a trace id.
+func ParseTraceID(s string) (uint64, bool) { return obs.ParseTraceID(s) }
+
+// NewLogger returns a leveled key=value text logger writing to w —
+// the logger cdsd and loadgen use. LoggerOptions.NoTime drops the time
+// attribute for byte-reproducible output.
+func NewLogger(w io.Writer, opts LoggerOptions) *slog.Logger { return obs.NewLogger(w, opts) }
+
+// LoggerOptions shape NewLogger's output.
+type LoggerOptions = obs.LoggerOptions
+
+// ParseLogLevel maps a -log-level flag value (debug, info, warn, error)
+// onto a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLevel(s) }
+
+// LoadTraceID derives the deterministic trace id the load harness pins
+// on request i of a traced run (LoadOptions.Trace) — a pure function of
+// (seed, index), never zero.
+func LoadTraceID(seed uint64, i int) uint64 { return load.TraceID(seed, i) }
