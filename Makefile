@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify cover bench bench-quick bench-sessions bench-check bench-server bench-server-check trace-demo profile fuzz load chaos clean
+.PHONY: all build test vet race verify cover bench bench-quick bench-sessions bench-check bench-server bench-server-check bench-compute bench-compute-check trace-demo profile profile-compute fuzz load chaos clean
 
 all: verify
 
@@ -20,10 +20,13 @@ test:
 # concurrent serving subsystem, the session manager (lock-striped shards,
 # reaper, eviction), the parallel experiment engine, the load harness
 # (whose workers share collectors and histograms), the resilience/chaos
-# layers (breakers, token buckets, fault transports), and the tracing
-# ring (concurrent span commits racing /debug/traces readers).
+# layers (breakers, token buckets, fault transports), the tracing ring
+# (concurrent span commits racing /debug/traces readers), and the
+# parallel compute pipeline (par worker primitive, speculative cds
+# kernels, parallel udg builder — whose determinism property tests
+# assert byte-identical output at every worker count under the racer).
 race:
-	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/topo/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/ ./internal/obs/
+	$(GO) test -race ./internal/distributed/ ./internal/sim/ ./internal/server/ ./internal/topo/ ./internal/experiments/ ./internal/load/ ./internal/resilience/ ./internal/chaos/ ./internal/obs/ ./internal/par/ ./internal/cds/ ./internal/udg/
 
 # Statement-coverage floors for the core pruning library, the serving
 # subsystem, the load harness, and the resilience primitives. The floors
@@ -114,10 +117,44 @@ bench-server:
 # Tracing-overhead regression gate: with tracing disabled (the nil-safe
 # no-op path) the compute endpoint must stay within 2% ns/op of the
 # pre-tracing ServerCompute baseline folded into BENCH_PR8.json. The
-# traced variant postdates the baseline and reports as new.
+# traced variant postdates the baseline and reports as new. A second
+# diff gates allocs/op against BENCH_PR10.json, which locked in the
+# pooled-scratch allocation win — the warm path must never creep back
+# toward the pre-pooling ~598 allocs/op.
 bench-server-check:
-	$(GO) test -run '^$$' -bench 'ServerCompute/(cold|warm)' -benchmem -count 3 . | \
+	$(GO) test -run '^$$' -bench 'ServerCompute/(cold|warm)' -benchmem -count 3 . | tee bench-server-check.out | \
 		$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -threshold 0.02
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR10.json -threshold 10 -alloc-threshold 0.10 bench-server-check.out
+	@rm -f bench-server-check.out
+
+# Large-N parallel-compute benchmarks: the compute stage
+# (ComputeParallel) and the end-to-end scratch pipeline (ComputePipeline,
+# BuildParallel + mark + prune) at N=1k/10k/100k x workers=1/4/8, plus
+# the ServerCompute endpoint rows whose allocs/op the pooled scratch
+# cut. Fixed 5-iteration runs keep the N=100k rows bounded; the JSON
+# summary is the BENCH_PR10.json baseline the check target diffs against.
+bench-compute:
+	$(GO) test -run '^$$' -bench 'ComputeParallel|ComputePipeline|ServerCompute' \
+		-benchmem -benchtime 5x -count 3 -timeout 30m . | tee bench-compute.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR10.json bench-compute.out
+
+# Parallel-compute regression gate: one pass over the same benchmarks,
+# any ns/op more than 20% over BENCH_PR10.json (or allocs/op more than
+# 10% over) fails the target.
+bench-compute-check:
+	$(GO) test -run '^$$' -bench 'ComputeParallel|ComputePipeline|ServerCompute' \
+		-benchmem -benchtime 5x -timeout 30m . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR10.json -alloc-threshold 0.10
+
+# CPU and allocation profiles of the N=100k end-to-end scratch pipeline,
+# for chasing build/mark/prune hotspots. Writes pprof artifacts under
+# results/.
+profile-compute:
+	mkdir -p results
+	$(GO) test -run '^$$' -bench 'ComputePipeline/N=100000/workers=1$$' -benchtime 5x \
+		-cpuprofile results/compute_cpu.pprof -memprofile results/compute_mem.pprof .
+	$(GO) tool pprof -top -nodecount 15 results/compute_cpu.pprof
+	@echo "wrote results/compute_cpu.pprof results/compute_mem.pprof"
 
 # Render one traced request end to end: pinned client trace id, server
 # stage spans, /debug/traces join, span tree on stdout. The same demo is

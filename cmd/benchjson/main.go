@@ -15,8 +15,11 @@
 // With -baseline, the summary is additionally diffed against a previously
 // written JSON file: every benchmark present in both is compared on ns/op,
 // and any regression beyond -threshold (default 20%) fails the run with a
-// non-zero exit — the CI perf gate. Benchmarks only on one side are
-// reported but never fail the gate (they are new or retired, not slower).
+// non-zero exit — the CI perf gate. -alloc-threshold (disabled by
+// default) additionally gates allocs/op the same way, so an allocation
+// win locked into a baseline cannot silently erode. Benchmarks only on
+// one side are reported but never fail the gate (they are new or
+// retired, not slower).
 package main
 
 import (
@@ -44,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out := fs.String("o", "", "output file (default stdout)")
 	baseline := fs.String("baseline", "", "baseline JSON to diff against; regressions fail the run")
 	threshold := fs.Float64("threshold", 0.20, "allowed fractional ns/op regression vs the baseline")
+	allocThreshold := fs.Float64("alloc-threshold", -1, "allowed fractional allocs/op regression vs the baseline (negative disables the alloc gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,12 +102,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *baseline == "" {
 		return nil
 	}
-	return diffBaseline(stdout, *baseline, summary, *threshold)
+	return diffBaseline(stdout, *baseline, summary, *threshold, *allocThreshold)
 }
 
-// diffBaseline compares the current summary's ns/op means against a prior
-// benchjson artifact and errors out on any regression beyond threshold.
-func diffBaseline(w io.Writer, path string, cur map[string]map[string]float64, threshold float64) error {
+// diffBaseline compares the current summary's ns/op (and, with a
+// non-negative allocThreshold, allocs/op) means against a prior benchjson
+// artifact and errors out on any regression beyond the threshold.
+func diffBaseline(w io.Writer, path string, cur map[string]map[string]float64, threshold, allocThreshold float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -118,23 +123,43 @@ func diffBaseline(w io.Writer, path string, cur map[string]map[string]float64, t
 	}
 	sort.Strings(names)
 	var regressions []string
-	for _, name := range names {
-		curNs, ok := cur[name]["ns/op"]
+	gate := func(name, unit string, limit float64) {
+		curV, ok := cur[name][unit]
 		if !ok {
+			return
+		}
+		baseV, ok := base[name][unit]
+		if !ok {
+			return
+		}
+		// A zero-alloc baseline admits only zero; ns/op is never zero.
+		if baseV == 0 {
+			if curV > 0 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: 0 -> %.0f %s (baseline was allocation-free)", name, curV, unit))
+			}
+			return
+		}
+		ratio := curV / baseV
+		fmt.Fprintf(w, "benchjson: %-60s %12.0f -> %12.0f %s (%+.1f%%)\n",
+			name, baseV, curV, unit, 100*(ratio-1))
+		if ratio > 1+limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%% > %.0f%%)",
+					name, baseV, curV, unit, 100*(ratio-1), 100*limit))
+		}
+	}
+	for _, name := range names {
+		if _, ok := cur[name]["ns/op"]; !ok {
 			continue
 		}
-		baseNs, ok := base[name]["ns/op"]
-		if !ok {
+		if _, ok := base[name]; !ok {
 			fmt.Fprintf(w, "benchjson: %-60s new (no baseline entry)\n", name)
 			continue
 		}
-		ratio := curNs / baseNs
-		fmt.Fprintf(w, "benchjson: %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-			name, baseNs, curNs, 100*(ratio-1))
-		if ratio > 1+threshold {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%%)",
-					name, baseNs, curNs, 100*(ratio-1), 100*threshold))
+		gate(name, "ns/op", threshold)
+		if allocThreshold >= 0 {
+			gate(name, "allocs/op", allocThreshold)
 		}
 	}
 	for name := range base {

@@ -98,6 +98,46 @@ func TestBaselineDiff(t *testing.T) {
 	}
 }
 
+func TestBaselineAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	// Baseline allocs: dirty at 67 (flat vs sampleOutput), rescan at 100
+	// (sampleOutput's 210 is a >100% regression). ns/op baselines are
+	// generous so only the alloc gate can fail.
+	writeJSON(t, base, map[string]map[string]float64{
+		"ApplyRulesFixpoint/dirty":  {"ns/op": 1e9, "allocs/op": 67},
+		"ApplyRulesFixpoint/rescan": {"ns/op": 1e9, "allocs/op": 100},
+	})
+
+	// Default: alloc gate disabled, the doubled allocs pass.
+	var out strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("alloc gate disabled: unexpected failure: %v", err)
+	}
+
+	// Enabled: rescan's 100 -> 210 allocs/op must fail, dirty must not.
+	err := run([]string{"-baseline", base, "-alloc-threshold", "0.1"}, strings.NewReader(sampleOutput), &out)
+	if err == nil {
+		t.Fatalf("want allocs/op regression error, got none; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "rescan") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("regression error %q does not name the alloc regression", err)
+	}
+	if strings.Contains(err.Error(), "dirty") {
+		t.Fatalf("flat-alloc benchmark flagged as regression: %q", err)
+	}
+
+	// A zero-alloc baseline admits only zero.
+	writeJSON(t, base, map[string]map[string]float64{
+		"Marking": {"ns/op": 1e9, "allocs/op": 0},
+	})
+	zeroIn := "BenchmarkMarking-8 100 1259 ns/op 16 B/op 1 allocs/op\n"
+	err = run([]string{"-baseline", base, "-alloc-threshold", "0.5"}, strings.NewReader(zeroIn), &out)
+	if err == nil || !strings.Contains(err.Error(), "allocation-free") {
+		t.Fatalf("want zero-alloc baseline violation, got %v", err)
+	}
+}
+
 func writeJSON(t *testing.T, path string, v any) {
 	t.Helper()
 	raw, err := json.Marshal(v)

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	cdsd -addr :8080 [-workers 8] [-queue 128] [-cache 1024]
-//	     [-timeout 10s] [-drain 5s] [-quantum 1.0] [-maxnodes 100000]
-//	     [-trace-capacity 4096] [-debug] [-log-level info]
+//	cdsd -addr :8080 [-workers 8] [-compute-workers 4] [-queue 128]
+//	     [-cache 1024] [-timeout 10s] [-drain 5s] [-quantum 1.0]
+//	     [-maxnodes 100000] [-trace-capacity 4096] [-debug] [-log-level info]
 //
 // The daemon always serves its request-trace ring at GET /debug/traces
 // (sized by -trace-capacity); -debug additionally mounts the
@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cdsd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+	computeWorkers := fs.Int("compute-workers", 0, "goroutines one compute/verify request may fan out across (0 = default 1; output is identical at every setting)")
 	queue := fs.Int("queue", 0, "job queue depth before load shedding (0 = default 128)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
 	timeout := fs.Duration("timeout", 0, "per-request computation deadline (0 = default 10s)")
@@ -88,6 +89,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	srv := server.New(server.Config{
 		Workers:           *workers,
+		ComputeWorkers:    *computeWorkers,
 		QueueDepth:        *queue,
 		CacheSize:         *cache,
 		RequestTimeout:    *timeout,

@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	drainName := fs.String("drain", "linear", "gateway drain model: const, linear, quadratic, or a -pergw variant")
 	seed := fs.Uint64("seed", 1, "random seed")
 	trials := fs.Int("trials", 1, "independent runs to aggregate")
+	workers := fs.Int("workers", 0, "parallel trial workers with -trials > 1 (0 = GOMAXPROCS)")
 	traceFlag := fs.Bool("trace", false, "print per-interval gateway counts (single trial only)")
 	verify := fs.Bool("verify", false, "check CDS invariants every interval")
 	static := fs.Bool("static", false, "disable mobility")
@@ -141,7 +142,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	ts, err := sim.RunTrialsParallel(cfg, *trials, 0)
+	ts, err := sim.RunTrialsParallel(cfg, *trials, *workers)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cdstool -policy ND [-energy "100,80,90,..."] [-verify] [file]
+//	cdstool -policy ND [-energy "100,80,90,..."] [-verify] [-workers 4] [file]
 //
 // The graph is read from the named file, or stdin when no file is given.
 // Input format:
@@ -47,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	allPolicies := fs.Bool("all", false, "compute all five policies")
 	randomN := fs.Int("random", 0, "generate a random connected unit-disk network with this many hosts instead of reading a graph")
 	seed := fs.Uint64("seed", 1, "seed for -random")
+	workers := fs.Int("workers", 1, "compute-pipeline fan-out: goroutines for graph build, marking, and pruning (0 = GOMAXPROCS; output is identical at every setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +58,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		g = inst.Graph
+		// Rebuild through the parallel constructor when fan-out is
+		// requested; BuildParallel ≡ Build, so the topology is unchanged.
+		if *workers != 1 {
+			g = udg.BuildParallel(inst.Positions, inst.Config.Field, inst.Config.Radius, *workers)
+		} else {
+			g = inst.Graph
+		}
 	} else {
 		in := stdin
 		if fs.NArg() > 0 {
@@ -109,11 +116,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "graph: %d nodes, %d edges, connected=%v complete=%v\n",
 		g.NumNodes(), g.NumEdges(), g.IsConnected(), g.IsComplete())
-	marked := cds.Mark(g)
+	marked := cds.MarkParallel(g, *workers)
 	fmt.Fprintf(stdout, "marked (%d): %v\n", cds.CountGateways(marked), ids(marked))
 
 	for _, p := range policies {
-		gw, err := cds.ApplyRules(g, p, marked, energy)
+		gw, err := cds.ApplyRulesParallel(g, p, marked, energy, *workers)
 		if err != nil {
 			return err
 		}

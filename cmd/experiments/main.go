@@ -41,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV files into")
 	svgDir := fs.String("svg", "", "directory to write per-figure SVG line charts into")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial; any value yields identical output)")
+	computeWorkers := fs.Int("compute-workers", 0, "per-cell CDS pipeline fan-out (0 = default 1; any value yields identical output)")
 	list := fs.Bool("list", false, "list available experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	opt := experiments.Options{Trials: *trials, Seed: *seed, PerGateway: *perGW, Workers: *workers}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, PerGateway: *perGW, Workers: *workers, ComputeWorkers: *computeWorkers}
 	if *nsCSV != "" {
 		for _, part := range strings.Split(*nsCSV, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))

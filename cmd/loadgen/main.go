@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "workload seed; equal seeds issue equal request streams")
 	n := fs.Int("n", 200, "number of requests (ignored with -soak)")
 	workers := fs.Int("workers", 4, "concurrent workers (never changes the request stream)")
+	computeWorkers := fs.Int("compute-workers", 0, "with -self, boot the private cdsd with this per-request compute fan-out (0 = serial; responses are identical at every setting)")
 	rate := fs.Float64("rate", 0, "open-loop target requests/sec (0 = closed loop)")
 	soak := fs.Duration("soak", 0, "run for this duration instead of a fixed -n")
 	mixFlag := fs.String("mix", "", "request mix, e.g. compute=8,verify=1,simulate=1")
@@ -110,7 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return runSessions(sessionArgs{
 			url: *url, self: *self, seed: *seed, sessions: *sessions, batches: *batches,
-			workers: *workers, energyEvery: *energyEvery, ns: *ns, radii: *radii,
+			workers: *workers, computeWorkers: *computeWorkers, energyEvery: *energyEvery,
+			ns: *ns, radii: *radii,
 			policies: *policies, conformance: *conformance, sample: *sample,
 			timeout: *timeout, timing: *timing || *sloP99 > 0,
 			sloErrRate: *sloErrRate, sloP99: *sloP99, out: *out,
@@ -118,19 +120,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := load.Options{
-		Seed:          *seed,
-		Requests:      *n,
-		Workers:       *workers,
-		Rate:          *rate,
-		Duration:      *soak,
-		Conformance:   *conformance,
-		Sample:        *sample,
-		FaultFraction: *faultFrac,
-		FaultStart:    *faultStart,
-		Timeout:       *timeout,
-		Trace:         *trace,
-		IncludeTiming: *timing || *sloP99 > 0 || *trace,
-		Scrape:        true,
+		Seed:           *seed,
+		Requests:       *n,
+		Workers:        *workers,
+		ComputeWorkers: *computeWorkers,
+		Rate:           *rate,
+		Duration:       *soak,
+		Conformance:    *conformance,
+		Sample:         *sample,
+		FaultFraction:  *faultFrac,
+		FaultStart:     *faultStart,
+		Timeout:        *timeout,
+		Trace:          *trace,
+		IncludeTiming:  *timing || *sloP99 > 0 || *trace,
+		Scrape:         true,
 	}
 	if opts.Mix, err = parseMix(*mixFlag); err != nil {
 		log.Error("bad -mix", "err", err)
@@ -178,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	target := *url
 	if *self {
-		cfg := server.Config{}
+		cfg := server.Config{ComputeWorkers: *computeWorkers}
 		if *trace {
 			// Size the ring to retain the whole run; one stripe because the
 			// report joins every trace by id, so retention must be exact
@@ -231,23 +234,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // sessionArgs carries the parsed flags of a -sessions run.
 type sessionArgs struct {
-	url         string
-	self        bool
-	seed        uint64
-	sessions    int
-	batches     int
-	workers     int
-	energyEvery int
-	ns          string
-	radii       string
-	policies    string
-	conformance bool
-	sample      int
-	timeout     time.Duration
-	timing      bool
-	sloErrRate  float64
-	sloP99      float64
-	out         string
+	url            string
+	self           bool
+	seed           uint64
+	sessions       int
+	batches        int
+	workers        int
+	computeWorkers int
+	energyEvery    int
+	ns             string
+	radii          string
+	policies       string
+	conformance    bool
+	sample         int
+	timeout        time.Duration
+	timing         bool
+	sloErrRate     float64
+	sloP99         float64
+	out            string
 }
 
 // runSessions executes the streaming-session mode: stateful sessions fed
@@ -255,15 +259,16 @@ type sessionArgs struct {
 // conformance against in-process oracle sessions.
 func runSessions(a sessionArgs, stdout io.Writer, log *slog.Logger) int {
 	opts := load.SessionOptions{
-		Seed:          a.seed,
-		Sessions:      a.sessions,
-		Batches:       a.batches,
-		Workers:       a.workers,
-		EnergyEvery:   a.energyEvery,
-		Conformance:   a.conformance,
-		Sample:        a.sample,
-		Timeout:       a.timeout,
-		IncludeTiming: a.timing,
+		Seed:           a.seed,
+		Sessions:       a.sessions,
+		Batches:        a.batches,
+		Workers:        a.workers,
+		ComputeWorkers: a.computeWorkers,
+		EnergyEvery:    a.energyEvery,
+		Conformance:    a.conformance,
+		Sample:         a.sample,
+		Timeout:        a.timeout,
+		IncludeTiming:  a.timing,
 	}
 	var err error
 	if opts.Axes.Ns, err = parseInts(a.ns); err != nil {
@@ -286,8 +291,9 @@ func runSessions(a sessionArgs, stdout io.Writer, log *slog.Logger) int {
 		// Size the session table and queue to the workload so a correct
 		// run is shed-free.
 		local, err := server.StartLocal(server.Config{
-			MaxSessions: a.sessions + 16,
-			QueueDepth:  4 * (a.sessions + 16),
+			MaxSessions:    a.sessions + 16,
+			QueueDepth:     4 * (a.sessions + 16),
+			ComputeWorkers: a.computeWorkers,
 		})
 		if err != nil {
 			log.Error("self-boot failed", "err", err)

@@ -1,0 +1,224 @@
+package cds
+
+import (
+	"pacds/internal/graph"
+	"pacds/internal/par"
+)
+
+// Deterministic parallel scratch compute.
+//
+// The marking process is purely local — m(v) depends only on N(v) and the
+// adjacency among v's neighbors — so marking parallelizes embarrassingly:
+// chunk the node range across a worker pool, each worker writing a
+// disjoint slice of the marked array against the read-only graph. The rule
+// phase is NOT embarrassingly parallel: ApplyRules' sequential semantics
+// judges every premise against the gateway state as it stands at that
+// node's ID-ordered slot, so slot v's verdict can depend on slots u < v.
+// ApplyRulesParallel recovers parallelism with a speculate/commit
+// schedule whose output is byte-identical to the sequential sweep:
+//
+//  1. Speculate (parallel): every marked node's slot predicate is
+//     evaluated against the immutable pre-pass state. Eligibility is
+//     monotone non-decreasing in the gateway set (every rule fires on
+//     "some currently-marked neighbors cover v"; shrinking the set only
+//     removes coverers — the same monotonicity theorem that collapsed the
+//     fixpoint to one pass in PR 3), and the sequential sweep only ever
+//     shrinks the set, so the state at any slot is a subset of the
+//     pre-pass state. A node found ineligible against the pre-pass
+//     superset is therefore ineligible at its slot: speculation
+//     over-approximates the true flip set, never misses it.
+//
+//  2. Commit (sequential, cheap): walk the candidates in ascending ID
+//     order. A candidate's speculative verdict used pre-pass statuses for
+//     every neighbor; its slot verdict differs only if some neighbor
+//     u < v flipped earlier in THIS pass — unmarking only removes
+//     coverers, so speculation is invalidated in exactly one direction
+//     (eligible → ineligible, never the reverse). The commit loop
+//     re-evaluates the slot predicate under the split before/after view
+//     (slots.go) only for candidates with such an earlier flip in N(v);
+//     all other candidates commit without re-examination. Rule 2 under
+//     the ID policy never re-examines at all: its min-ID guard reads only
+//     neighbors above v, whose statuses are pre-pass by construction.
+//
+// The schedule runs once per rule template, mirroring ApplyRules exactly:
+// a Rule-1 speculate/commit against the marking snapshot, then a Rule-2
+// speculate/commit against the post-Rule-1 state. Every worker count —
+// including 1, which short-circuits to the sequential sweep — produces
+// identical bytes (property-tested under -race by parallel_test.go).
+
+// The node-range scheduling (block claims off an atomic cursor, positional
+// writes) lives in package par and is shared with udg.BuildParallel.
+
+// MarkParallel is Mark across a worker pool: workers goroutines each
+// evaluate the marking condition for a disjoint node range against the
+// read-only graph. workers <= 0 selects GOMAXPROCS; 1 is the sequential
+// path. Output is identical to Mark at every worker count.
+func MarkParallel(g *graph.Graph, workers int) []bool {
+	marked := make([]bool, g.NumNodes())
+	MarkParallelInto(g, marked, workers)
+	return marked
+}
+
+// MarkParallelInto is MarkParallel writing into a caller-provided slice
+// (length g.NumNodes()).
+func MarkParallelInto(g *graph.Graph, dst []bool, workers int) {
+	if len(dst) != g.NumNodes() {
+		panic("cds: MarkParallelInto destination length mismatch")
+	}
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		MarkInto(g, dst)
+		return
+	}
+	par.For(g.NumNodes(), workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			dst[v] = g.HasUnconnectedNeighbors(graph.NodeID(v))
+		}
+	})
+}
+
+// ApplyRulesParallel applies the policy's pruning rules with the
+// speculate/commit schedule above. The result is byte-identical to
+// ApplyRules for every worker count; workers <= 0 selects GOMAXPROCS and
+// workers == 1 runs the sequential sweep directly. The marking snapshot
+// is not modified.
+func ApplyRulesParallel(g *graph.Graph, p Policy, marked []bool, energy []float64, workers int) ([]bool, error) {
+	out := make([]bool, g.NumNodes())
+	if err := ApplyRulesParallelInto(g, p, marked, energy, workers, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyRulesParallelInto is ApplyRulesParallel writing the gateway
+// statuses into a caller-provided slice (length g.NumNodes()), so pooled
+// callers (the cdsd handlers) avoid the per-request allocation.
+func ApplyRulesParallelInto(g *graph.Graph, p Policy, marked []bool, energy []float64, workers int, dst []bool) error {
+	n := g.NumNodes()
+	if len(marked) != n {
+		panic("cds: marked slice length mismatch")
+	}
+	if len(dst) != n {
+		panic("cds: ApplyRulesParallelInto destination length mismatch")
+	}
+	copy(dst, marked)
+	if p == NR {
+		return nil
+	}
+	less, err := lessFor(p, g, energy)
+	if err != nil {
+		return err
+	}
+	if workers = par.Workers(workers); workers <= 1 || n < 2*par.Block {
+		// Sequential path: the in-place sweeps ARE the reference
+		// semantics, so small instances skip the speculation scratch.
+		applyRule1(g, dst, less)
+		if p == ID {
+			applyRule2ID(g, dst)
+		} else {
+			applyRule2Priority(g, dst, less)
+		}
+		return nil
+	}
+
+	// pre holds the immutable pre-pass snapshot of the current rule
+	// template; cand the speculative verdicts. One backing array serves
+	// both rule templates.
+	buf := make([]bool, 2*n)
+	pre, cand := buf[:n], buf[n:]
+
+	// --- Rule 1 ---
+	copy(pre, dst)
+	par.For(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			cand[v] = pre[v] && Rule1SlotEligible(g, pre, pre, less, graph.NodeID(v))
+		}
+	})
+	commitCandidates(g, pre, cand, dst, func(v graph.NodeID) bool {
+		return Rule1SlotEligible(g, pre, dst, less, v)
+	})
+
+	// --- Rule 2 ---
+	copy(pre, dst)
+	if p == ID {
+		// The min-ID guard reads only neighbors above v, whose statuses
+		// at slot v are always the pre-pass values: the speculative
+		// verdict IS the slot verdict, so every candidate commits.
+		par.For(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if pre[v] && rule2IDSlotEligible(g, pre, graph.NodeID(v)) {
+					dst[v] = false
+				}
+			}
+		})
+		return nil
+	}
+	par.For(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			cand[v] = pre[v] && rule2PrioritySlotEligible(g, pre, pre, less, graph.NodeID(v))
+		}
+	})
+	commitCandidates(g, pre, cand, dst, func(v graph.NodeID) bool {
+		return rule2PrioritySlotEligible(g, pre, dst, less, v)
+	})
+	return nil
+}
+
+// commitCandidates walks the speculative candidates in ascending ID order
+// and applies each flip to gw, re-evaluating a candidate's slot predicate
+// (against the split pre/gw view) only when some neighbor below it has
+// already flipped in this pass — the only condition under which the
+// speculative verdict can differ from the slot verdict. pre is the
+// immutable pre-pass snapshot the speculation ran against.
+func commitCandidates(g *graph.Graph, pre, cand []bool, gw []bool, slotEligible func(graph.NodeID) bool) {
+	flips := 0
+	for v := 0; v < len(cand); v++ {
+		if !cand[v] {
+			continue
+		}
+		if flips > 0 && earlierFlipIn(g, pre, gw, graph.NodeID(v)) && !slotEligible(graph.NodeID(v)) {
+			continue
+		}
+		gw[v] = false
+		flips++
+	}
+}
+
+// earlierFlipIn reports whether any neighbor of v below v has flipped
+// during the current commit walk (pre marked, now unmarked). Neighbors
+// are sorted ascending, so the scan stops at the first id >= v.
+func earlierFlipIn(g *graph.Graph, pre, gw []bool, v graph.NodeID) bool {
+	for _, u := range g.Neighbors(v) {
+		if u >= v {
+			return false
+		}
+		if pre[u] && !gw[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyRulesInto is ApplyRules writing into a caller-provided slice — the
+// sequential analogue of ApplyRulesParallelInto, used by pooled callers.
+func ApplyRulesInto(g *graph.Graph, p Policy, marked []bool, energy []float64, dst []bool) error {
+	return ApplyRulesParallelInto(g, p, marked, energy, 1, dst)
+}
+
+// ComputeParallel runs the marking process and the policy's rules across
+// a worker pool. The Result is byte-identical to Compute — same Marked
+// and Gateway contents in the same order — at every worker count
+// (workers <= 0 selects GOMAXPROCS, 1 is sequential). energy follows the
+// Compute contract.
+func ComputeParallel(g *graph.Graph, p Policy, energy []float64, workers int) (*Result, error) {
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		return Compute(g, p, energy)
+	}
+	marked := MarkParallel(g, workers)
+	gateway, err := ApplyRulesParallel(g, p, marked, energy, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Policy: p, Marked: marked, Gateway: gateway}, nil
+}

@@ -48,7 +48,7 @@ func Broadcast(opt Options) (*FigureResult, error) {
 			src := graph.NodeID(rng.Intn(n))
 			flood := broadcast.Flood(inst.Graph, src)
 			for _, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, uniform)
+				res, err := cds.ComputeParallel(inst.Graph, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

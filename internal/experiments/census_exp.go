@@ -98,7 +98,7 @@ func Fragility(opt Options) (*FigureResult, error) {
 				return nil, fmt.Errorf("fragility N=%d: %w", n, err)
 			}
 			for _, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, uniform)
+				res, err := cds.ComputeParallel(inst.Graph, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

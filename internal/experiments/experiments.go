@@ -35,6 +35,13 @@ type Options struct {
 	// of the cell's (N, trial) coordinates, so every worker count produces
 	// byte-identical series.
 	Workers int
+	// ComputeWorkers bounds intra-cell parallelism: the worker fan-out of
+	// each cell's CDS pipeline (cds.ComputeParallel). Default 1 — the
+	// sweep pool above already keeps every core busy across cells, so
+	// per-cell fan-out is opt-in for sweeps over very large instances.
+	// The parallel pipeline is byte-identical to the sequential one, so
+	// every setting produces the same series.
+	ComputeWorkers int
 }
 
 // withDefaults fills unset (zero) fields. Explicitly invalid values — a
@@ -49,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 20010901 // ICPP 2001
+	}
+	if o.ComputeWorkers == 0 {
+		o.ComputeWorkers = 1
 	}
 	return o
 }
@@ -72,6 +82,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("experiments: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.ComputeWorkers < 0 {
+		return fmt.Errorf("experiments: ComputeWorkers must be >= 0, got %d", o.ComputeWorkers)
 	}
 	return nil
 }
@@ -156,7 +169,7 @@ func Figure10(opt Options) (*FigureResult, error) {
 			el := uniformEnergy(n, 100)
 			out := make([][]float64, len(cds.Policies))
 			for i, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, el)
+				res, err := cds.ComputeParallel(inst.Graph, p, el, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

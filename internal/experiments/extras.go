@@ -42,7 +42,7 @@ func BaselineSizes(opt Options) (*FigureResult, error) {
 			g := inst.Graph
 			out := make([][]float64, 0, len(labels))
 			for _, p := range []cds.Policy{cds.NR, cds.ID, cds.ND} {
-				r, err := cds.Compute(g, p, nil)
+				r, err := cds.ComputeParallel(g, p, nil, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}
@@ -185,7 +185,7 @@ func RoutingStretch(opt Options) (*FigureResult, error) {
 			uniform := uniformEnergy(n, 100)
 			out := make([][]float64, len(cds.Policies))
 			for i, p := range cds.Policies {
-				res, err := cds.Compute(g, p, uniform)
+				res, err := cds.ComputeParallel(g, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

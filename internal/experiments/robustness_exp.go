@@ -34,7 +34,7 @@ func QuasiUDG(opt Options) (*FigureResult, error) {
 			uniform := uniformEnergy(n, 100)
 			out := make([][]float64, len(cds.Policies))
 			for i, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, uniform)
+				res, err := cds.ComputeParallel(inst.Graph, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

@@ -52,7 +52,7 @@ func RadiusSensitivity(opt Options) (*FigureResult, error) {
 				return nil, fmt.Errorf("radius r=%d: %w", r, err)
 			}
 			for _, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, uniform)
+				res, err := cds.ComputeParallel(inst.Graph, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}
@@ -105,7 +105,7 @@ func ClusteredDeployment(opt Options) (*FigureResult, error) {
 				return nil, fmt.Errorf("clustered N=%d: %w", n, err)
 			}
 			for _, p := range cds.Policies {
-				res, err := cds.Compute(inst.Graph, p, uniform)
+				res, err := cds.ComputeParallel(inst.Graph, p, uniform, opt.ComputeWorkers)
 				if err != nil {
 					return nil, err
 				}

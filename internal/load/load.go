@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -103,6 +104,11 @@ type Options struct {
 	IncludeTiming bool
 	// Scrape diffs the server's /metrics around the run into Report.Cache.
 	Scrape bool
+	// ComputeWorkers annotates the report header with the target server's
+	// per-request compute fan-out. It does not change the workload — the
+	// parallel pipeline is byte-identical to the sequential one — it only
+	// records the configuration a baseline was generated under.
+	ComputeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -473,18 +479,20 @@ func assemble(opts Options, col *collector, issued int) *Report {
 		mode = "open"
 	}
 	r := &Report{
-		Tool:          "loadgen",
-		Mode:          mode,
-		Seed:          opts.Seed,
-		Workers:       opts.Workers,
-		Requests:      issued,
-		Rate:          opts.Rate,
-		Mix:           opts.Mix,
-		Axes:          opts.Axes,
-		StreamDigest:  fmt.Sprintf("%016x", StreamDigest(opts, issued)),
-		FaultFraction: opts.FaultFraction,
-		FaultStart:    opts.FaultStart,
-		Endpoints:     make(map[string]*EndpointReport),
+		Tool:           "loadgen",
+		Mode:           mode,
+		Seed:           opts.Seed,
+		Workers:        opts.Workers,
+		ComputeWorkers: opts.ComputeWorkers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Requests:       issued,
+		Rate:           opts.Rate,
+		Mix:            opts.Mix,
+		Axes:           opts.Axes,
+		StreamDigest:   fmt.Sprintf("%016x", StreamDigest(opts, issued)),
+		FaultFraction:  opts.FaultFraction,
+		FaultStart:     opts.FaultStart,
+		Endpoints:      make(map[string]*EndpointReport),
 	}
 	r.Endpoints = col.endpointSection(opts.IncludeTiming)
 	if opts.Conformance {

@@ -20,6 +20,15 @@ type Report struct {
 	Mode    string `json:"mode"` // "closed" or "open"
 	Seed    uint64 `json:"seed"`
 	Workers int    `json:"workers"`
+	// ComputeWorkers records the server-side per-request fan-out
+	// (server.Config.ComputeWorkers) a -self run booted its target with, so
+	// LOAD_* baselines carry the compute-path configuration they were
+	// generated under. Zero means the default serial pipeline (or an
+	// external -url target whose setting loadgen cannot see).
+	ComputeWorkers int `json:"compute_workers,omitempty"`
+	// GOMAXPROCS is the generating process's scheduler parallelism —
+	// the hardware context behind any timing sections.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Requests is the number of requests issued (fixed -n runs echo the
 	// option; soak runs report how many the deadline admitted).
 	Requests int     `json:"requests"`

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -87,6 +88,9 @@ type SessionOptions struct {
 	IncludeTiming bool
 	// SLO, when non-nil, is evaluated into Report.SLO.
 	SLO *SLO
+	// ComputeWorkers annotates the report header with the target server's
+	// per-request compute fan-out (see load.Options.ComputeWorkers).
+	ComputeWorkers int
 }
 
 func (o SessionOptions) withDefaults() SessionOptions {
@@ -326,15 +330,17 @@ func RunSessions(ctx context.Context, baseURL string, opts SessionOptions) (*Rep
 	}
 
 	report := &Report{
-		Tool:         "loadgen",
-		Mode:         "sessions",
-		Seed:         opts.Seed,
-		Workers:      opts.Workers,
-		Requests:     opts.Sessions * opts.Batches,
-		Axes:         opts.Axes,
-		StreamDigest: fmt.Sprintf("%016x", SessionStreamDigest(opts)),
-		Endpoints:    col.endpointSection(opts.IncludeTiming),
-		Sessions:     sr,
+		Tool:           "loadgen",
+		Mode:           "sessions",
+		Seed:           opts.Seed,
+		Workers:        opts.Workers,
+		ComputeWorkers: opts.ComputeWorkers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Requests:       opts.Sessions * opts.Batches,
+		Axes:           opts.Axes,
+		StreamDigest:   fmt.Sprintf("%016x", SessionStreamDigest(opts)),
+		Endpoints:      col.endpointSection(opts.IncludeTiming),
+		Sessions:       sr,
 	}
 	if opts.Conformance {
 		report.Conformance = col.conformanceSection()

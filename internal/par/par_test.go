@@ -1,0 +1,67 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, Block - 1, Block, Block + 1, 10*Block + 37} {
+		for _, w := range []int{1, 2, 3, 8} {
+			counts := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForPositionalOutputIsDeterministic(t *testing.T) {
+	n := 5*Block + 11
+	want := make([]int, n)
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	got := make([]int, n)
+	For(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = i * i
+		}
+	})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-3, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"strconv"
 
 	"pacds/internal/cds"
 	"pacds/internal/faults"
@@ -22,7 +23,10 @@ type GraphSpec struct {
 }
 
 // build validates the spec and constructs the graph. maxNodes guards the
-// service against memory-exhaustion requests.
+// service against memory-exhaustion requests. Construction goes through
+// graph.FromEdgeFunc — one flat adjacency arena instead of a growing
+// slice per node — which is where most of the request path's allocations
+// used to come from.
 func (s GraphSpec) build(maxNodes int) (*graph.Graph, error) {
 	if s.Nodes < 0 {
 		return nil, fmt.Errorf("nodes must be non-negative, got %d", s.Nodes)
@@ -30,7 +34,6 @@ func (s GraphSpec) build(maxNodes int) (*graph.Graph, error) {
 	if maxNodes > 0 && s.Nodes > maxNodes {
 		return nil, fmt.Errorf("nodes %d exceeds the service limit %d", s.Nodes, maxNodes)
 	}
-	g := graph.New(s.Nodes)
 	for i, e := range s.Edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= s.Nodes || v < 0 || v >= s.Nodes {
@@ -39,8 +42,12 @@ func (s GraphSpec) build(maxNodes int) (*graph.Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("edge %d: self loop %d-%d", i, u, v)
 		}
-		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
 	}
+	g := graph.FromEdgeFunc(s.Nodes, func(emit func(u, v graph.NodeID)) {
+		for _, e := range s.Edges {
+			emit(graph.NodeID(e[0]), graph.NodeID(e[1]))
+		}
+	})
 	return g, nil
 }
 
@@ -206,7 +213,15 @@ func cacheKey(g *graph.Graph, p cds.Policy, energy []float64, quantum float64) s
 			h.Write(buf[:])
 		}
 	}
-	return fmt.Sprintf("c|%d|%x", g.NumNodes(), h.Sum64())
+	// Hand-rolled key assembly: fmt.Sprintf costs three allocations on
+	// the hottest endpoint; strconv appends into one stack buffer cost
+	// one (the final string).
+	key := make([]byte, 0, 40)
+	key = append(key, 'c', '|')
+	key = strconv.AppendInt(key, int64(g.NumNodes()), 10)
+	key = append(key, '|')
+	key = strconv.AppendUint(key, h.Sum64(), 16)
+	return string(key)
 }
 
 // boolsToIDs converts a membership slice to a sorted id list for the wire.

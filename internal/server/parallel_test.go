@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"pacds/internal/cds"
+	"pacds/internal/xrand"
+)
+
+// TestComputeWorkersParity pins the serving contract of the ComputeWorkers
+// knob: responses are byte-identical at every setting. The instance is
+// large enough to cross the parallel kernels' sequential cutoff, caching
+// is disabled so every request runs the full pipeline, and requests
+// repeat so the pooled scratch is reused dirty across differing
+// topologies and policies.
+func TestComputeWorkersParity(t *testing.T) {
+	_, seq := newTestServer(t, Config{CacheSize: -1, ComputeWorkers: 1})
+	_, par := newTestServer(t, Config{CacheSize: -1, ComputeWorkers: 8})
+	for seed := uint64(1); seed <= 2; seed++ {
+		inst := randomInstance(t, 550, seed)
+		el := make([]float64, 550)
+		rng := xrand.New(seed)
+		for i := range el {
+			el[i] = float64(rng.IntRange(1, 10)) * 10
+		}
+		for _, p := range cds.Policies {
+			var energy []float64
+			if p.NeedsEnergy() {
+				energy = el
+			}
+			req := ComputeRequest{
+				Graph: specFor(inst.Graph), Policy: p.String(),
+				Energy: energy, IncludeMarked: true,
+			}
+			a, err := seq.Compute(context.Background(), req)
+			if err != nil {
+				t.Fatalf("workers=1 seed=%d policy=%v: %v", seed, p, err)
+			}
+			b, err := par.Compute(context.Background(), req)
+			if err != nil {
+				t.Fatalf("workers=8 seed=%d policy=%v: %v", seed, p, err)
+			}
+			if a.NumGateways != b.NumGateways || len(a.Gateways) != len(b.Gateways) || len(a.Marked) != len(b.Marked) {
+				t.Fatalf("seed=%d policy=%v: shape differs across worker counts", seed, p)
+			}
+			for i := range a.Gateways {
+				if a.Gateways[i] != b.Gateways[i] {
+					t.Fatalf("seed=%d policy=%v: gateway %d differs: %d vs %d", seed, p, i, a.Gateways[i], b.Gateways[i])
+				}
+			}
+			for i := range a.Marked {
+				if a.Marked[i] != b.Marked[i] {
+					t.Fatalf("seed=%d policy=%v: marked %d differs", seed, p, i)
+				}
+			}
+			// Library oracle: the sequential Compute.
+			want, err := cds.Compute(inst.Graph, p, energy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIDs := boolsToIDs(want.Gateway)
+			if len(a.Gateways) != len(wantIDs) {
+				t.Fatalf("seed=%d policy=%v: %d gateways, oracle %d", seed, p, len(a.Gateways), len(wantIDs))
+			}
+			for i := range wantIDs {
+				if a.Gateways[i] != wantIDs[i] {
+					t.Fatalf("seed=%d policy=%v: gateway order differs from oracle", seed, p)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyPooledScratch exercises the verify handler's pooled membership
+// slice across back-to-back requests of different sizes: stale pool
+// contents must never leak into a later verdict.
+func TestVerifyPooledScratch(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	big := randomInstance(t, 80, 3)
+	bigRes, err := cds.Compute(big.Graph, cds.ND, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Verify(context.Background(), VerifyRequest{
+		Graph: specFor(big.Graph), Gateways: boolsToIDs(bigRes.Gateway),
+	}); err != nil || !v.Valid {
+		t.Fatalf("valid CDS rejected: %+v err=%v", v, err)
+	}
+	// A smaller follow-up request reuses the big request's pooled slice;
+	// its high slots must read as cleared, and an empty gateway set on a
+	// connected >1-node graph must stay invalid.
+	small := randomInstance(t, 20, 5)
+	if v, err := c.Verify(context.Background(), VerifyRequest{
+		Graph: specFor(small.Graph), Gateways: nil,
+	}); err != nil || v.Valid {
+		t.Fatalf("empty gateway set verified valid: %+v err=%v", v, err)
+	}
+	smallRes, err := cds.Compute(small.Graph, cds.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Verify(context.Background(), VerifyRequest{
+		Graph: specFor(small.Graph), Gateways: boolsToIDs(smallRes.Gateway),
+	}); err != nil || !v.Valid {
+		t.Fatalf("valid small CDS rejected after pooled reuse: %+v err=%v", v, err)
+	}
+}

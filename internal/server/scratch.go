@@ -1,0 +1,37 @@
+package server
+
+import "sync"
+
+// Per-request compute scratch. The compute and verify handlers each need
+// a pair of per-node bool slices (marked/gateway statuses) for the
+// duration of one pipeline run; allocating them per request put ~2 large
+// allocations on every cache miss. The pool recycles them across
+// requests.
+//
+// Lifetime contract: scratch must be acquired AND released inside the
+// worker-pool closure. submit can return on context timeout while the
+// worker is still running the closure (see submit), so scratch that
+// escaped to the handler scope could be recycled while a worker still
+// writes to it. Both handlers respect this; nothing pooled outlives its
+// closure.
+type computeScratch struct {
+	marked  []bool
+	gateway []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(computeScratch) }}
+
+// getScratch returns a scratch pair sized to n nodes. Contents are
+// arbitrary (dirty); the cds Into-kernels overwrite every slot.
+func getScratch(n int) *computeScratch {
+	sc := scratchPool.Get().(*computeScratch)
+	if cap(sc.marked) < n {
+		sc.marked = make([]bool, n)
+		sc.gateway = make([]bool, n)
+	}
+	sc.marked = sc.marked[:n]
+	sc.gateway = sc.gateway[:n]
+	return sc
+}
+
+func putScratch(sc *computeScratch) { scratchPool.Put(sc) }

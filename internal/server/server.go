@@ -49,6 +49,14 @@ import (
 type Config struct {
 	// Workers bounds concurrent computations (default GOMAXPROCS).
 	Workers int
+	// ComputeWorkers bounds intra-request parallelism: the number of
+	// goroutines one compute/verify request may fan out across the
+	// marking + pruning pipeline (cds.MarkParallel / ApplyRulesParallel).
+	// Default 1 — the worker pool already runs requests in parallel, so
+	// per-request fan-out is opt-in for deployments serving few, large
+	// topologies rather than many small ones. Output is byte-identical at
+	// every setting.
+	ComputeWorkers int
 	// QueueDepth bounds jobs waiting for a worker; submissions beyond it
 	// are refused with 503 (load shedding, default 128).
 	QueueDepth int
@@ -119,6 +127,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ComputeWorkers <= 0 {
+		c.ComputeWorkers = 1
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
@@ -587,16 +598,20 @@ func (s *Server) handleCompute(ctx context.Context, w http.ResponseWriter, r *ht
 	}
 	v, shared, err := s.flight.do(key, func() (any, error) {
 		return s.submit(ctx, "compute", func() (any, error) {
-			res, err := cds.Compute(g, policy, req.Energy)
-			if err != nil {
+			// Pooled scratch for the pipeline's per-node status slices;
+			// only the compact id lists below outlive this closure.
+			sc := getScratch(g.NumNodes())
+			defer putScratch(sc)
+			cds.MarkParallelInto(g, sc.marked, s.cfg.ComputeWorkers)
+			if err := cds.ApplyRulesParallelInto(g, policy, sc.marked, req.Energy, s.cfg.ComputeWorkers, sc.gateway); err != nil {
 				return nil, err
 			}
 			resp := &ComputeResponse{
 				Policy:      policy.String(),
 				Nodes:       g.NumNodes(),
-				NumGateways: res.NumGateways(),
-				Gateways:    boolsToIDs(res.Gateway),
-				Marked:      boolsToIDs(res.Marked),
+				NumGateways: cds.CountGateways(sc.gateway),
+				Gateways:    boolsToIDs(sc.gateway),
+				Marked:      boolsToIDs(sc.marked),
 			}
 			s.cache.add(key, resp)
 			s.gEntries.Set(int64(s.cache.len()))
@@ -650,11 +665,24 @@ func (s *Server) handleVerify(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	gateway, err := idsToBools(g.NumNodes(), req.Gateways)
-	if err != nil {
-		return http.StatusBadRequest, err
+	n := g.NumNodes()
+	for _, id := range req.Gateways {
+		if id < 0 || id >= n {
+			return http.StatusBadRequest, fmt.Errorf("gateway id %d out of range [0, %d)", id, n)
+		}
 	}
 	v, err := s.submit(ctx, "verify", func() (any, error) {
+		// Pooled membership slice, built from the validated id list; like
+		// compute, the scratch never outlives the closure.
+		sc := getScratch(n)
+		defer putScratch(sc)
+		gateway := sc.gateway
+		for i := range gateway {
+			gateway[i] = false
+		}
+		for _, id := range req.Gateways {
+			gateway[id] = true
+		}
 		report, err := cds.Analyze(g, gateway)
 		if err != nil {
 			return nil, err
@@ -766,9 +794,9 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 // before requests start getting shed.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	resp := ReadinessResponse{
-		Status:        "ready",
-		QueueDepth:    len(s.jobs),
-		QueueCapacity: cap(s.jobs),
+		Status:         "ready",
+		QueueDepth:     len(s.jobs),
+		QueueCapacity:  cap(s.jobs),
 		Inflight:       int(s.gInflight.Value()),
 		Brownout:       append([]string(nil), s.cfg.BrownoutEndpoints...),
 		SessionsActive: s.sessions.Len(),

@@ -88,7 +88,11 @@ func Build(positions []geom.Point, field geom.Rect, radius float64) *graph.Graph
 	return g
 }
 
-// BuildBrute is the O(N^2) reference construction, used to validate Build.
+// BuildBrute is the O(N^2) reference construction, used to validate Build
+// and BuildParallel. It applies the same bitset policy as Build (dense
+// view for instances up to bitsetNodeLimit nodes) so differential tests
+// compare identically-configured graphs and downstream kernels take the
+// same dispatch path regardless of which constructor produced the graph.
 func BuildBrute(positions []geom.Point, radius float64) *graph.Graph {
 	g := graph.New(len(positions))
 	r2 := radius * radius
@@ -98,6 +102,9 @@ func BuildBrute(positions []geom.Point, radius float64) *graph.Graph {
 				g.AddEdge(graph.NodeID(v), graph.NodeID(u))
 			}
 		}
+	}
+	if len(positions) <= bitsetNodeLimit {
+		g.EnableBitset()
 	}
 	return g
 }

@@ -136,6 +136,13 @@ func ApplyRules(g *Graph, p Policy, marked []bool, energy []float64) ([]bool, er
 	return cds.ApplyRules(g, p, marked, energy)
 }
 
+// ComputeParallel is Compute with the marking and pruning passes fanned
+// out across workers goroutines (0 = GOMAXPROCS, 1 = serial). The result
+// is byte-identical to Compute at every worker count.
+func ComputeParallel(g *Graph, p Policy, energy []float64, workers int) (*CDSResult, error) {
+	return cds.ComputeParallel(g, p, energy, workers)
+}
+
 // VerifyCDS checks that gateway is a connected dominating set of g.
 func VerifyCDS(g *Graph, gateway []bool) error { return cds.VerifyCDS(g, gateway) }
 
